@@ -1,0 +1,236 @@
+package semstm
+
+// Repository-level benchmarks: one testing.B benchmark per table/figure of
+// the paper's evaluation, mirroring the experiment registry used by
+// cmd/semstm-bench. Throughput panels surface as ns/op (inverse throughput)
+// with an aborts% metric; the Table 3 benchmark reports the per-transaction
+// operation profile as custom metrics.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig1Hashtable -cpu 4
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"semstm/internal/apps"
+	"semstm/internal/experiments"
+	"semstm/internal/harness"
+	"semstm/internal/stamp"
+	"semstm/internal/txprogs"
+	"semstm/internal/txvm"
+	"semstm/stm"
+)
+
+// benchParallelism multiplies GOMAXPROCS to keep real transaction
+// concurrency even on small machines.
+const benchParallelism = 4
+
+// benchAlgos drives one workload builder under the four Figure 1 algorithms.
+func benchAlgos(b *testing.B, build harness.Builder) {
+	for _, a := range []stm.Algorithm{stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2} {
+		b.Run(a.String(), func(b *testing.B) {
+			rt := stm.New(a)
+			rt.SetYieldEvery(4)
+			w := build(rt)
+			before := rt.Stats()
+			var seed atomic.Int64
+			b.SetParallelism(benchParallelism)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					w.Op(rng)
+				}
+			})
+			b.StopTimer()
+			sn := rt.Stats().Sub(before)
+			b.ReportMetric(sn.AbortRate(), "aborts%")
+			if err := w.Check(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFig1Hashtable regenerates Figure 1a/1b (hashtable throughput and
+// aborts): 10 set/get operations per transaction on an open-addressing table.
+func BenchmarkFig1Hashtable(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return apps.NewHashtable(rt, 2048)
+	})
+}
+
+// BenchmarkFig1Bank regenerates Figure 1c/1d (bank transfers with overdraft
+// checks).
+func BenchmarkFig1Bank(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return apps.NewBank(rt, 1024, 1000)
+	})
+}
+
+// BenchmarkFig1LRU regenerates Figure 1e/1f (LRU cache sets/lookups).
+func BenchmarkFig1LRU(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return apps.NewLRUCache(rt, 64, 8)
+	})
+}
+
+// BenchmarkFig1Kmeans regenerates Figure 1g/1h (centroid accumulation).
+func BenchmarkFig1Kmeans(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return stamp.NewKmeans(rt, 16, 8)
+	})
+}
+
+// BenchmarkFig1Vacation regenerates Figure 1i/1j (travel reservations).
+func BenchmarkFig1Vacation(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return stamp.NewVacation(rt, 512)
+	})
+}
+
+// BenchmarkFig1Labyrinth1 regenerates Figure 1k/1l (maze routing with the
+// grid copy inside the transaction).
+func BenchmarkFig1Labyrinth1(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return stamp.NewLabyrinth(rt, 16, 16, 2, false)
+	})
+}
+
+// BenchmarkFig1Labyrinth2 regenerates Figure 1m/1n (the TRANSACT'14 variant
+// with the grid copy outside the transaction).
+func BenchmarkFig1Labyrinth2(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return stamp.NewLabyrinth(rt, 16, 16, 2, true)
+	})
+}
+
+// BenchmarkFig1Yada regenerates Figure 1o/1p (mesh refinement).
+func BenchmarkFig1Yada(b *testing.B) {
+	benchAlgos(b, func(rt *stm.Runtime) harness.Workload {
+		return stamp.NewYada(rt, 120, 40000)
+	})
+}
+
+// benchGCC drives one compiled TxC entry point under the three Figure 2
+// configurations.
+func benchGCC(b *testing.B, src, entry string, args func(*rand.Rand) []int64, setup func(*txvm.VM) error) {
+	for _, mode := range txprogs.Modes() {
+		b.Run(mode.String(), func(b *testing.B) {
+			vm, _, err := txprogs.Build(src, mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vm.Runtime().SetYieldEvery(4)
+			if setup != nil {
+				if err := setup(vm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			before := vm.Runtime().Stats()
+			var seed atomic.Int64
+			b.SetParallelism(benchParallelism)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				th := vm.NewThread(seed.Add(1))
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					var a []int64
+					if args != nil {
+						a = args(rng)
+					}
+					if _, err := th.Call(entry, a...); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			sn := vm.Runtime().Stats().Sub(before)
+			b.ReportMetric(sn.AbortRate(), "aborts%")
+		})
+	}
+}
+
+// BenchmarkFig2Hashtable regenerates Figure 2a/2b (the compiled hashtable
+// under plain GCC, Modified-GCC delegation, and S-NOrec).
+func BenchmarkFig2Hashtable(b *testing.B) {
+	benchGCC(b, txprogs.HashtableSrc, "txn10", nil, experiments.PrefillGCCHashtable)
+}
+
+// BenchmarkFig2Vacation regenerates Figure 2c/2d (the compiled reservation
+// kernel).
+func BenchmarkFig2Vacation(b *testing.B) {
+	benchGCC(b, txprogs.VacationSrc, "client",
+		func(rng *rand.Rand) []int64 { return []int64{rng.Int63n(100)} },
+		func(vm *txvm.VM) error {
+			for i := int64(0); i < 256; i++ {
+				if err := vm.SetShared("numfree", i, 1_000_000); err != nil {
+					return err
+				}
+				if err := vm.SetShared("price", i, 100+i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+// BenchmarkTable3 regenerates Table 3: it runs every benchmark under the
+// base and semantic builds and reports the per-committed-transaction
+// operation profile as metrics (reads/tx, writes/tx, cmps/tx, incs/tx,
+// promotes/tx).
+func BenchmarkTable3(b *testing.B) {
+	type wl struct {
+		name  string
+		build harness.Builder
+	}
+	workloads := []wl{
+		{"Hashtable", func(rt *stm.Runtime) harness.Workload { return apps.NewHashtable(rt, 2048) }},
+		{"Bank", func(rt *stm.Runtime) harness.Workload { return apps.NewBank(rt, 1024, 1000) }},
+		{"LRU", func(rt *stm.Runtime) harness.Workload { return apps.NewLRUCache(rt, 64, 8) }},
+		{"Vacation", func(rt *stm.Runtime) harness.Workload { return stamp.NewVacation(rt, 512) }},
+		{"Kmeans", func(rt *stm.Runtime) harness.Workload { return stamp.NewKmeans(rt, 16, 8) }},
+		{"Labyrinth", func(rt *stm.Runtime) harness.Workload { return stamp.NewLabyrinth(rt, 16, 16, 2, false) }},
+		{"Yada", func(rt *stm.Runtime) harness.Workload { return stamp.NewYada(rt, 120, 60000) }},
+		{"SSCA2", func(rt *stm.Runtime) harness.Workload { return stamp.NewSSCA2(rt, 512, 64) }},
+		{"Genome", func(rt *stm.Runtime) harness.Workload { return stamp.NewGenome(rt, 6400, 800) }},
+		{"Intruder", func(rt *stm.Runtime) harness.Workload { return stamp.NewIntruder(rt, 500) }},
+	}
+	for _, wl := range workloads {
+		for _, algo := range []stm.Algorithm{stm.NOrec, stm.SNOrec} {
+			build := "base"
+			if algo.Semantic() {
+				build = "semantic"
+			}
+			b.Run(wl.name+"/"+build, func(b *testing.B) {
+				rt := stm.New(algo)
+				w := wl.build(rt)
+				before := rt.Stats()
+				rng := rand.New(rand.NewSource(1))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.Op(rng)
+				}
+				b.StopTimer()
+				sn := rt.Stats().Sub(before)
+				if sn.Commits == 0 {
+					return
+				}
+				c := float64(sn.Commits)
+				b.ReportMetric(float64(sn.Reads)/c, "reads/tx")
+				b.ReportMetric(float64(sn.Writes)/c, "writes/tx")
+				b.ReportMetric(float64(sn.Compares)/c, "cmps/tx")
+				b.ReportMetric(float64(sn.Incs)/c, "incs/tx")
+				b.ReportMetric(float64(sn.Promotes)/c, "promotes/tx")
+				if err := w.Check(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

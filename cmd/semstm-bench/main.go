@@ -1,0 +1,84 @@
+// Command semstm-bench regenerates the tables and figures of "Extending TM
+// Primitives using Low Level Semantics" (SPAA 2016) on this machine.
+//
+// Usage:
+//
+//	semstm-bench -list
+//	semstm-bench -exp fig1a [-threads 2,4,8] [-dur 500ms]
+//	semstm-bench -exp all   [-ops 4000]
+//
+// Each experiment prints the same series the corresponding paper panel
+// plots: throughput or execution time plus abort rates per algorithm per
+// thread count, or the Table 3 operation profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"semstm/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		expID   = flag.String("exp", "", "experiment id to run, or \"all\"")
+		threads = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
+		dur     = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
+		ops     = flag.Int("ops", 0, "total operations for execution-time experiments")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Panels, e.Title)
+		}
+		if *expID == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	cfg := experiments.Config{Duration: *dur, TotalOps: *ops}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fatalf("bad -threads value %q", part)
+			}
+			cfg.Threads = append(cfg.Threads, n)
+		}
+	}
+
+	var targets []experiments.Experiment
+	if *expID == "all" {
+		targets = experiments.All()
+	} else {
+		e, err := experiments.Find(*expID)
+		if err != nil {
+			fatalf("%v (use -list)", err)
+		}
+		targets = []experiments.Experiment{e}
+	}
+
+	for _, e := range targets {
+		fmt.Printf("=== %s (%s): %s ===\n", e.ID, e.Panels, e.Title)
+		start := time.Now()
+		out, err := e.Run(cfg)
+		if err != nil {
+			fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "semstm-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command tmc is the TxC transactional compiler driver: it compiles a TxC
+// source file to the GIMPLE-like IR, applies the tm_mark instrumentation and
+// (optionally) the semantic pattern detection and tm_optimize passes, dumps
+// the IR, and can run a function against a chosen STM algorithm.
+//
+// Usage:
+//
+//	tmc -dump prog.txc                 # IR after plain tm_mark
+//	tmc -dump -semantic prog.txc       # IR after pattern detection + DCE
+//	tmc -run main -args 3,4 prog.txc   # compile and execute
+//	tmc -example                       # dump the built-in counter example
+//
+// With -semantic, the pass statistics (S1R/S2R/SW conversions, removed
+// reads) are reported, mirroring the paper's compiler-side measurements.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"semstm/internal/tmpass"
+	"semstm/internal/txlang"
+	"semstm/internal/txprogs"
+	"semstm/internal/txvm"
+	"semstm/stm"
+)
+
+func main() {
+	var (
+		dump     = flag.Bool("dump", false, "dump IR after the passes")
+		semantic = flag.Bool("semantic", false, "enable cmp/inc pattern detection and tm_optimize")
+		exprs    = flag.Bool("expr", false, "additionally detect sum-expression conditionals (_ITM_SE)")
+		noMark   = flag.Bool("no-mark", false, "skip instrumentation entirely (front-end output)")
+		runFn    = flag.String("run", "", "function to execute after compiling")
+		argList  = flag.String("args", "", "comma-separated integer arguments for -run")
+		algoName = flag.String("algo", "S-NOrec", "STM algorithm for -run: NOrec, S-NOrec, TL2, S-TL2, SGL")
+		seed     = flag.Int64("seed", 1, "PRNG seed for the rand builtin")
+		example  = flag.Bool("example", false, "use the built-in counter example instead of a file")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *example:
+		src = txprogs.CounterSrc
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		src = string(data)
+	default:
+		fatalf("expected exactly one source file (or -example); see -h")
+	}
+
+	prog, err := txlang.Compile(src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !*noMark {
+		st, err := tmpass.Run(prog, tmpass.Options{
+			DetectPatterns:    *semantic,
+			Optimize:          *semantic,
+			DetectExpressions: *exprs,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *semantic {
+			fmt.Printf("passes: %d _ITM_S1R, %d _ITM_S2R, %d _ITM_SW, %d _ITM_SE; removed %d never-live TM reads (%d other)\n",
+				st.S1R, st.S2R, st.SW, st.SE, st.RemovedReads, st.RemovedOther)
+		}
+	}
+
+	if *dump {
+		names := make([]string, 0, len(prog.Funcs))
+		for name := range prog.Funcs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Print(prog.Funcs[name].Dump())
+		}
+	}
+
+	if *runFn != "" {
+		algo, err := parseAlgo(*algoName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		vm := txvm.New(prog, stm.New(algo))
+		var args []int64
+		if *argList != "" {
+			for _, part := range strings.Split(*argList, ",") {
+				v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+				if err != nil {
+					fatalf("bad argument %q", part)
+				}
+				args = append(args, v)
+			}
+		}
+		ret, err := vm.NewThread(*seed).Call(*runFn, args...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s(%s) = %d\n", *runFn, *argList, ret)
+		sn := vm.Runtime().Stats()
+		fmt.Printf("stats: %d commits, %d aborts, %d reads, %d writes, %d compares, %d incs, %d promotes\n",
+			sn.Commits, sn.Aborts, sn.Reads, sn.Writes, sn.Compares, sn.Incs, sn.Promotes)
+	}
+}
+
+func parseAlgo(name string) (stm.Algorithm, error) {
+	for _, a := range stm.Algorithms() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tmc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Hashtable: the open-addressing hash table of Algorithm 2 in action.
+//
+// The probe loop expresses every cell inspection as a semantic conditional
+// (TM_NEQ/TM_EQ), so a prober records facts like "this cell is not my key"
+// instead of pinning cell contents. Concurrent inserts that land on probed-
+// over cells therefore stop aborting lookups — the effect behind the paper's
+// headline 4x speedup. The program contrasts NOrec with S-NOrec on the same
+// workload.
+//
+// Run with: go run ./examples/hashtable [-threads 8] [-ops 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"semstm/internal/txds"
+	"semstm/stm"
+)
+
+func main() {
+	threads := flag.Int("threads", 8, "worker goroutines")
+	ops := flag.Int("ops", 2000, "transactions per worker (10 table ops each)")
+	flag.Parse()
+
+	for _, algo := range []stm.Algorithm{stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2} {
+		run(algo, *threads, *ops)
+	}
+}
+
+func run(algo stm.Algorithm, threads, ops int) {
+	rt := stm.New(algo)
+	table := txds.NewOpenTable(4096)
+	const keySpace = 1024
+
+	// Prefill to a moderate load factor.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1024; i++ {
+		k := 1 + rng.Int63n(keySpace)
+		rt.Atomically(func(tx *stm.Tx) { table.Insert(tx, k) })
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				// One transaction = 10 set/get operations, as in the
+				// paper's workload.
+				keys := make([]int64, 10)
+				inserts := make([]bool, 10)
+				for j := range keys {
+					keys[j] = 1 + r.Int63n(keySpace)
+					inserts[j] = r.Intn(2) == 0
+				}
+				rt.Atomically(func(tx *stm.Tx) {
+					for j, k := range keys {
+						if inserts[j] {
+							if !table.Insert(tx, k) {
+								table.Remove(tx, k)
+							}
+						} else {
+							table.Contains(tx, k)
+						}
+					}
+				})
+			}
+		}(int64(t) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sn := rt.Stats()
+	fmt.Printf("%-8s %8.0f tx/s  aborts %5.1f%%  size=%d  (%d cmps, %d reads)\n",
+		algo, float64(sn.Commits)/elapsed.Seconds(), sn.AbortRate(),
+		table.SizeNT(), sn.Compares, sn.Reads)
+}

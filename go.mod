@@ -1,0 +1,3 @@
+module semstm
+
+go 1.22

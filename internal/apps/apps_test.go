@@ -1,0 +1,124 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"semstm/stm"
+)
+
+func eachAlgo(t *testing.T, f func(t *testing.T, rt *stm.Runtime)) {
+	t.Helper()
+	for _, a := range stm.Algorithms() {
+		t.Run(a.String(), func(t *testing.T) { f(t, stm.New(a)) })
+	}
+}
+
+// drive runs n operations concurrently on w from `threads` goroutines.
+func drive(w interface {
+	Op(rng *rand.Rand)
+	Check() error
+}, threads, n int) error {
+	done := make(chan struct{})
+	for t := 0; t < threads; t++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < n; i++ {
+				w.Op(rng)
+			}
+			done <- struct{}{}
+		}(int64(t) + 1)
+	}
+	for t := 0; t < threads; t++ {
+		<-done
+	}
+	return w.Check()
+}
+
+func TestBankInvariants(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		b := NewBank(rt, 64, 1000)
+		if err := drive(b, 4, 150); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBankSemanticProfile(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	b := NewBank(rt, 64, 1000)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		b.Op(rng)
+	}
+	sn := rt.Stats()
+	if sn.Compares == 0 || sn.Incs == 0 {
+		t.Fatalf("bank must exercise semantic ops: %+v", sn)
+	}
+	if sn.Incs < sn.Compares {
+		t.Fatalf("each successful overdraft check yields two incs: %+v", sn)
+	}
+}
+
+func TestLRUCacheInvariants(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		c := NewLRUCache(rt, 32, 4)
+		if err := drive(c, 4, 200); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestLRUCompareDominance reproduces the Table 3 claim that under the LRU
+// workload the vast majority of reads become cmps.
+func TestLRUCompareDominance(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	c := NewLRUCache(rt, 32, 4)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		c.Op(rng)
+	}
+	sn := rt.Stats()
+	total := float64(sn.Compares + sn.Reads)
+	if total == 0 || float64(sn.Compares)/total < 0.75 {
+		t.Fatalf("compare share %.2f too low: %+v", float64(sn.Compares)/total, sn)
+	}
+}
+
+func TestHashtableInvariants(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		h := NewHashtable(rt, 1024)
+		if err := drive(h, 4, 100); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestHashtableAllReadsBecomeCompares checks the defining property of the
+// hashtable workload: probing uses only semantic conditionals (Table 3 shows
+// 0 reads and 3440 compares for the semantic build).
+func TestHashtableAllReadsBecomeCompares(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	h := NewHashtable(rt, 1024)
+	before := rt.Stats()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		h.Op(rng)
+	}
+	sn := rt.Stats().Sub(before)
+	if sn.Reads != 0 {
+		t.Fatalf("hashtable workload performed %d classical reads", sn.Reads)
+	}
+	if sn.Compares == 0 {
+		t.Fatal("no compares recorded")
+	}
+}
+
+func TestQueueAppConservation(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		q := NewQueueApp(rt, 64)
+		if err := drive(q, 4, 300); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semstm/stm"
+)
+
+// LRUCache simulates the paper's m×n software cache with frequency-based
+// replacement: m cache lines of n buckets, each bucket holding a key and a
+// hit counter. Lookups probe a line with semantic NEQ conditionals and bump
+// the hit counter with a semantic increment; only the victim selection of a
+// missing set reads exact counter values. The paper reports 93% of the reads
+// turning into cmp operations under this workload.
+type LRUCache struct {
+	rt    *stm.Runtime
+	lines int
+	assoc int
+	keys  []*stm.Var // lines*assoc, 0 = empty
+	freqs []*stm.Var
+	// OpsPerTx is how many cache entries one transaction touches.
+	OpsPerTx int
+	// LookupBias is the probability (0..1) that an operation is a lookup
+	// rather than a set.
+	LookupBias float64
+	// KeySpace bounds the keys used by Op.
+	KeySpace int64
+}
+
+// NewLRUCache creates a cache with the given geometry.
+func NewLRUCache(rt *stm.Runtime, lines, assoc int) *LRUCache {
+	return &LRUCache{
+		rt:         rt,
+		lines:      lines,
+		assoc:      assoc,
+		keys:       stm.NewVars(lines*assoc, 0),
+		freqs:      stm.NewVars(lines*assoc, 0),
+		OpsPerTx:   4,
+		LookupBias: 0.8,
+		KeySpace:   int64(lines * assoc * 4),
+	}
+}
+
+func (c *LRUCache) line(key int64) int {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return int(h>>40) % c.lines
+}
+
+// lookup probes key's line; on a hit it bumps the hit counter and returns
+// true. Keys are positive, so probing compares bucket contents with NEQ.
+func (c *LRUCache) lookup(tx *stm.Tx, key int64) bool {
+	base := c.line(key) * c.assoc
+	for j := 0; j < c.assoc; j++ {
+		if !tx.NEQ(c.keys[base+j], key) { // semantic hit test
+			tx.Inc(c.freqs[base+j], 1)
+			return true
+		}
+	}
+	return false
+}
+
+// set installs key in its line: a hit refreshes the counter; a miss evicts
+// the least-frequently-used bucket.
+func (c *LRUCache) set(tx *stm.Tx, key int64) {
+	base := c.line(key) * c.assoc
+	for j := 0; j < c.assoc; j++ {
+		if !tx.NEQ(c.keys[base+j], key) {
+			tx.Inc(c.freqs[base+j], 1)
+			return
+		}
+	}
+	victim, best := base, int64(1<<62)
+	for j := 0; j < c.assoc; j++ {
+		if f := tx.Read(c.freqs[base+j]); f < best {
+			best, victim = f, base+j
+		}
+	}
+	tx.Write(c.keys[victim], key)
+	tx.Write(c.freqs[victim], 1)
+}
+
+// Op runs one cache transaction touching OpsPerTx entries.
+func (c *LRUCache) Op(rng *rand.Rand) {
+	type access struct {
+		key    int64
+		lookup bool
+	}
+	ops := make([]access, c.OpsPerTx)
+	for i := range ops {
+		ops[i] = access{
+			key:    1 + rng.Int63n(c.KeySpace),
+			lookup: rng.Float64() < c.LookupBias,
+		}
+	}
+	c.rt.Atomically(func(tx *stm.Tx) {
+		for _, op := range ops {
+			if op.lookup {
+				c.lookup(tx, op.key)
+			} else {
+				c.set(tx, op.key)
+			}
+		}
+	})
+}
+
+// Check verifies structural sanity: counters non-negative and no duplicate
+// keys within a line.
+func (c *LRUCache) Check() error {
+	for l := 0; l < c.lines; l++ {
+		seen := map[int64]bool{}
+		for j := 0; j < c.assoc; j++ {
+			i := l*c.assoc + j
+			if f := c.freqs[i].Load(); f < 0 {
+				return fmt.Errorf("lru: negative frequency at %d", i)
+			}
+			k := c.keys[i].Load()
+			if k == 0 {
+				continue
+			}
+			if seen[k] {
+				return fmt.Errorf("lru: duplicate key %d in line %d", k, l)
+			}
+			seen[k] = true
+		}
+	}
+	return nil
+}

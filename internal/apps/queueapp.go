@@ -1,0 +1,60 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"semstm/internal/txds"
+	"semstm/stm"
+)
+
+// QueueApp drives the Algorithm 3 array-queue workload: every thread
+// alternates randomly between enqueues and dequeues on one shared bounded
+// queue, the pattern whose enqueue/dequeue concurrency the semantic
+// emptiness test re-enables.
+type QueueApp struct {
+	rt       *stm.Runtime
+	queue    *txds.Queue
+	enqueued atomic.Int64
+	dequeued atomic.Int64
+}
+
+// NewQueueApp creates the workload over a queue of the given capacity,
+// prefilled halfway so both operation kinds initially succeed.
+func NewQueueApp(rt *stm.Runtime, capacity int) *QueueApp {
+	q := &QueueApp{rt: rt, queue: txds.NewQueue(capacity)}
+	for i := 0; i < capacity/2; i++ {
+		v := int64(i)
+		rt.Atomically(func(tx *stm.Tx) { q.queue.Enqueue(tx, v) })
+		q.enqueued.Add(1)
+	}
+	return q
+}
+
+// Op runs one enqueue or dequeue transaction.
+func (q *QueueApp) Op(rng *rand.Rand) {
+	if rng.Intn(2) == 0 {
+		v := rng.Int63()
+		if stm.Run(q.rt, func(tx *stm.Tx) bool { return q.queue.Enqueue(tx, v) }) {
+			q.enqueued.Add(1)
+		}
+	} else {
+		ok := stm.Run(q.rt, func(tx *stm.Tx) bool {
+			_, ok := q.queue.Dequeue(tx)
+			return ok
+		})
+		if ok {
+			q.dequeued.Add(1)
+		}
+	}
+}
+
+// Check verifies flow conservation: elements in = elements out + residue.
+func (q *QueueApp) Check() error {
+	in, out, left := q.enqueued.Load(), q.dequeued.Load(), int64(q.queue.LenNT())
+	if in != out+left {
+		return fmt.Errorf("queue: enqueued %d != dequeued %d + len %d", in, out, left)
+	}
+	return nil
+}

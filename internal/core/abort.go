@@ -1,0 +1,20 @@
+package core
+
+// abortSignal is the sentinel carried by the panic that unwinds an aborted
+// transaction back to the runtime retry loop.
+type abortSignal struct{}
+
+// Abort unwinds the current transaction attempt. Algorithm code calls it when
+// validation fails; the runtime recovers the sentinel, rolls the attempt
+// back, applies contention-management backoff, and retries.
+func Abort() {
+	panic(abortSignal{})
+}
+
+// IsAbort reports whether a recovered panic value is the transaction-abort
+// sentinel. Any other value is re-thrown by the runtime, so programmer bugs
+// inside atomic blocks surface as ordinary panics.
+func IsAbort(r any) bool {
+	_, ok := r.(abortSignal)
+	return ok
+}

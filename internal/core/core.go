@@ -1,0 +1,11 @@
+// Package core defines the shared building blocks of the semantic software
+// transactional memory (STM) runtime: transactional variables, semantic
+// comparison operators, read/compare/write sets, abort signalling, and the
+// algorithm-facing transaction interface.
+//
+// The package reproduces the low-level machinery described in "Extending TM
+// Primitives using Low Level Semantics" (SPAA 2016). Concrete STM algorithms
+// (NOrec, S-NOrec, TL2, S-TL2, and a single-global-lock baseline) live in
+// sibling packages and implement the TxImpl interface declared here; the
+// public facade is package stm at the repository root.
+package core

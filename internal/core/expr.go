@@ -1,0 +1,110 @@
+package core
+
+// This file implements the complex-expression extension sketched in Section
+// 3 of the paper and detailed in its technical report: treating a whole
+// composed condition (x > 0 || y > 0) or an arithmetic comparison
+// (x + y > 0) as ONE semantic fact, so modifications to individual variables
+// that do not flip the overall outcome never abort the reader. The published
+// algorithms deliberately leave this out ("we currently do not support those
+// complex expressions"); this library ships it as an opt-in extension of the
+// value-based algorithms, where re-evaluation is straightforward.
+
+// Cond is one clause of a composed condition: "*Var Op Operand".
+type Cond struct {
+	Var     *Var
+	Op      Op
+	Operand int64
+}
+
+// Eval evaluates the clause against current memory.
+func (c Cond) Eval() bool { return c.Op.Eval(c.Var.Load(), c.Operand) }
+
+// exprKind distinguishes expression-fact flavours.
+type exprKind uint8
+
+const (
+	exprSum exprKind = iota // (Σ Vars) Op Rhs
+	exprOr                  // Conds[0] || Conds[1] || ...
+)
+
+// ExprEntry is one recorded expression fact together with its observed
+// outcome; validation re-evaluates the expression and fails only when the
+// outcome flips.
+type ExprEntry struct {
+	kind    exprKind
+	vars    []*Var
+	conds   []Cond
+	op      Op
+	rhs     int64
+	outcome bool
+}
+
+// Holds re-evaluates the expression against current memory and reports
+// whether the outcome is unchanged.
+func (e *ExprEntry) Holds() bool {
+	switch e.kind {
+	case exprSum:
+		var sum int64
+		for _, v := range e.vars {
+			sum += v.Load()
+		}
+		return e.op.Eval(sum, e.rhs) == e.outcome
+	case exprOr:
+		any := false
+		for _, c := range e.conds {
+			if c.Eval() {
+				any = true
+				break
+			}
+		}
+		return any == e.outcome
+	default:
+		return false
+	}
+}
+
+// ExprSet is an append-only log of expression facts.
+type ExprSet struct {
+	entries []ExprEntry
+}
+
+// NewExprSet returns an empty set.
+func NewExprSet() *ExprSet { return &ExprSet{} }
+
+// Reset empties the set, retaining capacity.
+func (s *ExprSet) Reset() { s.entries = s.entries[:0] }
+
+// Len reports the number of recorded expression facts.
+func (s *ExprSet) Len() int { return len(s.entries) }
+
+// AppendSum records the fact "(Σ vars) op rhs == outcome". The vars slice
+// is copied.
+func (s *ExprSet) AppendSum(vars []*Var, op Op, rhs int64, outcome bool) {
+	s.entries = append(s.entries, ExprEntry{
+		kind:    exprSum,
+		vars:    append([]*Var(nil), vars...),
+		op:      op,
+		rhs:     rhs,
+		outcome: outcome,
+	})
+}
+
+// AppendOr records the fact "(c1 || c2 || ...) == outcome". The conds slice
+// is copied.
+func (s *ExprSet) AppendOr(conds []Cond, outcome bool) {
+	s.entries = append(s.entries, ExprEntry{
+		kind:    exprOr,
+		conds:   append([]Cond(nil), conds...),
+		outcome: outcome,
+	})
+}
+
+// HoldsNow re-evaluates every expression fact against current memory.
+func (s *ExprSet) HoldsNow() bool {
+	for i := range s.entries {
+		if !s.entries[i].Holds() {
+			return false
+		}
+	}
+	return true
+}

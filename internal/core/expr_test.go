@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondEval(t *testing.T) {
+	v := NewVar(5)
+	if !(Cond{Var: v, Op: OpGT, Operand: 4}).Eval() {
+		t.Fatal("5 > 4")
+	}
+	if (Cond{Var: v, Op: OpLT, Operand: 4}).Eval() {
+		t.Fatal("!(5 < 4)")
+	}
+}
+
+func TestExprSumFact(t *testing.T) {
+	x, y := NewVar(10), NewVar(-3)
+	s := NewExprSet()
+	s.AppendSum([]*Var{x, y}, OpGT, 0, true) // 7 > 0
+	if !s.HoldsNow() {
+		t.Fatal("fact should hold")
+	}
+	// Compensating updates keep the sum: still holds.
+	x.StoreNT(3)
+	y.StoreNT(4)
+	if !s.HoldsNow() {
+		t.Fatal("sum unchanged in outcome; fact must hold")
+	}
+	// Flip the outcome: broken.
+	x.StoreNT(-10)
+	if s.HoldsNow() {
+		t.Fatal("sum now negative; fact must break")
+	}
+}
+
+func TestExprSumFalseOutcome(t *testing.T) {
+	x := NewVar(-5)
+	s := NewExprSet()
+	s.AppendSum([]*Var{x}, OpGT, 0, false) // observed false
+	if !s.HoldsNow() {
+		t.Fatal("false-outcome fact holds while sum stays non-positive")
+	}
+	x.StoreNT(1)
+	if s.HoldsNow() {
+		t.Fatal("outcome flipped to true; fact must break")
+	}
+}
+
+func TestExprOrFact(t *testing.T) {
+	x, y := NewVar(5), NewVar(5)
+	s := NewExprSet()
+	conds := []Cond{{Var: x, Op: OpGT, Operand: 0}, {Var: y, Op: OpGT, Operand: 0}}
+	s.AppendOr(conds, true)
+
+	// One clause may die while the other carries the disjunction.
+	x.StoreNT(-1)
+	if !s.HoldsNow() {
+		t.Fatal("y > 0 still carries the OR")
+	}
+	y.StoreNT(-1)
+	if s.HoldsNow() {
+		t.Fatal("both clauses false; fact must break")
+	}
+}
+
+func TestExprSetResetAndCopySemantics(t *testing.T) {
+	x := NewVar(1)
+	s := NewExprSet()
+	vars := []*Var{x}
+	s.AppendSum(vars, OpGT, 0, true)
+	vars[0] = NewVar(-100) // caller reuses its slice; the set must not care
+	if !s.HoldsNow() {
+		t.Fatal("entry must have copied the vars slice")
+	}
+	conds := []Cond{{Var: x, Op: OpGT, Operand: 0}}
+	s.AppendOr(conds, true)
+	conds[0].Operand = 99 // same for conds
+	if !s.HoldsNow() {
+		t.Fatal("entry must have copied the conds slice")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 || !s.HoldsNow() {
+		t.Fatal("reset failed")
+	}
+}
+
+// TestExprSumProperty: a recorded sum fact holds after an update iff the
+// boolean outcome of the comparison is unchanged.
+func TestExprSumProperty(t *testing.T) {
+	f := func(opRaw uint8, a, b, a2, b2, rhs int64) bool {
+		op := Op(opRaw % uint8(numOps))
+		x, y := NewVar(a), NewVar(b)
+		s := NewExprSet()
+		outcome := op.Eval(a+b, rhs)
+		s.AppendSum([]*Var{x, y}, op, rhs, outcome)
+		x.StoreNT(a2)
+		y.StoreNT(b2)
+		return s.HoldsNow() == (op.Eval(a2+b2, rhs) == outcome)
+	}
+	// Keep magnitudes small to avoid overflow artifacts in the spec itself.
+	cfg := &quick.Config{MaxCount: 300, Values: nil}
+	if err := quick.Check(func(opRaw uint8, a, b, a2, b2, rhs int16) bool {
+		return f(opRaw, int64(a), int64(b), int64(a2), int64(b2), int64(rhs))
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

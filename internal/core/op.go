@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// Op is a semantic comparison operator, the first argument of the abstract
+// cmp(operator, address, val) method of Section 4 of the paper. OpEQ doubles
+// as the operator under which a plain transactional read is recorded in the
+// read-set of S-NOrec ("we consider read as a semantic TX_EQ operation").
+type Op uint8
+
+// The six conditional operators of Table 1.
+const (
+	OpEQ Op = iota // ==
+	OpNEQ
+	OpGT
+	OpGTE
+	OpLT
+	OpLTE
+	numOps
+)
+
+// Inverse returns the negation of the operator: the operator op' such that
+// (a op' b) == !(a op b) for all a, b. S-NOrec and S-TL2 store the inverse
+// operator in the read/compare set when the observed outcome of a condition
+// is false, so that validation always checks for a true expression.
+func (op Op) Inverse() Op {
+	switch op {
+	case OpEQ:
+		return OpNEQ
+	case OpNEQ:
+		return OpEQ
+	case OpGT:
+		return OpLTE
+	case OpGTE:
+		return OpLT
+	case OpLT:
+		return OpGTE
+	case OpLTE:
+		return OpGT
+	default:
+		panic(fmt.Sprintf("core: invalid operator %d", op))
+	}
+}
+
+// Eval applies the operator to the pair (a, b) and reports the boolean
+// outcome of "a op b".
+func (op Op) Eval(a, b int64) bool {
+	switch op {
+	case OpEQ:
+		return a == b
+	case OpNEQ:
+		return a != b
+	case OpGT:
+		return a > b
+	case OpGTE:
+		return a >= b
+	case OpLT:
+		return a < b
+	case OpLTE:
+		return a <= b
+	default:
+		panic(fmt.Sprintf("core: invalid operator %d", op))
+	}
+}
+
+// Valid reports whether op is one of the six defined operators.
+func (op Op) Valid() bool { return op < numOps }
+
+// String returns the C-style spelling of the operator.
+func (op Op) String() string {
+	switch op {
+	case OpEQ:
+		return "=="
+	case OpNEQ:
+		return "!="
+	case OpGT:
+		return ">"
+	case OpGTE:
+		return ">="
+	case OpLT:
+		return "<"
+	case OpLTE:
+		return "<="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}

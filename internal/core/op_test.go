@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpEval(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{OpEQ, 5, 5, true},
+		{OpEQ, 5, 6, false},
+		{OpNEQ, 5, 6, true},
+		{OpNEQ, 5, 5, false},
+		{OpGT, 6, 5, true},
+		{OpGT, 5, 5, false},
+		{OpGT, 4, 5, false},
+		{OpGTE, 5, 5, true},
+		{OpGTE, 4, 5, false},
+		{OpLT, 4, 5, true},
+		{OpLT, 5, 5, false},
+		{OpLTE, 5, 5, true},
+		{OpLTE, 6, 5, false},
+		{OpGT, -1, -2, true},
+		{OpLT, math.MinInt64, math.MaxInt64, true},
+		{OpGT, math.MaxInt64, math.MinInt64, true},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("(%d %s %d) = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+// TestOpInverseNegates is the property the semantic read-set encoding relies
+// on: storing the inverse operator when the observed outcome is false makes
+// every stored fact a true fact.
+func TestOpInverseNegates(t *testing.T) {
+	f := func(opRaw uint8, a, b int64) bool {
+		op := Op(opRaw % uint8(numOps))
+		return op.Inverse().Eval(a, b) == !op.Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpInverseIsInvolution(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if op.Inverse().Inverse() != op {
+			t.Errorf("Inverse(Inverse(%s)) = %s", op, op.Inverse().Inverse())
+		}
+	}
+}
+
+func TestOpValidAndString(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if !op.Valid() {
+			t.Errorf("%s should be valid", op)
+		}
+		if op.String() == "" {
+			t.Errorf("empty string for op %d", op)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200) should be invalid")
+	}
+}
+
+func TestOpEvalPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Op(99).Eval(1, 2)
+}
+
+func TestOpInversePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Op(99).Inverse()
+}

@@ -1,0 +1,192 @@
+package core
+
+// EntryKind distinguishes the two kinds of write-set entries of the semantic
+// algorithms: a standard buffered write and a deferred increment (Section 4:
+// "a flag is added to each write-set entry to indicate whether it stores a
+// standard write or an increment").
+type EntryKind uint8
+
+const (
+	// EntryWrite is a buffered write; Val holds the value to store.
+	EntryWrite EntryKind = iota
+	// EntryInc is a deferred increment; Val holds the accumulated delta to
+	// add to the memory content at commit time.
+	EntryInc
+)
+
+// WriteEntry is one element of a transaction's write-set.
+type WriteEntry struct {
+	Var  *Var
+	Val  int64
+	Kind EntryKind
+}
+
+// WriteSet is the redo-log of a transaction. It preserves insertion order for
+// write-back and offers O(1) lookup for read-after-write handling. The merge
+// rules of Algorithm 6 (lines 44–52) are implemented by PutWrite and PutInc:
+//
+//   - write after write/inc: overwrite the value, set kind to EntryWrite;
+//   - inc after write/inc: accumulate the delta, keep the entry's kind.
+type WriteSet struct {
+	entries []WriteEntry
+	index   map[*Var]int
+}
+
+// NewWriteSet returns an empty write-set with some pre-sized capacity.
+func NewWriteSet() *WriteSet {
+	return &WriteSet{
+		entries: make([]WriteEntry, 0, 16),
+		index:   make(map[*Var]int, 16),
+	}
+}
+
+// Reset empties the write-set, retaining capacity for reuse across attempts.
+func (ws *WriteSet) Reset() {
+	ws.entries = ws.entries[:0]
+	clear(ws.index)
+}
+
+// Len reports the number of distinct variables in the write-set.
+func (ws *WriteSet) Len() int { return len(ws.entries) }
+
+// Get returns a pointer to the entry for v, or nil if v is not in the set.
+// The pointer stays valid until the next Put or Reset.
+func (ws *WriteSet) Get(v *Var) *WriteEntry {
+	if i, ok := ws.index[v]; ok {
+		return &ws.entries[i]
+	}
+	return nil
+}
+
+// PutWrite records a standard write of val to v, overwriting any previous
+// entry and marking it as EntryWrite (Algorithm 6 line 51).
+func (ws *WriteSet) PutWrite(v *Var, val int64) {
+	if i, ok := ws.index[v]; ok {
+		ws.entries[i].Val = val
+		ws.entries[i].Kind = EntryWrite
+		return
+	}
+	ws.index[v] = len(ws.entries)
+	ws.entries = append(ws.entries, WriteEntry{Var: v, Val: val, Kind: EntryWrite})
+}
+
+// PutInc records an increment of v by delta. If an entry already exists the
+// delta is accumulated over the entry's value without changing its kind
+// (Algorithm 6 line 46); otherwise a fresh EntryInc is created (line 48).
+func (ws *WriteSet) PutInc(v *Var, delta int64) {
+	if i, ok := ws.index[v]; ok {
+		ws.entries[i].Val += delta
+		return
+	}
+	ws.index[v] = len(ws.entries)
+	ws.entries = append(ws.entries, WriteEntry{Var: v, Val: delta, Kind: EntryInc})
+}
+
+// Promote rewrites the entry for v as a standard write of total, used when a
+// read-after-write finds a pending increment (Algorithm 6 lines 19–21).
+func (ws *WriteSet) Promote(v *Var, total int64) {
+	i, ok := ws.index[v]
+	if !ok {
+		panic("core: Promote on variable not in write-set")
+	}
+	ws.entries[i].Val = total
+	ws.entries[i].Kind = EntryWrite
+}
+
+// Entries exposes the ordered entries for write-back. Callers must not
+// mutate the returned slice.
+func (ws *WriteSet) Entries() []WriteEntry { return ws.entries }
+
+// SemEntry is one element of a semantic read-set (S-NOrec) or compare-set
+// (S-TL2): the recorded fact "Var Op Operand held when observed". Plain reads
+// are recorded as OpEQ against the observed value. When OperandVar is
+// non-nil the fact is the address–address form "*Var Op *OperandVar"
+// (_ITM_S2R) and validation re-reads both sides.
+type SemEntry struct {
+	Var        *Var
+	Op         Op
+	Operand    int64
+	OperandVar *Var
+}
+
+// Holds re-evaluates the fact against current memory.
+func (e *SemEntry) Holds() bool {
+	operand := e.Operand
+	if e.OperandVar != nil {
+		operand = e.OperandVar.Load()
+	}
+	return e.Op.Eval(e.Var.Load(), operand)
+}
+
+// SemSet is an append-only log of semantic facts with an in-place validator.
+type SemSet struct {
+	entries []SemEntry
+}
+
+// NewSemSet returns an empty semantic set with pre-sized capacity.
+func NewSemSet() *SemSet {
+	return &SemSet{entries: make([]SemEntry, 0, 32)}
+}
+
+// Reset empties the set, retaining capacity.
+func (s *SemSet) Reset() { s.entries = s.entries[:0] }
+
+// Len reports the number of recorded facts.
+func (s *SemSet) Len() int { return len(s.entries) }
+
+// Empty reports whether no fact has been recorded yet; S-TL2 uses this to
+// detect whether it is still in phase 1.
+func (s *SemSet) Empty() bool { return len(s.entries) == 0 }
+
+// Append records the fact "v op operand".
+func (s *SemSet) Append(v *Var, op Op, operand int64) {
+	s.entries = append(s.entries, SemEntry{Var: v, Op: op, Operand: operand})
+}
+
+// AppendOutcome records a comparison whose observed outcome was result:
+// the operator itself when true, its inverse when false (Algorithm 6
+// line 34), so that validation always checks for a true expression.
+func (s *SemSet) AppendOutcome(v *Var, op Op, operand int64, result bool) {
+	if !result {
+		op = op.Inverse()
+	}
+	s.entries = append(s.entries, SemEntry{Var: v, Op: op, Operand: operand})
+}
+
+// AppendOutcomeVar records an address–address comparison "*a op *b" whose
+// observed outcome was result, storing the inverse operator when false.
+func (s *SemSet) AppendOutcomeVar(a *Var, op Op, b *Var, result bool) {
+	if !result {
+		op = op.Inverse()
+	}
+	s.entries = append(s.entries, SemEntry{Var: a, Op: op, OperandVar: b})
+}
+
+// Entries exposes the recorded facts. Callers must not mutate the slice.
+func (s *SemSet) Entries() []SemEntry { return s.entries }
+
+// HasEQ reports whether an identical plain-read fact (v == val) is already
+// recorded. The linear scan is the "overhead of discovering duplicates" the
+// paper weighs against duplicate read-set entries; it exists for the
+// read-set-deduplication ablation.
+func (s *SemSet) HasEQ(v *Var, val int64) bool {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.Var == v && e.Op == OpEQ && e.OperandVar == nil && e.Operand == val {
+			return true
+		}
+	}
+	return false
+}
+
+// HoldsNow re-evaluates every recorded fact against the current memory
+// content and reports whether all still hold. This is the core of semantic
+// validation (Algorithm 6 lines 4–6).
+func (s *SemSet) HoldsNow() bool {
+	for i := range s.entries {
+		if !s.entries[i].Holds() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteSetMergeRules(t *testing.T) {
+	v := NewVar(0)
+	ws := NewWriteSet()
+
+	// inc on empty: fresh EntryInc (Algorithm 6 line 48).
+	ws.PutInc(v, 3)
+	if e := ws.Get(v); e == nil || e.Kind != EntryInc || e.Val != 3 {
+		t.Fatalf("after inc: %+v", ws.Get(v))
+	}
+
+	// inc after inc: accumulate, keep kind (line 46).
+	ws.PutInc(v, 4)
+	if e := ws.Get(v); e.Kind != EntryInc || e.Val != 7 {
+		t.Fatalf("after inc+inc: %+v", e)
+	}
+
+	// write after inc: overwrite, flip kind (line 51).
+	ws.PutWrite(v, 100)
+	if e := ws.Get(v); e.Kind != EntryWrite || e.Val != 100 {
+		t.Fatalf("after write: %+v", e)
+	}
+
+	// inc after write: accumulate over the written value, keep EntryWrite
+	// (line 46: "without changing the entry's flag").
+	ws.PutInc(v, -1)
+	if e := ws.Get(v); e.Kind != EntryWrite || e.Val != 99 {
+		t.Fatalf("after write+inc: %+v", e)
+	}
+
+	// write after write: plain overwrite.
+	ws.PutWrite(v, 1)
+	if e := ws.Get(v); e.Kind != EntryWrite || e.Val != 1 {
+		t.Fatalf("after write+write: %+v", e)
+	}
+
+	if ws.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (single variable)", ws.Len())
+	}
+}
+
+func TestWriteSetPromote(t *testing.T) {
+	v := NewVar(0)
+	ws := NewWriteSet()
+	ws.PutInc(v, 5)
+	ws.Promote(v, 12) // memory held 7, delta 5
+	e := ws.Get(v)
+	if e.Kind != EntryWrite || e.Val != 12 {
+		t.Fatalf("after promote: %+v", e)
+	}
+}
+
+func TestWriteSetPromoteMissingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWriteSet().Promote(NewVar(0), 1)
+}
+
+func TestWriteSetResetReuse(t *testing.T) {
+	ws := NewWriteSet()
+	vars := NewVars(10, 0)
+	for i, v := range vars {
+		ws.PutWrite(v, int64(i))
+	}
+	if ws.Len() != 10 {
+		t.Fatalf("Len = %d", ws.Len())
+	}
+	ws.Reset()
+	if ws.Len() != 0 {
+		t.Fatalf("Len after reset = %d", ws.Len())
+	}
+	if ws.Get(vars[3]) != nil {
+		t.Fatal("stale index entry after reset")
+	}
+	ws.PutInc(vars[3], 2)
+	if e := ws.Get(vars[3]); e == nil || e.Val != 2 || e.Kind != EntryInc {
+		t.Fatalf("after reuse: %+v", e)
+	}
+}
+
+func TestWriteSetOrderPreserved(t *testing.T) {
+	ws := NewWriteSet()
+	vars := NewVars(5, 0)
+	order := []int{2, 0, 4, 1, 3}
+	for _, i := range order {
+		ws.PutWrite(vars[i], int64(i))
+	}
+	for j, e := range ws.Entries() {
+		if e.Var != vars[order[j]] {
+			t.Fatalf("entry %d is var %d, want %d", j, e.Val, order[j])
+		}
+	}
+}
+
+// TestWriteSetModel checks the write-set against a naive model under random
+// op sequences: the final entry for each variable must equal the effect of
+// replaying writes/incs sequentially, and the kind must be EntryInc iff no
+// write ever touched the variable.
+func TestWriteSetModel(t *testing.T) {
+	type opcode struct {
+		VarIdx uint8
+		Delta  int64
+		Write  bool
+	}
+	f := func(ops []opcode) bool {
+		vars := NewVars(4, 0)
+		ws := NewWriteSet()
+		type model struct {
+			acc     int64
+			written bool
+			touched bool
+		}
+		m := make([]model, 4)
+		for _, o := range ops {
+			i := int(o.VarIdx) % 4
+			if o.Write {
+				ws.PutWrite(vars[i], o.Delta)
+				m[i] = model{acc: o.Delta, written: true, touched: true}
+			} else {
+				ws.PutInc(vars[i], o.Delta)
+				m[i].acc += o.Delta
+				m[i].touched = true
+			}
+		}
+		for i, mm := range m {
+			e := ws.Get(vars[i])
+			if !mm.touched {
+				if e != nil {
+					return false
+				}
+				continue
+			}
+			if e == nil || e.Val != mm.acc {
+				return false
+			}
+			wantKind := EntryInc
+			if mm.written {
+				wantKind = EntryWrite
+			}
+			if e.Kind != wantKind {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemSetOutcomeEncoding(t *testing.T) {
+	v := NewVar(10)
+	s := NewSemSet()
+	s.AppendOutcome(v, OpGT, 5, true)   // observed true: store as-is
+	s.AppendOutcome(v, OpGT, 50, false) // observed false: store inverse
+	e := s.Entries()
+	if e[0].Op != OpGT {
+		t.Fatalf("true outcome stored as %s", e[0].Op)
+	}
+	if e[1].Op != OpLTE {
+		t.Fatalf("false outcome stored as %s, want <=", e[1].Op)
+	}
+	if !s.HoldsNow() {
+		t.Fatal("facts should hold against unchanged memory")
+	}
+}
+
+func TestSemSetHoldsNowDetectsSemanticChange(t *testing.T) {
+	v := NewVar(10)
+	s := NewSemSet()
+	s.AppendOutcome(v, OpGT, 0, true)
+
+	v.StoreNT(3) // still > 0: fact holds although the value changed
+	if !s.HoldsNow() {
+		t.Fatal("value change that preserves the fact must validate")
+	}
+	v.StoreNT(-1) // fact broken
+	if s.HoldsNow() {
+		t.Fatal("sign flip must invalidate the GT fact")
+	}
+}
+
+func TestSemSetPlainReadIsEQ(t *testing.T) {
+	v := NewVar(7)
+	s := NewSemSet()
+	s.Append(v, OpEQ, 7)
+	if !s.HoldsNow() {
+		t.Fatal("EQ fact should hold")
+	}
+	v.StoreNT(8)
+	if s.HoldsNow() {
+		t.Fatal("any value change must invalidate an EQ fact (value-based validation)")
+	}
+}
+
+func TestSemSetReset(t *testing.T) {
+	s := NewSemSet()
+	s.Append(NewVar(1), OpEQ, 1)
+	if s.Empty() || s.Len() != 1 {
+		t.Fatal("set should be non-empty")
+	}
+	s.Reset()
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("set should be empty after reset")
+	}
+	if !s.HoldsNow() {
+		t.Fatal("empty set trivially holds")
+	}
+}
+
+// TestSemSetValidationProperty: for random (value, op, operand), recording
+// the outcome and then re-evaluating against an unchanged variable always
+// validates, and validation of "v op operand" recorded at value a fails
+// after storing b iff the boolean outcome differs.
+func TestSemSetValidationProperty(t *testing.T) {
+	f := func(opRaw uint8, a, b, operand int64) bool {
+		op := Op(opRaw % uint8(numOps))
+		v := NewVar(a)
+		s := NewSemSet()
+		s.AppendOutcome(v, op, operand, op.Eval(a, operand))
+		if !s.HoldsNow() {
+			return false
+		}
+		v.StoreNT(b)
+		stillSame := op.Eval(a, operand) == op.Eval(b, operand)
+		return s.HoldsNow() == stillSame
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

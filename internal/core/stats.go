@@ -1,0 +1,102 @@
+package core
+
+import "sync/atomic"
+
+// TxStats accumulates per-attempt operation counts. A transaction attempt
+// mutates its TxStats locally (no synchronization) and the runtime folds the
+// numbers into the shared Stats on commit or abort. The operation categories
+// are exactly those of Table 3 of the paper.
+type TxStats struct {
+	Reads    uint64 // classical transactional reads
+	Writes   uint64 // classical transactional writes
+	Compares uint64 // semantic cmp operations
+	Incs     uint64 // semantic inc operations
+	Promotes uint64 // incs promoted to read+write by a read-after-write
+}
+
+// Reset zeroes the per-attempt counters.
+func (ts *TxStats) Reset() { *ts = TxStats{} }
+
+// pad keeps hot counters on separate cache lines.
+type pad [56]byte
+
+// Stats aggregates runtime-wide counters across all threads.
+type Stats struct {
+	Commits  atomic.Uint64
+	_        pad
+	Aborts   atomic.Uint64
+	_        pad
+	Reads    atomic.Uint64
+	Writes   atomic.Uint64
+	Compares atomic.Uint64
+	Incs     atomic.Uint64
+	Promotes atomic.Uint64
+}
+
+// Merge folds one attempt's counters into the aggregate.
+func (s *Stats) Merge(ts *TxStats, committed bool) {
+	if committed {
+		s.Commits.Add(1)
+	} else {
+		s.Aborts.Add(1)
+	}
+	if ts.Reads != 0 {
+		s.Reads.Add(ts.Reads)
+	}
+	if ts.Writes != 0 {
+		s.Writes.Add(ts.Writes)
+	}
+	if ts.Compares != 0 {
+		s.Compares.Add(ts.Compares)
+	}
+	if ts.Incs != 0 {
+		s.Incs.Add(ts.Incs)
+	}
+	if ts.Promotes != 0 {
+		s.Promotes.Add(ts.Promotes)
+	}
+}
+
+// Snapshot is a plain-value copy of the aggregate counters.
+type Snapshot struct {
+	Commits, Aborts                         uint64
+	Reads, Writes, Compares, Incs, Promotes uint64
+}
+
+// Snapshot reads all counters. It is not atomic across counters; callers
+// take snapshots at quiescent points or accept small skew.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Commits:  s.Commits.Load(),
+		Aborts:   s.Aborts.Load(),
+		Reads:    s.Reads.Load(),
+		Writes:   s.Writes.Load(),
+		Compares: s.Compares.Load(),
+		Incs:     s.Incs.Load(),
+		Promotes: s.Promotes.Load(),
+	}
+}
+
+// AbortRate returns aborts / (commits + aborts) as a percentage, the metric
+// plotted in the "Aborts %" panels of Figures 1 and 2.
+func (sn Snapshot) AbortRate() float64 {
+	total := sn.Commits + sn.Aborts
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(sn.Aborts) / float64(total)
+}
+
+// Sub returns the difference sn - old, counter by counter, used to scope
+// measurements to a benchmark interval.
+func (sn Snapshot) Sub(old Snapshot) Snapshot {
+	return Snapshot{
+		Commits:  sn.Commits - old.Commits,
+		Aborts:   sn.Aborts - old.Aborts,
+		Reads:    sn.Reads - old.Reads,
+		Writes:   sn.Writes - old.Writes,
+		Compares: sn.Compares - old.Compares,
+		Incs:     sn.Incs - old.Incs,
+		Promotes: sn.Promotes - old.Promotes,
+	}
+}

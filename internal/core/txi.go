@@ -1,0 +1,60 @@
+package core
+
+// TxImpl is the algorithm-facing transaction interface. Each STM algorithm
+// (NOrec, S-NOrec, TL2, S-TL2, single-global-lock) provides a concrete
+// implementation; the public stm package wraps a TxImpl in a user-facing Tx.
+//
+// All methods except Commit may be called only between Start and
+// Commit/abort. Methods signal an abort by panicking with the sentinel of
+// Abort; the runtime retry loop recovers it.
+type TxImpl interface {
+	// Start begins a fresh attempt, resetting all per-attempt state.
+	Start()
+
+	// Read is the classical TM_READ barrier.
+	Read(v *Var) int64
+
+	// Write is the classical TM_WRITE barrier.
+	Write(v *Var, val int64)
+
+	// Cmp executes the semantic conditional "*v op operand" (address–value
+	// form) and returns its outcome. Non-semantic algorithms delegate to
+	// Read and evaluate the condition locally.
+	Cmp(v *Var, op Op, operand int64) bool
+
+	// CmpVars executes the address–address conditional "*a op *b"
+	// (the _ITM_S2R form). Semantic algorithms record a single two-address
+	// fact whose validation re-reads both sides (the "straightforward
+	// extension" Section 4 of the paper describes); baselines delegate to
+	// two classical reads.
+	CmpVars(a *Var, op Op, b *Var) bool
+
+	// Inc executes the semantic increment "*v += delta" (TM_INC/TM_DEC;
+	// delta may be negative). Non-semantic algorithms delegate to
+	// Read followed by Write.
+	Inc(v *Var, delta int64)
+
+	// CmpSum evaluates the arithmetic conditional "(Σ *vars) op rhs" — the
+	// complex-expression extension of the paper's technical report.
+	// Algorithms without native expression support delegate to classical
+	// reads (or per-clause semantics where possible).
+	CmpSum(op Op, rhs int64, vars []*Var) bool
+
+	// CmpAny evaluates the composed condition "c1 || c2 || ..." as one
+	// semantic unit where supported, so clause-level changes that keep the
+	// disjunction's outcome do not invalidate the transaction.
+	CmpAny(conds []Cond) bool
+
+	// Commit attempts to make the transaction's effects visible. On
+	// success it returns normally; on validation failure it aborts by
+	// panicking with the sentinel.
+	Commit()
+
+	// Cleanup releases any resources (e.g. orec locks) held by a failed
+	// attempt. The runtime calls it after recovering an abort; it must be
+	// idempotent.
+	Cleanup()
+
+	// AttemptStats exposes the per-attempt operation counters.
+	AttemptStats() *TxStats
+}

@@ -1,0 +1,57 @@
+package core
+
+import "sync/atomic"
+
+// Var is a transactional memory cell holding a single 64-bit signed word.
+// It plays the role of a shared-memory address in the paper: every
+// transactional read, write, comparison, and increment targets a Var.
+//
+// Each Var carries an allocation-time identifier used by version-based
+// algorithms (TL2 and S-TL2) to index their ownership-record table, mirroring
+// how native STMs hash raw addresses. The struct is padded to a cache line so
+// that adjacent Vars in an array do not false-share.
+type Var struct {
+	val atomic.Int64
+	id  uint64
+	_   [48]byte
+}
+
+// varID is the global allocation counter for Var identifiers. Identifiers
+// start at 1 so that the zero id can be reserved as "invalid".
+var varID atomic.Uint64
+
+// NewVar allocates a transactional variable with the given initial value.
+func NewVar(initial int64) *Var {
+	v := &Var{id: varID.Add(1)}
+	v.val.Store(initial)
+	return v
+}
+
+// NewVars allocates n transactional variables in one contiguous block, all
+// initialized to initial. The returned slice is suitable for large shared
+// structures (grids, tables, node pools).
+func NewVars(n int, initial int64) []*Var {
+	block := make([]Var, n)
+	out := make([]*Var, n)
+	for i := range block {
+		block[i].id = varID.Add(1)
+		if initial != 0 {
+			block[i].val.Store(initial)
+		}
+		out[i] = &block[i]
+	}
+	return out
+}
+
+// ID returns the allocation-time identifier of the variable.
+func (v *Var) ID() uint64 { return v.id }
+
+// Load performs a non-transactional (racy) read of the variable. It is the
+// analogue of a plain memory load outside any transaction and is used for
+// post-quiescence inspection and for the Labyrinth-v2 style "snapshot outside
+// the transaction" optimization of [Ruan et al., TRANSACT 2014].
+func (v *Var) Load() int64 { return v.val.Load() }
+
+// StoreNT performs a non-transactional store. It must only be used during
+// single-threaded initialization or quiescent phases.
+func (v *Var) StoreNT(x int64) { v.val.Store(x) }

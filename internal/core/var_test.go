@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewVarInitialValue(t *testing.T) {
+	v := NewVar(42)
+	if v.Load() != 42 {
+		t.Fatalf("Load = %d", v.Load())
+	}
+	v.StoreNT(-7)
+	if v.Load() != -7 {
+		t.Fatalf("Load after store = %d", v.Load())
+	}
+}
+
+func TestVarIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		v := NewVar(0)
+		if v.ID() == 0 {
+			t.Fatal("id 0 is reserved")
+		}
+		if seen[v.ID()] {
+			t.Fatalf("duplicate id %d", v.ID())
+		}
+		seen[v.ID()] = true
+	}
+}
+
+func TestNewVarsBlock(t *testing.T) {
+	vs := NewVars(100, 9)
+	if len(vs) != 100 {
+		t.Fatalf("len = %d", len(vs))
+	}
+	ids := make(map[uint64]bool)
+	for _, v := range vs {
+		if v.Load() != 9 {
+			t.Fatalf("initial = %d", v.Load())
+		}
+		if ids[v.ID()] {
+			t.Fatal("duplicate id in block")
+		}
+		ids[v.ID()] = true
+	}
+}
+
+func TestVarIDsUniqueUnderConcurrency(t *testing.T) {
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]uint64, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, NewVar(0).ID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate id %d", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAbortSignalRoundTrip(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !IsAbort(r) {
+			t.Fatalf("IsAbort(%v) = false", r)
+		}
+	}()
+	Abort()
+}
+
+func TestIsAbortRejectsOtherPanics(t *testing.T) {
+	if IsAbort("boom") || IsAbort(42) || IsAbort(nil) {
+		t.Fatal("IsAbort must only accept the sentinel")
+	}
+}
+
+func TestStatsMergeAndSnapshot(t *testing.T) {
+	var s Stats
+	ts := TxStats{Reads: 3, Writes: 2, Compares: 5, Incs: 1, Promotes: 1}
+	s.Merge(&ts, true)
+	s.Merge(&ts, false)
+	sn := s.Snapshot()
+	if sn.Commits != 1 || sn.Aborts != 1 {
+		t.Fatalf("commits/aborts = %d/%d", sn.Commits, sn.Aborts)
+	}
+	if sn.Reads != 6 || sn.Writes != 4 || sn.Compares != 10 || sn.Incs != 2 || sn.Promotes != 2 {
+		t.Fatalf("op counters wrong: %+v", sn)
+	}
+	if got := sn.AbortRate(); got != 50 {
+		t.Fatalf("AbortRate = %v", got)
+	}
+	diff := sn.Sub(Snapshot{Commits: 1, Reads: 3})
+	if diff.Commits != 0 || diff.Reads != 3 || diff.Aborts != 1 {
+		t.Fatalf("Sub wrong: %+v", diff)
+	}
+}
+
+func TestAbortRateEmpty(t *testing.T) {
+	if (Snapshot{}).AbortRate() != 0 {
+		t.Fatal("empty snapshot must have 0 abort rate")
+	}
+}
+
+func TestTxStatsReset(t *testing.T) {
+	ts := TxStats{Reads: 1, Writes: 1, Compares: 1, Incs: 1, Promotes: 1}
+	ts.Reset()
+	if ts != (TxStats{}) {
+		t.Fatalf("Reset left %+v", ts)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyCfg keeps test runs to a couple of seconds per experiment.
+var tinyCfg = Config{
+	Threads:  []int{2},
+	Duration: 50 * time.Millisecond,
+	TotalOps: 60,
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Panels == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// One experiment per figure pair plus Table 3 plus the two extensions:
+	// 8 RSTM panels + 2 GCC panels + table3 + ext-ring + ext-htm.
+	if len(ids) != 13 {
+		t.Fatalf("registry holds %d experiments, want 13", len(ids))
+	}
+}
+
+func TestFind(t *testing.T) {
+	e, err := Find("fig1a")
+	if err != nil || e.ID != "fig1a" {
+		t.Fatalf("Find(fig1a) = %+v, %v", e, err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("Find(nope) must fail")
+	}
+}
+
+func TestMicroExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig1a", "fig1c", "fig1e"} {
+		e, _ := Find(id)
+		out, err := e.Run(tinyCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, col := range []string{"NOrec", "S-NOrec", "TL2", "S-TL2"} {
+			if !strings.Contains(out, col) {
+				t.Fatalf("%s output missing column %s:\n%s", id, col, out)
+			}
+		}
+		if !strings.Contains(out, "throughput") || !strings.Contains(out, "aborts") {
+			t.Fatalf("%s output missing panels:\n%s", id, out)
+		}
+	}
+}
+
+func TestStampExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig1g", "fig1i", "fig1k", "fig1m", "fig1o"} {
+		e, _ := Find(id)
+		out, err := e.Run(tinyCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "time (s)") || !strings.Contains(out, "aborts") {
+			t.Fatalf("%s output missing panels:\n%s", id, out)
+		}
+	}
+}
+
+func TestGCCExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig2a", "fig2c"} {
+		e, _ := Find(id)
+		out, err := e.Run(tinyCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, col := range []string{"NOrec", "Modified-GCC", "S-NOrec"} {
+			if !strings.Contains(out, col) {
+				t.Fatalf("%s output missing column %s:\n%s", id, col, out)
+			}
+		}
+	}
+}
+
+func TestExtensionExperimentsRun(t *testing.T) {
+	for _, id := range []string{"ext-ring", "ext-htm"} {
+		e, _ := Find(id)
+		out, err := e.Run(tinyCfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("%s: empty report", id)
+		}
+	}
+	e, _ := Find("ext-ring")
+	out, _ := e.Run(tinyCfg)
+	if !strings.Contains(out, "S-RingSTM") {
+		t.Fatalf("ext-ring missing column:\n%s", out)
+	}
+}
+
+func TestTable3Run(t *testing.T) {
+	e, _ := Find("table3")
+	out, err := e.Run(Config{TotalOps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Hashtable", "Bank", "LRU", "Vacation", "Kmeans",
+		"Labyrinth", "Yada", "SSCA2", "Genome", "Intruder"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table3 missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "semantic") || !strings.Contains(out, "base") {
+		t.Fatalf("table3 missing build rows:\n%s", out)
+	}
+}

@@ -1,0 +1,244 @@
+// Package gimple defines a GIMPLE-like intermediate representation: a
+// language-independent, three-operand instruction form over single-
+// assignment temporaries, the level at which GCC's tm_mark pass instruments
+// transactional code. The paper's compiler work — detecting cmp/inc patterns
+// and deleting never-live transactional reads — operates on this IR (see
+// package tmpass); package txvm executes it against the STM runtime.
+package gimple
+
+import (
+	"fmt"
+	"strings"
+
+	"semstm/internal/core"
+)
+
+// Opcode enumerates IR instructions.
+type Opcode uint8
+
+const (
+	// OpConst: Dst = Imm.
+	OpConst Opcode = iota
+	// OpMov: Dst = A.
+	OpMov
+	// Arithmetic: Dst = A <op> B.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	// OpCmp: Dst = (A <Cond> B), 0 or 1.
+	OpCmp
+	// OpNot: Dst = !A (logical).
+	OpNot
+	// OpLoad: Dst = shared[A] (non-transactional global access; A holds the
+	// address). Inside atomic regions tm_mark rewrites it to OpTMRead.
+	OpLoad
+	// OpStore: shared[A] = B.
+	OpStore
+	// OpTMRead: Dst = TM_READ(shared[A]).
+	OpTMRead
+	// OpTMWrite: TM_WRITE(shared[A], B).
+	OpTMWrite
+	// OpTMCmp: Dst = _ITM_S1R: semantic conditional shared[A] <Cond> B,
+	// where B is a value operand (temp, local, or constant via a temp).
+	OpTMCmp
+	// OpTMCmp2: Dst = _ITM_S2R: semantic conditional shared[A] <Cond>
+	// shared[B] (address–address form).
+	OpTMCmp2
+	// OpTMInc: _ITM_SW: shared[A] += B.
+	OpTMInc
+	// OpTMCmpSum: Dst = _ITM_SE: semantic arithmetic conditional
+	// (shared[Args[0]] + shared[Args[1]] + ...) <Cond> B, the complex-
+	// expression extension of the paper's technical report.
+	OpTMCmpSum
+	// OpBr: if A != 0 goto Then else goto Else (block indices).
+	OpBr
+	// OpJmp: goto Then.
+	OpJmp
+	// OpCall: Dst = call Fn(Args...).
+	OpCall
+	// OpRet: return A (or 0 when A is NoOperand).
+	OpRet
+	// OpTxBegin / OpTxEnd delimit an atomic region.
+	OpTxBegin
+	OpTxEnd
+)
+
+// OperandKind distinguishes instruction operand classes.
+type OperandKind uint8
+
+const (
+	// NoOperand marks an unused operand slot.
+	NoOperand OperandKind = iota
+	// Temp is a single-assignment virtual register.
+	Temp
+	// Local is a mutable function-local variable slot.
+	Local
+	// Imm is an immediate constant.
+	Imm
+)
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Val  int64 // temp index, local slot, or immediate value
+}
+
+// None is the absent operand.
+var None = Operand{Kind: NoOperand}
+
+// T returns a temp operand.
+func T(i int) Operand { return Operand{Kind: Temp, Val: int64(i)} }
+
+// L returns a local operand.
+func L(i int) Operand { return Operand{Kind: Local, Val: int64(i)} }
+
+// I returns an immediate operand.
+func I(v int64) Operand { return Operand{Kind: Imm, Val: v} }
+
+// Instr is one three-operand instruction.
+type Instr struct {
+	Op   Opcode
+	Dst  Operand
+	A, B Operand
+	Cond core.Op // for OpCmp / OpTMCmp / OpTMCmp2
+	Then int     // target block for OpBr/OpJmp
+	Else int     // fall-through block for OpBr
+	Fn   string  // callee for OpCall
+	Args []Operand
+}
+
+// Block is a basic block: straight-line instructions whose last instruction
+// may transfer control.
+type Block struct {
+	Instrs []Instr
+}
+
+// Function is a compiled function: parameters bind to the first local slots.
+type Function struct {
+	Name      string
+	NumParams int
+	NumLocals int
+	NumTemps  int
+	Blocks    []*Block
+}
+
+// NewTemp reserves a fresh temp index.
+func (f *Function) NewTemp() Operand {
+	t := f.NumTemps
+	f.NumTemps++
+	return T(t)
+}
+
+// NewBlock appends an empty block and returns its index.
+func (f *Function) NewBlock() int {
+	f.Blocks = append(f.Blocks, &Block{})
+	return len(f.Blocks) - 1
+}
+
+// Emit appends an instruction to block b.
+func (f *Function) Emit(b int, in Instr) {
+	f.Blocks[b].Instrs = append(f.Blocks[b].Instrs, in)
+}
+
+// Program is a compiled TxC program: shared memory layout plus functions.
+type Program struct {
+	// SharedSize is the number of shared memory words; symbol addresses
+	// index this space.
+	SharedSize int64
+	// Symbols maps shared variable names to base addresses.
+	Symbols map[string]int64
+	// Funcs maps function names to their bodies.
+	Funcs map[string]*Function
+}
+
+// Lookup returns the named function.
+func (p *Program) Lookup(name string) (*Function, error) {
+	f, ok := p.Funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("gimple: no function %q", name)
+	}
+	return f, nil
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case Temp:
+		return fmt.Sprintf("t%d", o.Val)
+	case Local:
+		return fmt.Sprintf("l%d", o.Val)
+	case Imm:
+		return fmt.Sprintf("#%d", o.Val)
+	default:
+		return "_"
+	}
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%v = const %v", in.Dst, in.A)
+	case OpMov:
+		return fmt.Sprintf("%v = %v", in.Dst, in.A)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		sym := map[Opcode]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%"}[in.Op]
+		return fmt.Sprintf("%v = %v %s %v", in.Dst, in.A, sym, in.B)
+	case OpCmp:
+		return fmt.Sprintf("%v = %v %s %v", in.Dst, in.A, in.Cond, in.B)
+	case OpNot:
+		return fmt.Sprintf("%v = !%v", in.Dst, in.A)
+	case OpLoad:
+		return fmt.Sprintf("%v = shared[%v]", in.Dst, in.A)
+	case OpStore:
+		return fmt.Sprintf("shared[%v] = %v", in.A, in.B)
+	case OpTMRead:
+		return fmt.Sprintf("%v = TM_READ(%v)", in.Dst, in.A)
+	case OpTMWrite:
+		return fmt.Sprintf("TM_WRITE(%v, %v)", in.A, in.B)
+	case OpTMCmp:
+		return fmt.Sprintf("%v = _ITM_S1R(%v %s %v)", in.Dst, in.A, in.Cond, in.B)
+	case OpTMCmp2:
+		return fmt.Sprintf("%v = _ITM_S2R(%v %s %v)", in.Dst, in.A, in.Cond, in.B)
+	case OpTMInc:
+		return fmt.Sprintf("_ITM_SW(%v, %v)", in.A, in.B)
+	case OpTMCmpSum:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = a.String()
+		}
+		return fmt.Sprintf("%v = _ITM_SE(sum(%s) %s %v)", in.Dst, strings.Join(parts, ", "), in.Cond, in.B)
+	case OpBr:
+		return fmt.Sprintf("br %v ? B%d : B%d", in.A, in.Then, in.Else)
+	case OpJmp:
+		return fmt.Sprintf("jmp B%d", in.Then)
+	case OpCall:
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = a.String()
+		}
+		return fmt.Sprintf("%v = call %s(%s)", in.Dst, in.Fn, strings.Join(parts, ", "))
+	case OpRet:
+		return fmt.Sprintf("ret %v", in.A)
+	case OpTxBegin:
+		return "tx_begin"
+	case OpTxEnd:
+		return "tx_end"
+	default:
+		return fmt.Sprintf("op%d", in.Op)
+	}
+}
+
+// Dump renders the function as readable IR text.
+func (f *Function) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (params=%d locals=%d temps=%d)\n",
+		f.Name, f.NumParams, f.NumLocals, f.NumTemps)
+	for i, blk := range f.Blocks {
+		fmt.Fprintf(&b, "B%d:\n", i)
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "\t%s\n", in.String())
+		}
+	}
+	return b.String()
+}

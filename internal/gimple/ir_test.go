@@ -1,0 +1,111 @@
+package gimple
+
+import (
+	"strings"
+	"testing"
+
+	"semstm/internal/core"
+)
+
+func TestOperandConstructors(t *testing.T) {
+	if T(3) != (Operand{Kind: Temp, Val: 3}) {
+		t.Fatal("T")
+	}
+	if L(2) != (Operand{Kind: Local, Val: 2}) {
+		t.Fatal("L")
+	}
+	if I(-7) != (Operand{Kind: Imm, Val: -7}) {
+		t.Fatal("I")
+	}
+	if None.Kind != NoOperand {
+		t.Fatal("None")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := map[string]Operand{
+		"t4": T(4), "l1": L(1), "#9": I(9), "_": None,
+	}
+	for want, o := range cases {
+		if o.String() != want {
+			t.Errorf("%v prints %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+func TestFunctionBuilders(t *testing.T) {
+	f := &Function{Name: "f"}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	if b0 != 0 || b1 != 1 {
+		t.Fatalf("block indices %d %d", b0, b1)
+	}
+	t0 := f.NewTemp()
+	t1 := f.NewTemp()
+	if t0 != T(0) || t1 != T(1) || f.NumTemps != 2 {
+		t.Fatalf("temps %v %v (n=%d)", t0, t1, f.NumTemps)
+	}
+	f.Emit(b0, Instr{Op: OpConst, Dst: t0, A: I(5)})
+	f.Emit(b0, Instr{Op: OpRet, A: t0})
+	if len(f.Blocks[0].Instrs) != 2 {
+		t.Fatalf("emit failed: %d instrs", len(f.Blocks[0].Instrs))
+	}
+}
+
+func TestProgramLookup(t *testing.T) {
+	p := &Program{Funcs: map[string]*Function{"main": {Name: "main"}}}
+	if _, err := p.Lookup("main"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Lookup("missing"); err == nil {
+		t.Fatal("missing function must error")
+	}
+}
+
+// TestInstrStringAllOpcodes keeps the disassembler total: every opcode must
+// render something meaningful.
+func TestInstrStringAllOpcodes(t *testing.T) {
+	instrs := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: T(0), A: I(1)}, "const"},
+		{Instr{Op: OpMov, Dst: L(0), A: T(1)}, "l0 = t1"},
+		{Instr{Op: OpAdd, Dst: T(0), A: T(1), B: I(2)}, "+"},
+		{Instr{Op: OpSub, Dst: T(0), A: T(1), B: I(2)}, "-"},
+		{Instr{Op: OpMul, Dst: T(0), A: T(1), B: I(2)}, "*"},
+		{Instr{Op: OpDiv, Dst: T(0), A: T(1), B: I(2)}, "/"},
+		{Instr{Op: OpMod, Dst: T(0), A: T(1), B: I(2)}, "%"},
+		{Instr{Op: OpCmp, Dst: T(0), A: T(1), B: I(2), Cond: core.OpLT}, "<"},
+		{Instr{Op: OpNot, Dst: T(0), A: T(1)}, "!"},
+		{Instr{Op: OpLoad, Dst: T(0), A: I(3)}, "shared[#3]"},
+		{Instr{Op: OpStore, A: I(3), B: T(0)}, "shared[#3] ="},
+		{Instr{Op: OpTMRead, Dst: T(0), A: I(3)}, "TM_READ"},
+		{Instr{Op: OpTMWrite, A: I(3), B: T(0)}, "TM_WRITE"},
+		{Instr{Op: OpTMCmp, Dst: T(0), A: I(3), B: I(0), Cond: core.OpGT}, "_ITM_S1R"},
+		{Instr{Op: OpTMCmp2, Dst: T(0), A: I(3), B: I(4), Cond: core.OpEQ}, "_ITM_S2R"},
+		{Instr{Op: OpTMInc, A: I(3), B: I(1)}, "_ITM_SW"},
+		{Instr{Op: OpBr, A: T(0), Then: 1, Else: 2}, "br"},
+		{Instr{Op: OpJmp, Then: 3}, "jmp B3"},
+		{Instr{Op: OpCall, Dst: T(0), Fn: "g", Args: []Operand{I(1), L(0)}}, "call g(#1, l0)"},
+		{Instr{Op: OpRet, A: I(0)}, "ret"},
+		{Instr{Op: OpTxBegin}, "tx_begin"},
+		{Instr{Op: OpTxEnd}, "tx_end"},
+	}
+	for _, c := range instrs {
+		got := c.in.String()
+		if !strings.Contains(got, c.want) {
+			t.Errorf("%d: %q does not contain %q", c.in.Op, got, c.want)
+		}
+	}
+}
+
+func TestDumpContainsBlocksAndHeader(t *testing.T) {
+	f := &Function{Name: "probe", NumParams: 1}
+	b := f.NewBlock()
+	f.Emit(b, Instr{Op: OpRet, A: I(0)})
+	d := f.Dump()
+	if !strings.Contains(d, "func probe") || !strings.Contains(d, "B0:") {
+		t.Fatalf("dump:\n%s", d)
+	}
+}

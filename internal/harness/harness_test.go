@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"semstm/stm"
+)
+
+// countingWorkload is a trivial workload for harness tests: each op is one
+// increment transaction.
+type countingWorkload struct {
+	rt *stm.Runtime
+	c  *stm.Var
+}
+
+func newCounting(rt *stm.Runtime) Workload {
+	return &countingWorkload{rt: rt, c: stm.NewVar(0)}
+}
+
+func (w *countingWorkload) Op(rng *rand.Rand) {
+	w.rt.Atomically(func(tx *stm.Tx) { tx.Inc(w.c, 1) })
+}
+
+func (w *countingWorkload) Check() error {
+	if w.c.Load() <= 0 {
+		return fmt.Errorf("counter did not move")
+	}
+	return nil
+}
+
+func TestRunFixedCountsOps(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	w := newCounting(rt)
+	res, err := RunFixed(rt, w, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 100 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Stats.Commits != 100 {
+		t.Fatalf("commits = %d", res.Stats.Commits)
+	}
+	if res.Threads != 3 || res.Algorithm != stm.SNOrec {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestRunFixedUnevenSplit(t *testing.T) {
+	rt := stm.New(stm.NOrec)
+	w := newCounting(rt)
+	// 10 ops across 3 threads: 3 + 3 + 4.
+	res, err := RunFixed(rt, w, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Commits != 10 {
+		t.Fatalf("commits = %d, want all ops to run", res.Stats.Commits)
+	}
+}
+
+func TestRunTimedStops(t *testing.T) {
+	rt := stm.New(stm.TL2)
+	w := newCounting(rt)
+	start := time.Now()
+	res, err := RunTimed(rt, w, 2, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("RunTimed did not stop")
+	}
+	if res.Ops == 0 || res.Stats.Commits == 0 {
+		t.Fatal("no work recorded")
+	}
+	if res.ThroughputKTx() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestOpsPerCommit(t *testing.T) {
+	r := Result{Stats: stm.Snapshot{Commits: 4, Reads: 8, Writes: 4, Compares: 12, Incs: 2, Promotes: 1}}
+	p := r.OpsPerCommit()
+	if p.Reads != 2 || p.Writes != 1 || p.Compares != 3 || p.Incs != 0.5 || p.Promotes != 0.25 {
+		t.Fatalf("profile %+v", p)
+	}
+	if (Result{}).OpsPerCommit() != (OpProfile{}) {
+		t.Fatal("zero commits must yield zero profile")
+	}
+}
+
+func TestSweepAndFormatting(t *testing.T) {
+	s, err := Sweep("Test Panel", newCounting, SweepConfig{
+		Algorithms: []stm.Algorithm{stm.NOrec, stm.SNOrec},
+		Threads:    []int{1, 2},
+		Timed:      false,
+		TotalOps:   20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Columns) != 2 {
+		t.Fatalf("columns %v", s.Columns)
+	}
+	for _, metric := range []string{s.FormatThroughput(), s.FormatAborts(), s.FormatTime()} {
+		if !strings.Contains(metric, "Test Panel") ||
+			!strings.Contains(metric, "NOrec") ||
+			!strings.Contains(metric, "S-NOrec") {
+			t.Fatalf("bad format:\n%s", metric)
+		}
+		lines := strings.Split(strings.TrimSpace(metric), "\n")
+		if len(lines) != 4 { // title + header + 2 thread rows
+			t.Fatalf("want 4 lines, got %d:\n%s", len(lines), metric)
+		}
+	}
+}
+
+func TestSeriesSpeedup(t *testing.T) {
+	s := &Series{}
+	s.AddCell("base", 2, Result{Elapsed: 2 * time.Second, Stats: stm.Snapshot{Commits: 1000}})
+	s.AddCell("sem", 2, Result{Elapsed: time.Second, Stats: stm.Snapshot{Commits: 1000}})
+	if got := s.Speedup("base", "sem", 2, false); got != 2 {
+		t.Fatalf("time speedup = %v", got)
+	}
+	if got := s.Speedup("base", "sem", 2, true); got != 2 {
+		t.Fatalf("throughput speedup = %v", got)
+	}
+	if s.Speedup("base", "sem", 99, true) != 0 {
+		t.Fatal("missing cell must yield 0")
+	}
+}
+
+func TestFormatTable3(t *testing.T) {
+	out := FormatTable3([]OpRow{
+		{
+			Benchmark: "Bank",
+			Base:      OpProfile{Reads: 22.5, Writes: 12.7},
+			Semantic:  OpProfile{Compares: 10, Incs: 12.7, Promotes: 0.05},
+		},
+	})
+	for _, want := range []string{"Table 3", "Bank", "base", "semantic", "22.50", "12.70"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepCheckFailurePropagates(t *testing.T) {
+	bad := func(rt *stm.Runtime) Workload { return badWorkload{} }
+	_, err := Sweep("bad", bad, SweepConfig{
+		Algorithms: []stm.Algorithm{stm.NOrec},
+		Threads:    []int{1},
+		TotalOps:   1,
+	})
+	if err == nil {
+		t.Fatal("check failure must propagate")
+	}
+}
+
+type badWorkload struct{}
+
+func (badWorkload) Op(*rand.Rand) {}
+func (badWorkload) Check() error  { return fmt.Errorf("invariant violated") }

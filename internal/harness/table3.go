@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpRow is one benchmark's base/semantic operation profile pair — one column
+// group of Table 3.
+type OpRow struct {
+	Benchmark string
+	Base      OpProfile
+	Semantic  OpProfile
+}
+
+// FormatTable3 renders the per-transaction operation counts the way Table 3
+// of the paper lays them out (one row per operation type, base and semantic
+// sub-columns per benchmark, transposed here as one row group per benchmark
+// for terminal readability).
+func FormatTable3(rows []OpRow) string {
+	var b strings.Builder
+	b.WriteString("Table 3 — Average Number of Operations per Transaction\n")
+	fmt.Fprintf(&b, "%-14s %-9s %10s %10s %10s %10s %10s\n",
+		"benchmark", "build", "read", "write", "compare", "increment", "promote")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-9s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			r.Benchmark, "base",
+			r.Base.Reads, r.Base.Writes, r.Base.Compares, r.Base.Incs, r.Base.Promotes)
+		fmt.Fprintf(&b, "%-14s %-9s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			"", "semantic",
+			r.Semantic.Reads, r.Semantic.Writes, r.Semantic.Compares, r.Semantic.Incs, r.Semantic.Promotes)
+	}
+	return b.String()
+}

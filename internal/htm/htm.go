@@ -1,0 +1,400 @@
+// Package htm simulates a best-effort hardware transactional memory with a
+// single-global-lock software fallback — the hybrid-TM substrate the paper's
+// introduction surveys ([Calciu et al.], [Dalessandro et al., Hybrid NOrec])
+// and whose semantic extension the conclusions name as future work.
+//
+// The simulation captures the three properties of real best-effort HTM that
+// matter for algorithm studies:
+//
+//   - capacity limits: a hardware transaction tracking more than Capacity
+//     locations aborts (L1-sized read/write sets);
+//   - spurious aborts: a hardware commit fails with probability SpuriousPct
+//     even without conflicts (interrupts, TLB misses);
+//   - lock subscription: hardware transactions snapshot the fallback lock
+//     and cannot commit while a fallback transaction runs.
+//
+// After MaxHWRetries hardware failures a transaction acquires the fallback
+// lock and runs irrevocably. The semantic variant (S-HTM) applies the
+// paper's primitives to the hardware path: conditionals become facts and
+// increments defer, shrinking the tracked set — which, under capacity
+// limits, also means *fewer capacity aborts*, an effect unique to HTM.
+package htm
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+
+	"semstm/internal/core"
+)
+
+// Tuning defaults.
+const (
+	// DefaultCapacity bounds the tracked locations of one hardware attempt.
+	DefaultCapacity = 64
+	// DefaultMaxHWRetries is how many hardware failures precede fallback.
+	DefaultMaxHWRetries = 4
+	// DefaultSpuriousPct is the per-commit spurious failure probability (%).
+	DefaultSpuriousPct = 0.5
+)
+
+// Global is the state shared by all transactions of one HTM runtime: a
+// timestamped sequence lock serving both as the commit serializer of
+// hardware transactions and as the fallback lock they subscribe to.
+type Global struct {
+	seq       atomic.Uint64
+	fallbacks atomic.Uint64
+	hwAborts  atomic.Uint64
+}
+
+// NewGlobal returns a fresh runtime state.
+func NewGlobal() *Global { return &Global{} }
+
+// Fallbacks reports how many transactions took the software fallback.
+func (g *Global) Fallbacks() uint64 { return g.fallbacks.Load() }
+
+// HWAborts reports how many hardware attempts failed (conflict, capacity,
+// or spurious).
+func (g *Global) HWAborts() uint64 { return g.hwAborts.Load() }
+
+// Tx is one hybrid transaction descriptor.
+type Tx struct {
+	g        *Global
+	semantic bool
+	rng      *rand.Rand
+
+	// Tunables, set before first use.
+	Capacity     int
+	MaxHWRetries int
+	SpuriousPct  float64
+
+	snapshot    uint64
+	reads       *core.SemSet
+	exprs       *core.ExprSet
+	writes      *core.WriteSet
+	hwFailures  int
+	irrevocable bool
+	stats       core.TxStats
+}
+
+// NewTx returns a descriptor bound to g; semantic selects S-HTM.
+func NewTx(g *Global, semantic bool, seed int64) *Tx {
+	return &Tx{
+		g:            g,
+		semantic:     semantic,
+		rng:          rand.New(rand.NewSource(seed)),
+		Capacity:     DefaultCapacity,
+		MaxHWRetries: DefaultMaxHWRetries,
+		SpuriousPct:  DefaultSpuriousPct,
+		reads:        core.NewSemSet(),
+		exprs:        core.NewExprSet(),
+		writes:       core.NewWriteSet(),
+	}
+}
+
+// NewEpoch begins a new logical transaction: the hardware-failure budget
+// resets. The runtime calls it once per Atomically invocation.
+func (tx *Tx) NewEpoch() { tx.hwFailures = 0 }
+
+// Start begins an attempt: hardware speculation while the failure budget
+// lasts, otherwise the irrevocable fallback under the global lock.
+func (tx *Tx) Start() {
+	tx.reads.Reset()
+	tx.exprs.Reset()
+	tx.writes.Reset()
+	tx.stats.Reset()
+	if tx.hwFailures > tx.MaxHWRetries {
+		// Fallback: acquire the sequence lock (make it odd) and run
+		// irrevocably; hardware commits are blocked meanwhile.
+		for {
+			s := tx.g.seq.Load()
+			if s&1 == 0 && tx.g.seq.CompareAndSwap(s, s+1) {
+				break
+			}
+			runtime.Gosched()
+		}
+		tx.irrevocable = true
+		tx.g.fallbacks.Add(1)
+		return
+	}
+	tx.irrevocable = false
+	for {
+		s := tx.g.seq.Load()
+		if s&1 == 0 {
+			tx.snapshot = s
+			return
+		}
+		runtime.Gosched() // subscribe: wait out fallback transactions
+	}
+}
+
+// abortHW records a hardware failure and unwinds the attempt.
+func (tx *Tx) abortHW() {
+	tx.hwFailures++
+	tx.g.hwAborts.Add(1)
+	core.Abort()
+}
+
+// checkCapacity aborts the hardware attempt when the tracked set exceeds
+// the simulated hardware buffers.
+func (tx *Tx) checkCapacity() {
+	if tx.reads.Len()+tx.exprs.Len()+tx.writes.Len() > tx.Capacity {
+		tx.abortHW()
+	}
+}
+
+func (tx *Tx) validate() uint64 {
+	for {
+		time := tx.g.seq.Load()
+		if time&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if !tx.reads.HoldsNow() || !tx.exprs.HoldsNow() {
+			tx.abortHW()
+		}
+		if time == tx.g.seq.Load() {
+			return time
+		}
+	}
+}
+
+func (tx *Tx) readValid(v *core.Var) int64 {
+	val := v.Load()
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		val = v.Load()
+	}
+	return val
+}
+
+func (tx *Tx) raw(v *core.Var, e *core.WriteEntry) int64 {
+	if e.Kind == core.EntryInc {
+		val := tx.readValid(v)
+		tx.reads.Append(v, core.OpEQ, val)
+		tx.writes.Promote(v, e.Val+val)
+		tx.stats.Promotes++
+	}
+	return e.Val
+}
+
+// Read implements TM_READ: direct in the fallback, tracked in hardware.
+func (tx *Tx) Read(v *core.Var) int64 {
+	tx.stats.Reads++
+	if tx.irrevocable {
+		return v.Load()
+	}
+	if e := tx.writes.Get(v); e != nil {
+		return tx.raw(v, e)
+	}
+	val := tx.readValid(v)
+	tx.reads.Append(v, core.OpEQ, val)
+	tx.checkCapacity()
+	return val
+}
+
+// Write implements TM_WRITE: in place in the fallback, buffered in hardware.
+func (tx *Tx) Write(v *core.Var, val int64) {
+	tx.stats.Writes++
+	if tx.irrevocable {
+		v.StoreNT(val)
+		return
+	}
+	tx.writes.PutWrite(v, val)
+	tx.checkCapacity()
+}
+
+// Cmp implements the semantic conditional; under S-HTM a fact occupies one
+// tracked slot just like a read, but survives benign concurrent changes.
+func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
+	if !tx.semantic {
+		return op.Eval(tx.Read(v), operand)
+	}
+	tx.stats.Compares++
+	if tx.irrevocable {
+		return op.Eval(v.Load(), operand)
+	}
+	if e := tx.writes.Get(v); e != nil {
+		return op.Eval(tx.raw(v, e), operand)
+	}
+	val := tx.readValid(v)
+	result := op.Eval(val, operand)
+	tx.reads.AppendOutcome(v, op, operand, result)
+	tx.checkCapacity()
+	return result
+}
+
+// CmpVars implements the address–address conditional.
+func (tx *Tx) CmpVars(a *core.Var, op core.Op, b *core.Var) bool {
+	if !tx.semantic {
+		operand := tx.Read(b)
+		return op.Eval(tx.Read(a), operand)
+	}
+	if tx.irrevocable {
+		tx.stats.Compares++
+		return op.Eval(a.Load(), b.Load())
+	}
+	if tx.writes.Get(a) != nil || tx.writes.Get(b) != nil {
+		var operand int64
+		if e := tx.writes.Get(b); e != nil {
+			operand = tx.raw(b, e)
+		} else {
+			tx.stats.Reads++
+			operand = tx.readValid(b)
+			tx.reads.Append(b, core.OpEQ, operand)
+		}
+		return tx.Cmp(a, op, operand)
+	}
+	tx.stats.Compares++
+	va, vb := a.Load(), b.Load()
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		va, vb = a.Load(), b.Load()
+	}
+	result := op.Eval(va, vb)
+	tx.reads.AppendOutcomeVar(a, op, b, result)
+	tx.checkCapacity()
+	return result
+}
+
+// Inc implements the semantic increment; deferring it keeps the hardware
+// read-set small (no tracked read at all).
+func (tx *Tx) Inc(v *core.Var, delta int64) {
+	if !tx.semantic {
+		tx.Write(v, tx.Read(v)+delta)
+		return
+	}
+	tx.stats.Incs++
+	if tx.irrevocable {
+		v.StoreNT(v.Load() + delta)
+		return
+	}
+	tx.writes.PutInc(v, delta)
+	tx.checkCapacity()
+}
+
+// CmpSum implements the arithmetic-expression conditional natively in the
+// hardware path (one tracked fact instead of one tracked read per addend).
+func (tx *Tx) CmpSum(op core.Op, rhs int64, vars []*core.Var) bool {
+	delegate := !tx.semantic
+	if !delegate && !tx.irrevocable {
+		for _, v := range vars {
+			if tx.writes.Get(v) != nil {
+				delegate = true
+				break
+			}
+		}
+	}
+	if delegate {
+		var sum int64
+		for _, v := range vars {
+			sum += tx.Read(v)
+		}
+		return op.Eval(sum, rhs)
+	}
+	tx.stats.Compares++
+	sum := sumLoads(vars)
+	if tx.irrevocable {
+		return op.Eval(sum, rhs)
+	}
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		sum = sumLoads(vars)
+	}
+	result := op.Eval(sum, rhs)
+	tx.exprs.AppendSum(vars, op, rhs, result)
+	tx.checkCapacity()
+	return result
+}
+
+func sumLoads(vars []*core.Var) int64 {
+	var sum int64
+	for _, v := range vars {
+		sum += v.Load()
+	}
+	return sum
+}
+
+// CmpAny implements the composed condition natively in the hardware path.
+func (tx *Tx) CmpAny(conds []core.Cond) bool {
+	if !tx.semantic {
+		for _, c := range conds {
+			if c.Op.Eval(tx.Read(c.Var), c.Operand) {
+				return true
+			}
+		}
+		return false
+	}
+	tx.stats.Compares++
+	if tx.irrevocable {
+		return evalAny(conds)
+	}
+	for _, c := range conds {
+		if tx.writes.Get(c.Var) != nil {
+			tx.stats.Compares-- // per-clause path re-counts
+			for _, cc := range conds {
+				if tx.Cmp(cc.Var, cc.Op, cc.Operand) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	result := evalAny(conds)
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		result = evalAny(conds)
+	}
+	tx.exprs.AppendOr(conds, result)
+	tx.checkCapacity()
+	return result
+}
+
+func evalAny(conds []core.Cond) bool {
+	for _, c := range conds {
+		if c.Eval() {
+			return true
+		}
+	}
+	return false
+}
+
+// Commit publishes the transaction: fallback commits release the lock;
+// hardware commits may fail spuriously, then validate and publish under the
+// sequence lock exactly like a (bounded) NOrec writer.
+func (tx *Tx) Commit() {
+	if tx.irrevocable {
+		tx.g.seq.Add(1) // release: odd -> even
+		tx.irrevocable = false
+		return
+	}
+	if tx.SpuriousPct > 0 && tx.rng.Float64()*100 < tx.SpuriousPct {
+		tx.abortHW()
+	}
+	if tx.writes.Len() == 0 {
+		return
+	}
+	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		tx.snapshot = tx.validate()
+	}
+	for _, e := range tx.writes.Entries() {
+		if e.Kind == core.EntryInc {
+			e.Var.StoreNT(e.Var.Load() + e.Val)
+		} else {
+			e.Var.StoreNT(e.Val)
+		}
+	}
+	tx.g.seq.Store(tx.snapshot + 2)
+}
+
+// Cleanup releases the fallback lock if an irrevocable attempt unwound via a
+// user panic (irrevocable attempts never abort on their own).
+func (tx *Tx) Cleanup() {
+	if tx.irrevocable {
+		tx.g.seq.Add(1)
+		tx.irrevocable = false
+	}
+}
+
+// AttemptStats exposes the per-attempt operation counters.
+func (tx *Tx) AttemptStats() *core.TxStats { return &tx.stats }

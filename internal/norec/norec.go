@@ -1,0 +1,329 @@
+// Package norec implements the NOrec STM algorithm [Dalessandro, Spear,
+// Scott; PPoPP 2010] and its semantic extension S-NOrec (Algorithm 6 of
+// "Extending TM Primitives using Low Level Semantics", SPAA 2016).
+//
+// NOrec serializes commit phases under a single timestamped sequence lock and
+// validates transactions by value: the read-set stores (address, value) pairs
+// that must still hold at validation time. S-NOrec generalizes value-based
+// validation to semantic validation: plain reads are recorded as EQ facts,
+// conditional operations record the operator (or its inverse when the
+// observed outcome is false), and increments are buffered in the write-set
+// and applied at commit. The baseline and the semantic variant share this
+// implementation; the baseline simply *delegates* Cmp to Read and Inc to
+// Read+Write, exactly like the paper's non-semantic builds.
+package norec
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"semstm/internal/core"
+)
+
+// Global is the state shared by all transactions of one NOrec runtime: the
+// global timestamped sequence lock. An odd value means a writer is committing.
+type Global struct {
+	seq atomic.Uint64
+}
+
+// NewGlobal returns a fresh, unlocked global sequence lock.
+func NewGlobal() *Global { return &Global{} }
+
+// Sequence exposes the current value of the sequence lock (tests only).
+func (g *Global) Sequence() uint64 { return g.seq.Load() }
+
+// Tx is one NOrec transaction descriptor, reused across attempts.
+type Tx struct {
+	g        *Global
+	semantic bool
+	dedup    bool
+	snapshot uint64
+	reads    *core.SemSet
+	exprs    *core.ExprSet // complex-expression facts (extension)
+	writes   *core.WriteSet
+	stats    core.TxStats
+}
+
+// NewTx returns a transaction descriptor bound to g. If semantic is true the
+// descriptor runs S-NOrec; otherwise it runs baseline NOrec with semantic
+// operations delegated to classical barriers.
+func NewTx(g *Global, semantic bool) *Tx {
+	return &Tx{
+		g:        g,
+		semantic: semantic,
+		reads:    core.NewSemSet(),
+		exprs:    core.NewExprSet(),
+		writes:   core.NewWriteSet(),
+	}
+}
+
+// Start begins a new attempt (Algorithm 6 lines 24–28): spin until the
+// sequence lock is even and snapshot it.
+func (tx *Tx) Start() {
+	tx.reads.Reset()
+	tx.exprs.Reset()
+	tx.writes.Reset()
+	tx.stats.Reset()
+	for {
+		s := tx.g.seq.Load()
+		if s&1 == 0 {
+			tx.snapshot = s
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// validate re-checks the whole read-set against current memory (Algorithm 6
+// lines 1–9). It spins while a writer holds the sequence lock, performs the
+// semantic validation, and confirms the lock did not move meanwhile. On
+// success it returns the (even) time at which the read-set was known valid;
+// on semantic failure it aborts.
+func (tx *Tx) validate() uint64 {
+	for {
+		time := tx.g.seq.Load()
+		if time&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		if !tx.reads.HoldsNow() || !tx.exprs.HoldsNow() {
+			core.Abort()
+		}
+		if time == tx.g.seq.Load() {
+			return time
+		}
+	}
+}
+
+// readValid reads *v at a moment consistent with the read-set (Algorithm 6
+// lines 10–16): if the sequence lock moved since the snapshot, revalidate and
+// re-read until a stable snapshot is obtained.
+func (tx *Tx) readValid(v *core.Var) int64 {
+	val := v.Load()
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		val = v.Load()
+	}
+	return val
+}
+
+// raw resolves a read-after-write against write-set entry e (Algorithm 6
+// lines 17–23). A pending increment is promoted: the current memory value is
+// read consistently, recorded as an EQ fact, and folded into the entry, which
+// becomes a standard write.
+func (tx *Tx) raw(v *core.Var, e *core.WriteEntry) int64 {
+	if e.Kind == core.EntryInc {
+		val := tx.readValid(v)
+		tx.reads.Append(v, core.OpEQ, val)
+		tx.writes.Promote(v, e.Val+val)
+		tx.stats.Promotes++
+	}
+	return e.Val
+}
+
+// Read implements the classical TM_READ barrier (Algorithm 6 lines 37–43).
+func (tx *Tx) Read(v *core.Var) int64 {
+	tx.stats.Reads++
+	if e := tx.writes.Get(v); e != nil {
+		return tx.raw(v, e)
+	}
+	val := tx.readValid(v)
+	if !tx.dedup || !tx.reads.HasEQ(v, val) {
+		tx.reads.Append(v, core.OpEQ, val)
+	}
+	return val
+}
+
+// SetDedupReads toggles read-after-read de-duplication: the paper
+// deliberately appends one read-set entry per read because "the overhead of
+// discovering duplicates may not be negligible"; this knob exists to measure
+// exactly that trade-off (see the ablation benchmarks).
+func (tx *Tx) SetDedupReads(on bool) { tx.dedup = on }
+
+// Write implements the classical TM_WRITE barrier (Algorithm 6 lines 50–52).
+func (tx *Tx) Write(v *core.Var, val int64) {
+	tx.stats.Writes++
+	tx.writes.PutWrite(v, val)
+}
+
+// Cmp implements the semantic conditional (Algorithm 6 lines 29–36). In the
+// baseline (non-semantic) configuration it delegates to Read, reproducing the
+// classical behaviour in which the conditional pins the exact value.
+func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
+	if !tx.semantic {
+		return op.Eval(tx.Read(v), operand)
+	}
+	tx.stats.Compares++
+	if e := tx.writes.Get(v); e != nil {
+		return op.Eval(tx.raw(v, e), operand)
+	}
+	val := tx.readValid(v)
+	result := op.Eval(val, operand)
+	tx.reads.AppendOutcome(v, op, operand, result)
+	return result
+}
+
+// CmpVars implements the address–address conditional (_ITM_S2R). When both
+// operands are clean (not in the write-set), S-NOrec records a single
+// two-address fact "*a op *b" whose validation re-reads both sides — so
+// concurrent updates that move both values while preserving the outcome
+// (e.g. head and tail both advancing while head != tail) no longer abort.
+// Operands with buffered writes fall back to the address–value machinery.
+func (tx *Tx) CmpVars(a *core.Var, op core.Op, b *core.Var) bool {
+	if !tx.semantic {
+		operand := tx.Read(b)
+		return op.Eval(tx.Read(a), operand)
+	}
+	if tx.writes.Get(a) != nil || tx.writes.Get(b) != nil {
+		var operand int64
+		if e := tx.writes.Get(b); e != nil {
+			operand = tx.raw(b, e)
+		} else {
+			tx.stats.Reads++
+			operand = tx.readValid(b)
+			tx.reads.Append(b, core.OpEQ, operand)
+		}
+		return tx.Cmp(a, op, operand)
+	}
+	tx.stats.Compares++
+	va, vb := a.Load(), b.Load()
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		va, vb = a.Load(), b.Load()
+	}
+	result := op.Eval(va, vb)
+	tx.reads.AppendOutcomeVar(a, op, b, result)
+	return result
+}
+
+// CmpSum implements the arithmetic-expression conditional "(Σ vars) op rhs"
+// (technical-report extension): the whole sum comparison is recorded as one
+// fact, so compensating modifications of the addends (x += d, y -= d) never
+// abort the reader. Operands with buffered writes force delegation to
+// classical reads.
+func (tx *Tx) CmpSum(op core.Op, rhs int64, vars []*core.Var) bool {
+	delegate := !tx.semantic
+	if !delegate {
+		for _, v := range vars {
+			if tx.writes.Get(v) != nil {
+				delegate = true
+				break
+			}
+		}
+	}
+	if delegate {
+		var sum int64
+		for _, v := range vars {
+			sum += tx.Read(v)
+		}
+		return op.Eval(sum, rhs)
+	}
+	tx.stats.Compares++
+	sum := sumLoads(vars)
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		sum = sumLoads(vars)
+	}
+	result := op.Eval(sum, rhs)
+	tx.exprs.AppendSum(vars, op, rhs, result)
+	return result
+}
+
+func sumLoads(vars []*core.Var) int64 {
+	var sum int64
+	for _, v := range vars {
+		sum += v.Load()
+	}
+	return sum
+}
+
+// CmpAny implements the composed condition "c1 || c2 || ..." as one semantic
+// fact (technical-report extension): a clause flipping false is harmless
+// while another clause keeps the disjunction true — the full strength of the
+// paper's Algorithm 1 example. Clauses over buffered writes degrade to
+// per-clause semantics.
+func (tx *Tx) CmpAny(conds []core.Cond) bool {
+	if !tx.semantic {
+		for _, c := range conds {
+			if c.Op.Eval(tx.Read(c.Var), c.Operand) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range conds {
+		if tx.writes.Get(c.Var) != nil {
+			// Per-clause semantic short-circuit (the published algorithm's
+			// behaviour for composed conditions).
+			for _, cc := range conds {
+				if tx.Cmp(cc.Var, cc.Op, cc.Operand) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	tx.stats.Compares++
+	result := evalAny(conds)
+	for tx.snapshot != tx.g.seq.Load() {
+		tx.snapshot = tx.validate()
+		result = evalAny(conds)
+	}
+	tx.exprs.AppendOr(conds, result)
+	return result
+}
+
+func evalAny(conds []core.Cond) bool {
+	for _, c := range conds {
+		if c.Eval() {
+			return true
+		}
+	}
+	return false
+}
+
+// Inc implements the semantic increment (Algorithm 6 lines 44–49). In the
+// baseline configuration it delegates to Read+Write.
+func (tx *Tx) Inc(v *core.Var, delta int64) {
+	if !tx.semantic {
+		tx.Write(v, tx.Read(v)+delta)
+		return
+	}
+	tx.stats.Incs++
+	tx.writes.PutInc(v, delta)
+}
+
+// Commit publishes the transaction. Read-only transactions commit
+// immediately: their last read/cmp was already validated. Writers acquire
+// the sequence lock by CAS from their snapshot (revalidating on every
+// failure), apply the write-set — increments read memory here, safely, since
+// commit phases are serial — and release the lock two ticks later.
+func (tx *Tx) Commit() {
+	if tx.writes.Len() == 0 {
+		return
+	}
+	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		tx.snapshot = tx.validate()
+	}
+	for _, e := range tx.writes.Entries() {
+		if e.Kind == core.EntryInc {
+			e.Var.StoreNT(e.Var.Load() + e.Val)
+		} else {
+			e.Var.StoreNT(e.Val)
+		}
+	}
+	tx.g.seq.Store(tx.snapshot + 2)
+}
+
+// Cleanup releases held resources after an abort. NOrec aborts only while
+// not holding the sequence lock, so there is nothing to release.
+func (tx *Tx) Cleanup() {}
+
+// AttemptStats exposes the per-attempt operation counters.
+func (tx *Tx) AttemptStats() *core.TxStats { return &tx.stats }
+
+// ReadSetLen reports the number of read-set entries (tests and diagnostics).
+func (tx *Tx) ReadSetLen() int { return tx.reads.Len() }
+
+// WriteSetLen reports the number of write-set entries (tests and diagnostics).
+func (tx *Tx) WriteSetLen() int { return tx.writes.Len() }

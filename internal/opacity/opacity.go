@@ -1,0 +1,169 @@
+// Package opacity provides a black-box serializability checker for the
+// semantic TM API. It records the observable events of committed
+// transactions — reads with their results, writes, semantic conditionals
+// with their outcomes, and increments — and searches for a sequential order
+// that explains every observation under the paper's sequential
+// specification of a register (Section 5):
+//
+//   - a read returns v + Σd, where v is the latest preceding write and Σd
+//     the increments since it;
+//   - a cmp returns the boolean value of (v Op operand) evaluated against
+//     that same state (for the address–address form, against both
+//     registers' states).
+//
+// Committed transactions of an opaque history are serializable, so a failed
+// search is a correctness bug; the deterministic interleaving tests in the
+// algorithm packages cover the aborted-transaction side of opacity.
+package opacity
+
+import (
+	"fmt"
+
+	"semstm/internal/core"
+)
+
+// Kind is an event kind.
+type Kind uint8
+
+// The four observable operation kinds.
+const (
+	KindRead Kind = iota
+	KindWrite
+	KindCmp
+	KindInc
+)
+
+// Event is one observable operation of a committed transaction.
+type Event struct {
+	Kind Kind
+	Var  int     // register index
+	Var2 int     // second register for address–address cmp, else -1
+	Op   core.Op // comparison operator for KindCmp
+	Arg  int64   // written value, inc delta, or cmp operand
+	Ret  int64   // read result; 1/0 cmp outcome
+}
+
+// TxLog is the event sequence of one committed transaction.
+type TxLog struct {
+	Events []Event
+}
+
+// replay applies the transaction to state, reporting whether every
+// observation matches the sequential specification. state is mutated; the
+// caller passes a scratch copy.
+func (l *TxLog) replay(state []int64) bool {
+	for _, e := range l.Events {
+		switch e.Kind {
+		case KindRead:
+			if state[e.Var] != e.Ret {
+				return false
+			}
+		case KindWrite:
+			state[e.Var] = e.Arg
+		case KindInc:
+			state[e.Var] += e.Arg
+		case KindCmp:
+			operand := e.Arg
+			if e.Var2 >= 0 {
+				operand = state[e.Var2]
+			}
+			if e.Op.Eval(state[e.Var], operand) != (e.Ret != 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckRounds verifies round-structured histories: the transactions within
+// one round ran concurrently, and every round completed before the next
+// began. It searches, with backtracking across rounds, for per-round
+// serialization orders that explain all observations starting from the
+// initial register values. It returns nil when such orders exist.
+func CheckRounds(initial []int64, rounds [][]TxLog) error {
+	state := append([]int64(nil), initial...)
+	if !solve(state, rounds, 0) {
+		return fmt.Errorf("opacity: no serialization explains the %d-round history", len(rounds))
+	}
+	return nil
+}
+
+// solve finds a serialization of rounds[r:] starting from state.
+func solve(state []int64, rounds [][]TxLog, r int) bool {
+	if r == len(rounds) {
+		return true
+	}
+	round := rounds[r]
+	used := make([]bool, len(round))
+	return permute(state, rounds, r, round, used, len(round))
+}
+
+// permute extends the current round's order by one transaction at a time,
+// replaying as it goes so mismatches prune early.
+func permute(state []int64, rounds [][]TxLog, r int, round []TxLog, used []bool, left int) bool {
+	if left == 0 {
+		return solve(state, rounds, r+1)
+	}
+	for i := range round {
+		if used[i] {
+			continue
+		}
+		next := append([]int64(nil), state...)
+		if !round[i].replay(next) {
+			continue
+		}
+		used[i] = true
+		if permute(next, rounds, r, round, used, left-1) {
+			return true
+		}
+		used[i] = false
+	}
+	return false
+}
+
+// Recorder builds a TxLog from inside a transaction body. Reset it at the
+// top of the body so aborted attempts leave no trace.
+type Recorder struct {
+	log TxLog
+}
+
+// Reset clears the recorder for a fresh attempt.
+func (r *Recorder) Reset() { r.log.Events = r.log.Events[:0] }
+
+// Log returns a copy of the recorded events.
+func (r *Recorder) Log() TxLog {
+	return TxLog{Events: append([]Event(nil), r.log.Events...)}
+}
+
+// Read records a read observation.
+func (r *Recorder) Read(v int, ret int64) {
+	r.log.Events = append(r.log.Events, Event{Kind: KindRead, Var: v, Var2: -1, Ret: ret})
+}
+
+// Write records a write.
+func (r *Recorder) Write(v int, val int64) {
+	r.log.Events = append(r.log.Events, Event{Kind: KindWrite, Var: v, Var2: -1, Arg: val})
+}
+
+// Inc records an increment.
+func (r *Recorder) Inc(v int, delta int64) {
+	r.log.Events = append(r.log.Events, Event{Kind: KindInc, Var: v, Var2: -1, Arg: delta})
+}
+
+// Cmp records an address–value conditional and its outcome.
+func (r *Recorder) Cmp(v int, op core.Op, operand int64, ret bool) {
+	e := Event{Kind: KindCmp, Var: v, Var2: -1, Op: op, Arg: operand}
+	if ret {
+		e.Ret = 1
+	}
+	r.log.Events = append(r.log.Events, e)
+}
+
+// CmpVars records an address–address conditional and its outcome.
+func (r *Recorder) CmpVars(a int, op core.Op, b int, ret bool) {
+	e := Event{Kind: KindCmp, Var: a, Var2: b, Op: op}
+	if ret {
+		e.Ret = 1
+	}
+	r.log.Events = append(r.log.Events, e)
+}

@@ -1,0 +1,165 @@
+package opacity
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"semstm/internal/core"
+	"semstm/stm"
+)
+
+func TestReplaySequentialSpec(t *testing.T) {
+	// read returns latest write plus increments since it.
+	l := TxLog{Events: []Event{
+		{Kind: KindWrite, Var: 0, Var2: -1, Arg: 10},
+		{Kind: KindInc, Var: 0, Var2: -1, Arg: 5},
+		{Kind: KindInc, Var: 0, Var2: -1, Arg: -2},
+		{Kind: KindRead, Var: 0, Var2: -1, Ret: 13},
+		{Kind: KindCmp, Var: 0, Var2: -1, Op: core.OpGT, Arg: 12, Ret: 1},
+		{Kind: KindCmp, Var: 0, Var2: -1, Op: core.OpGT, Arg: 13, Ret: 0},
+	}}
+	if !l.replay([]int64{0, 0}) {
+		t.Fatal("legal log rejected")
+	}
+	bad := TxLog{Events: []Event{{Kind: KindRead, Var: 0, Var2: -1, Ret: 99}}}
+	if bad.replay([]int64{0}) {
+		t.Fatal("illegal read accepted")
+	}
+}
+
+func TestReplayAddressAddress(t *testing.T) {
+	l := TxLog{Events: []Event{
+		{Kind: KindWrite, Var: 0, Var2: -1, Arg: 3},
+		{Kind: KindWrite, Var: 1, Var2: -1, Arg: 7},
+		{Kind: KindCmp, Var: 0, Var2: 1, Op: core.OpLT, Ret: 1},
+		{Kind: KindCmp, Var: 1, Var2: 0, Op: core.OpLT, Ret: 0},
+	}}
+	if !l.replay([]int64{0, 0}) {
+		t.Fatal("legal address-address log rejected")
+	}
+}
+
+// TestCheckRoundsFindsOrder: two concurrent transactions whose observations
+// only fit one order.
+func TestCheckRoundsFindsOrder(t *testing.T) {
+	// T1 writes x=1. T2 reads x=1 (so T1 must precede T2).
+	t1 := TxLog{Events: []Event{{Kind: KindWrite, Var: 0, Var2: -1, Arg: 1}}}
+	t2 := TxLog{Events: []Event{{Kind: KindRead, Var: 0, Var2: -1, Ret: 1}}}
+	if err := CheckRounds([]int64{0}, [][]TxLog{{t2, t1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckRoundsRejectsImpossible: a circular observation no order explains.
+func TestCheckRoundsRejectsImpossible(t *testing.T) {
+	// T1: reads x=1, writes y=1. T2: reads y=1, writes x=1. Neither can go
+	// first from x=y=0.
+	t1 := TxLog{Events: []Event{
+		{Kind: KindRead, Var: 0, Var2: -1, Ret: 1},
+		{Kind: KindWrite, Var: 1, Var2: -1, Arg: 1},
+	}}
+	t2 := TxLog{Events: []Event{
+		{Kind: KindRead, Var: 1, Var2: -1, Ret: 1},
+		{Kind: KindWrite, Var: 0, Var2: -1, Arg: 1},
+	}}
+	if err := CheckRounds([]int64{0, 0}, [][]TxLog{{t1, t2}}); err == nil {
+		t.Fatal("impossible history accepted")
+	}
+}
+
+// TestCheckRoundsBacktracksAcrossRounds: the first round has two valid
+// orders with different end states; only one is consistent with round two.
+func TestCheckRoundsBacktracksAcrossRounds(t *testing.T) {
+	w5 := TxLog{Events: []Event{{Kind: KindWrite, Var: 0, Var2: -1, Arg: 5}}}
+	w9 := TxLog{Events: []Event{{Kind: KindWrite, Var: 0, Var2: -1, Arg: 9}}}
+	// Round 2 observes 5, so round 1 must have ordered w9 before w5.
+	r2 := TxLog{Events: []Event{{Kind: KindRead, Var: 0, Var2: -1, Ret: 5}}}
+	if err := CheckRounds([]int64{0}, [][]TxLog{{w5, w9}, {r2}}); err != nil {
+		t.Fatal(err)
+	}
+	// And observing 7 is impossible.
+	bad := TxLog{Events: []Event{{Kind: KindRead, Var: 0, Var2: -1, Ret: 7}}}
+	if err := CheckRounds([]int64{0}, [][]TxLog{{w5, w9}, {bad}}); err == nil {
+		t.Fatal("impossible cross-round history accepted")
+	}
+}
+
+// TestAlgorithmsSerializable is the main black-box check: random mixed
+// workloads (reads, writes, cmps — both forms — and incs) run in concurrent
+// rounds under every algorithm, and every round's committed observations
+// must be serializable. A bug in validation, promotion, phase handling, or
+// write-back shows up here as an unexplainable history.
+func TestAlgorithmsSerializable(t *testing.T) {
+	const (
+		vars     = 4
+		txPerRnd = 4
+		rounds   = 120
+		opsPerTx = 5
+	)
+	ops := []core.Op{core.OpEQ, core.OpNEQ, core.OpGT, core.OpGTE, core.OpLT, core.OpLTE}
+	for _, algo := range stm.Algorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := stm.New(algo)
+			rt.SetYieldEvery(2) // maximize interleaving
+			regs := stm.NewVars(vars, 0)
+			history := make([][]TxLog, 0, rounds)
+			for r := 0; r < rounds; r++ {
+				logs := make([]TxLog, txPerRnd)
+				var wg sync.WaitGroup
+				for w := 0; w < txPerRnd; w++ {
+					wg.Add(1)
+					go func(w int, seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						// Pre-draw the operation script so retries replay it.
+						type scripted struct {
+							kind Kind
+							v, b int
+							op   core.Op
+							arg  int64
+						}
+						script := make([]scripted, opsPerTx)
+						for i := range script {
+							script[i] = scripted{
+								kind: Kind(rng.Intn(4)),
+								v:    rng.Intn(vars),
+								b:    rng.Intn(vars),
+								op:   ops[rng.Intn(len(ops))],
+								arg:  rng.Int63n(20) - 10,
+							}
+						}
+						var rec Recorder
+						rt.Atomically(func(tx *stm.Tx) {
+							rec.Reset()
+							for _, s := range script {
+								switch s.kind {
+								case KindRead:
+									rec.Read(s.v, tx.Read(regs[s.v]))
+								case KindWrite:
+									tx.Write(regs[s.v], s.arg)
+									rec.Write(s.v, s.arg)
+								case KindInc:
+									tx.Inc(regs[s.v], s.arg)
+									rec.Inc(s.v, s.arg)
+								case KindCmp:
+									if s.arg%2 == 0 {
+										rec.Cmp(s.v, s.op, s.arg, tx.Cmp(regs[s.v], s.op, s.arg))
+									} else {
+										rec.CmpVars(s.v, s.op, s.b, tx.CmpVars(regs[s.v], s.op, regs[s.b]))
+									}
+								}
+							}
+						})
+						logs[w] = rec.Log()
+					}(w, int64(r*txPerRnd+w+1))
+				}
+				wg.Wait()
+				history = append(history, logs)
+			}
+			if err := CheckRounds(make([]int64, vars), history); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

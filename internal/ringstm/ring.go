@@ -1,0 +1,384 @@
+package ringstm
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"semstm/internal/core"
+)
+
+// ringSize is the number of retained commit records; a transaction that
+// falls more than ringSize commits behind aborts (ring wrap).
+const ringSize = 1024
+
+// entry statuses.
+const (
+	statusWriting  = 1
+	statusComplete = 2
+)
+
+// entry is one ring slot: the write signature of the commit with timestamp
+// ts. The publishing order is: filter words (plain), then ts (atomic,
+// release), then the write-back, then status = complete. A reader that
+// observes ts == i may therefore read the filter safely; it must wait for
+// statusComplete only when it needs the written values to be stable
+// (semantic re-validation).
+type entry struct {
+	ts     atomic.Uint64
+	status atomic.Uint32
+	wf     filter
+}
+
+// Global is the state shared by all transactions of one RingSTM runtime.
+type Global struct {
+	head atomic.Uint64 // number of commits; ring[i%ringSize] holds commit i
+	ring [ringSize]entry
+}
+
+// NewGlobal returns a fresh ring with no commits.
+func NewGlobal() *Global { return &Global{} }
+
+// Head exposes the commit count (tests only).
+func (g *Global) Head() uint64 { return g.head.Load() }
+
+// Tx is one RingSTM / S-RingSTM transaction descriptor.
+type Tx struct {
+	g        *Global
+	semantic bool
+	start    uint64        // newest commit known consistent with the read-set
+	rf       filter        // read signature
+	wf       filter        // write signature
+	reads    *core.SemSet  // semantic facts (values for re-validation)
+	exprs    *core.ExprSet // expression facts (extension)
+	writes   *core.WriteSet
+	stats    core.TxStats
+}
+
+// NewTx returns a descriptor bound to g; semantic selects S-RingSTM.
+func NewTx(g *Global, semantic bool) *Tx {
+	return &Tx{
+		g:        g,
+		semantic: semantic,
+		reads:    core.NewSemSet(),
+		exprs:    core.NewExprSet(),
+		writes:   core.NewWriteSet(),
+	}
+}
+
+// Start begins an attempt: snapshot the ring head as the consistent point.
+// The newest commit's write-back may still be in flight (write-backs are
+// serialized, so only the newest can be); reads must not begin until memory
+// reflects the snapshot, so Start waits it out.
+func (tx *Tx) Start() {
+	tx.rf.reset()
+	tx.wf.reset()
+	tx.reads.Reset()
+	tx.exprs.Reset()
+	tx.writes.Reset()
+	tx.stats.Reset()
+	for {
+		h := tx.g.head.Load()
+		if h == 0 || published(&tx.g.ring[h%ringSize], h) {
+			tx.start = h
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// published reports whether commit i's entry is fully written back.
+func published(e *entry, i uint64) bool {
+	return e.ts.Load() == i && e.status.Load() == statusComplete
+}
+
+// waitComplete spins until commit i's write-back has finished.
+func (tx *Tx) waitComplete(i uint64) {
+	e := &tx.g.ring[i%ringSize]
+	for e.ts.Load() == i && e.status.Load() != statusComplete {
+		runtime.Gosched()
+	}
+}
+
+// validateTo brings the transaction's consistent point up to the current
+// head: every commit in (start, head] either has a write signature disjoint
+// from the read signature, or — in S-RingSTM — the semantic facts still hold
+// after its write-back completes. Classic RingSTM aborts on any
+// intersection. Returns the head the read-set is now consistent with.
+func (tx *Tx) validateTo() uint64 {
+	for {
+		h := tx.g.head.Load()
+		if h == tx.start {
+			return h
+		}
+		if h-tx.start >= ringSize {
+			core.Abort() // fell off the ring
+		}
+		for i := tx.start + 1; i <= h; i++ {
+			e := &tx.g.ring[i%ringSize]
+			// Wait for the entry to be published.
+			for e.ts.Load() < i {
+				runtime.Gosched()
+			}
+			if e.ts.Load() != i {
+				core.Abort() // slot already reused: too far behind
+			}
+			// Advancing the consistent point past commit i requires its
+			// write-back to have landed: otherwise a later first read of a
+			// variable i wrote could still observe the pre-i value.
+			tx.waitComplete(i)
+			if e.ts.Load() != i {
+				core.Abort() // slot reused while waiting
+			}
+			disjoint := tx.rf.empty() || !e.wf.intersects(&tx.rf)
+			// A reusing writer flips status to writing before touching the
+			// filter words, so this recheck certifies the filter we just
+			// read was stable.
+			if e.ts.Load() != i || e.status.Load() != statusComplete {
+				core.Abort()
+			}
+			if disjoint {
+				continue // disjoint: reads unaffected
+			}
+			if !tx.semantic {
+				core.Abort() // classic RingSTM: signature hit = conflict
+			}
+			// S-RingSTM: re-validate the facts by value.
+			if !tx.reads.HoldsNow() || !tx.exprs.HoldsNow() {
+				core.Abort()
+			}
+		}
+		tx.start = h
+	}
+}
+
+// readStable loads *v at a point consistent with the read-set.
+func (tx *Tx) readStable(v *core.Var) int64 {
+	for {
+		h := tx.validateTo()
+		val := v.Load()
+		if tx.g.head.Load() == h {
+			return val
+		}
+	}
+}
+
+func (tx *Tx) raw(v *core.Var, e *core.WriteEntry) int64 {
+	if e.Kind == core.EntryInc {
+		val := tx.readStable(v)
+		tx.rf.add(v.ID())
+		tx.reads.Append(v, core.OpEQ, val)
+		tx.writes.Promote(v, e.Val+val)
+		tx.stats.Promotes++
+	}
+	return e.Val
+}
+
+// Read implements TM_READ: a stable load recorded in the read signature
+// (and, for re-validation, as an EQ fact — classic RingSTM keeps no values
+// and the base build never consults them).
+func (tx *Tx) Read(v *core.Var) int64 {
+	tx.stats.Reads++
+	if e := tx.writes.Get(v); e != nil {
+		return tx.raw(v, e)
+	}
+	val := tx.readStable(v)
+	tx.rf.add(v.ID())
+	if tx.semantic {
+		tx.reads.Append(v, core.OpEQ, val)
+	}
+	return val
+}
+
+// Write implements TM_WRITE: buffered, signature-tracked.
+func (tx *Tx) Write(v *core.Var, val int64) {
+	tx.stats.Writes++
+	tx.writes.PutWrite(v, val)
+	tx.wf.add(v.ID())
+}
+
+// Cmp implements the semantic conditional: S-RingSTM records the fact and
+// the signature bit; a later signature hit re-evaluates the fact instead of
+// aborting.
+func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
+	if !tx.semantic {
+		return op.Eval(tx.Read(v), operand)
+	}
+	tx.stats.Compares++
+	if e := tx.writes.Get(v); e != nil {
+		return op.Eval(tx.raw(v, e), operand)
+	}
+	val := tx.readStable(v)
+	tx.rf.add(v.ID())
+	result := op.Eval(val, operand)
+	tx.reads.AppendOutcome(v, op, operand, result)
+	return result
+}
+
+// CmpVars implements the address–address conditional with a two-address fact.
+func (tx *Tx) CmpVars(a *core.Var, op core.Op, b *core.Var) bool {
+	if !tx.semantic {
+		operand := tx.Read(b)
+		return op.Eval(tx.Read(a), operand)
+	}
+	if tx.writes.Get(a) != nil || tx.writes.Get(b) != nil {
+		var operand int64
+		if e := tx.writes.Get(b); e != nil {
+			operand = tx.raw(b, e)
+		} else {
+			tx.stats.Reads++
+			operand = tx.readStable(b)
+			tx.rf.add(b.ID())
+			tx.reads.Append(b, core.OpEQ, operand)
+		}
+		return tx.Cmp(a, op, operand)
+	}
+	tx.stats.Compares++
+	var va, vb int64
+	for {
+		h := tx.validateTo()
+		va, vb = a.Load(), b.Load()
+		if tx.g.head.Load() == h {
+			break
+		}
+	}
+	tx.rf.add(a.ID())
+	tx.rf.add(b.ID())
+	result := op.Eval(va, vb)
+	tx.reads.AppendOutcomeVar(a, op, b, result)
+	return result
+}
+
+// CmpSum implements the arithmetic-expression conditional (extension).
+func (tx *Tx) CmpSum(op core.Op, rhs int64, vars []*core.Var) bool {
+	delegate := !tx.semantic
+	if !delegate {
+		for _, v := range vars {
+			if tx.writes.Get(v) != nil {
+				delegate = true
+				break
+			}
+		}
+	}
+	if delegate {
+		var sum int64
+		for _, v := range vars {
+			sum += tx.Read(v)
+		}
+		return op.Eval(sum, rhs)
+	}
+	tx.stats.Compares++
+	var sum int64
+	for {
+		h := tx.validateTo()
+		sum = 0
+		for _, v := range vars {
+			sum += v.Load()
+		}
+		if tx.g.head.Load() == h {
+			break
+		}
+	}
+	for _, v := range vars {
+		tx.rf.add(v.ID())
+	}
+	result := op.Eval(sum, rhs)
+	tx.exprs.AppendSum(vars, op, rhs, result)
+	return result
+}
+
+// CmpAny implements the composed condition (extension).
+func (tx *Tx) CmpAny(conds []core.Cond) bool {
+	if !tx.semantic {
+		for _, c := range conds {
+			if c.Op.Eval(tx.Read(c.Var), c.Operand) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range conds {
+		if tx.writes.Get(c.Var) != nil {
+			for _, cc := range conds {
+				if tx.Cmp(cc.Var, cc.Op, cc.Operand) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	tx.stats.Compares++
+	var result bool
+	for {
+		h := tx.validateTo()
+		result = false
+		for _, c := range conds {
+			if c.Eval() {
+				result = true
+				break
+			}
+		}
+		if tx.g.head.Load() == h {
+			break
+		}
+	}
+	for _, c := range conds {
+		tx.rf.add(c.Var.ID())
+	}
+	tx.exprs.AppendOr(conds, result)
+	return result
+}
+
+// Inc implements the semantic increment.
+func (tx *Tx) Inc(v *core.Var, delta int64) {
+	if !tx.semantic {
+		tx.Write(v, tx.Read(v)+delta)
+		return
+	}
+	tx.stats.Incs++
+	tx.writes.PutInc(v, delta)
+	tx.wf.add(v.ID())
+}
+
+// Commit publishes the transaction. Read-only transactions are already
+// consistent. Writers validate up to the head, claim the next ring slot
+// with a CAS (the serialization point), publish their write signature, write
+// back, and mark the entry complete. Write-backs are serialized: a writer
+// waits for the previous entry to complete before claiming the next slot.
+func (tx *Tx) Commit() {
+	if tx.writes.Len() == 0 {
+		return
+	}
+	for {
+		h := tx.validateTo()
+		if h > 0 {
+			// Serialize write-backs: the previous commit must be done.
+			prev := &tx.g.ring[h%ringSize]
+			if prev.ts.Load() == h && prev.status.Load() != statusComplete {
+				runtime.Gosched()
+				continue
+			}
+		}
+		if !tx.g.head.CompareAndSwap(h, h+1) {
+			continue
+		}
+		slot := &tx.g.ring[(h+1)%ringSize]
+		slot.status.Store(statusWriting)
+		slot.wf = tx.wf
+		slot.ts.Store(h + 1) // publish: readers may now see the filter
+		for _, e := range tx.writes.Entries() {
+			if e.Kind == core.EntryInc {
+				e.Var.StoreNT(e.Var.Load() + e.Val)
+			} else {
+				e.Var.StoreNT(e.Val)
+			}
+		}
+		slot.status.Store(statusComplete)
+		return
+	}
+}
+
+// Cleanup has nothing to release: RingSTM holds no locks.
+func (tx *Tx) Cleanup() {}
+
+// AttemptStats exposes the per-attempt operation counters.
+func (tx *Tx) AttemptStats() *core.TxStats { return &tx.stats }

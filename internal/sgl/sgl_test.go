@@ -1,0 +1,86 @@
+package sgl
+
+import (
+	"sync"
+	"testing"
+
+	"semstm/internal/core"
+)
+
+func TestBasicOps(t *testing.T) {
+	g := NewGlobal()
+	v := core.NewVar(5)
+	tx := NewTx(g)
+	tx.Start()
+	if tx.Read(v) != 5 {
+		t.Fatal("read")
+	}
+	tx.Write(v, 6)
+	if v.Load() != 6 {
+		t.Fatal("SGL writes in place")
+	}
+	if !tx.Cmp(v, core.OpGT, 0) {
+		t.Fatal("cmp")
+	}
+	if !tx.CmpVars(v, core.OpEQ, v) {
+		t.Fatal("cmpvars")
+	}
+	tx.Inc(v, 4)
+	if v.Load() != 10 {
+		t.Fatal("inc in place")
+	}
+	if !tx.CmpSum(core.OpEQ, 20, []*core.Var{v, v}) {
+		t.Fatal("cmpsum")
+	}
+	if !tx.CmpAny([]core.Cond{{Var: v, Op: core.OpGT, Operand: 9}}) {
+		t.Fatal("cmpany")
+	}
+	tx.Commit()
+	st := tx.AttemptStats()
+	if st.Reads != 1 || st.Writes != 1 || st.Compares != 4 || st.Incs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestMutualExclusion: SGL transactions serialize fully, so a read-modify-
+// write loop from many goroutines never loses updates.
+func TestMutualExclusion(t *testing.T) {
+	g := NewGlobal()
+	v := core.NewVar(0)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := NewTx(g)
+			for i := 0; i < per; i++ {
+				tx.Start()
+				tx.Write(v, tx.Read(v)+1)
+				tx.Commit()
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Load() != workers*per {
+		t.Fatalf("counter = %d", v.Load())
+	}
+}
+
+// TestCleanupReleasesLock: a panicking transaction body must not wedge the
+// runtime.
+func TestCleanupReleasesLock(t *testing.T) {
+	g := NewGlobal()
+	v := core.NewVar(0)
+	tx := NewTx(g)
+	tx.Start()
+	tx.Cleanup() // simulates the runtime's abort path
+	// Lock must be free again:
+	tx2 := NewTx(g)
+	tx2.Start()
+	tx2.Write(v, 1)
+	tx2.Commit()
+	if v.Load() != 1 {
+		t.Fatal("lock leaked")
+	}
+}

@@ -1,0 +1,84 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"semstm/internal/txds"
+	"semstm/stm"
+)
+
+// Genome is the gene-sequencing workload, dominated by its first phase:
+// de-duplicating DNA segments by inserting them into a shared hash set. The
+// transactions are short chain walks ending in at most one insert — almost
+// no conditional or increment patterns, which is why Table 3 shows Genome
+// essentially unchanged by the semantic build (the paper omits its plots for
+// that reason; we reproduce the op counts).
+type Genome struct {
+	rt       *stm.Runtime
+	segments []int64 // pre-generated segment stream with duplicates
+	table    *txds.ChainTable
+
+	mu     sync.Mutex
+	cursor int
+	unique map[int64]bool // reference model of distinct segments consumed
+}
+
+// NewGenome pre-generates `count` segments drawn from a pool of
+// `distinct` values (so roughly count/distinct duplicates per segment).
+func NewGenome(rt *stm.Runtime, count, distinct int) *Genome {
+	rng := rand.New(rand.NewSource(23))
+	g := &Genome{
+		rt:       rt,
+		segments: make([]int64, count),
+		table:    txds.NewChainTable(distinct, count+1),
+		unique:   make(map[int64]bool),
+	}
+	for i := range g.segments {
+		g.segments[i] = 1 + rng.Int63n(int64(distinct))
+	}
+	return g
+}
+
+// SegmentsPerOp is how many segments one operation de-duplicates.
+const SegmentsPerOp = 8
+
+// Op consumes the next batch of segments from the stream and inserts each
+// into the shared set in its own transaction (STAMP's per-segment loop).
+func (g *Genome) Op(rng *rand.Rand) {
+	g.mu.Lock()
+	start := g.cursor
+	g.cursor += SegmentsPerOp
+	if g.cursor > len(g.segments) {
+		g.cursor = len(g.segments)
+	}
+	batch := g.segments[start:g.cursor]
+	for _, s := range batch {
+		g.unique[s] = true
+	}
+	g.mu.Unlock()
+	if len(batch) == 0 {
+		// Stream exhausted: fall back to read-only matching probes, the
+		// second phase's access pattern.
+		for i := 0; i < SegmentsPerOp; i++ {
+			s := 1 + rng.Int63n(int64(len(g.segments)))
+			g.rt.Atomically(func(tx *stm.Tx) { g.table.Get(tx, s) })
+		}
+		return
+	}
+	for _, s := range batch {
+		seg := s
+		g.rt.Atomically(func(tx *stm.Tx) { g.table.PutIfAbsent(tx, seg, 1) })
+	}
+}
+
+// Check verifies the set holds exactly the distinct consumed segments.
+func (g *Genome) Check() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if got, want := g.table.SizeNT(), len(g.unique); got != want {
+		return fmt.Errorf("genome: %d distinct segments in table, want %d", got, want)
+	}
+	return nil
+}

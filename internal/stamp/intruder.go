@@ -1,0 +1,102 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"semstm/internal/txds"
+	"semstm/stm"
+)
+
+// Intruder is the network-intrusion-detection workload: packets of
+// fragmented flows arrive in arbitrary order on a shared queue; the capture
+// transaction dequeues one packet, and the reassembly transaction folds the
+// fragment into its flow, detecting flow completion. The fragment-count
+// update is the workload's only increment; completion detection compares
+// the count with the expected total.
+type Intruder struct {
+	rt       *stm.Runtime
+	packets  *txds.Queue
+	received *txds.ChainTable // flow id -> fragments received
+	done     *txds.ChainTable // flow id -> 1 when completed
+
+	// FragmentsPerFlow is the fixed flow length (packed into packet words).
+	FragmentsPerFlow int64
+	flows            int64
+	completed        atomic.Int64
+	processed        atomic.Int64
+}
+
+// NewIntruder pre-loads `flows` flows of FragmentsPerFlow fragments each,
+// shuffled into the shared packet queue.
+func NewIntruder(rt *stm.Runtime, flows int) *Intruder {
+	in := &Intruder{
+		rt:               rt,
+		FragmentsPerFlow: 4,
+		flows:            int64(flows),
+		received:         txds.NewChainTable(flows, flows*8+1),
+		done:             txds.NewChainTable(flows, flows*2+1),
+	}
+	total := int(in.FragmentsPerFlow) * flows
+	in.packets = txds.NewQueue(total + 1)
+	pkts := make([]int64, 0, total)
+	for f := int64(1); f <= int64(flows); f++ {
+		for frag := int64(0); frag < in.FragmentsPerFlow; frag++ {
+			pkts = append(pkts, f) // packet word = flow id
+		}
+	}
+	rng := rand.New(rand.NewSource(31))
+	rng.Shuffle(len(pkts), func(i, j int) { pkts[i], pkts[j] = pkts[j], pkts[i] })
+	for _, p := range pkts {
+		pp := p
+		rt.Atomically(func(tx *stm.Tx) { in.packets.Enqueue(tx, pp) })
+	}
+	return in
+}
+
+// Op captures and reassembles a few packets.
+func (in *Intruder) Op(rng *rand.Rand) {
+	for i := 0; i < 4; i++ {
+		flow, ok := int64(0), false
+		in.rt.Atomically(func(tx *stm.Tx) { flow, ok = in.packets.Dequeue(tx) })
+		if !ok {
+			return
+		}
+		completedNow := stm.Run(in.rt, func(tx *stm.Tx) bool {
+			in.received.Inc(tx, flow, 1)
+			v, _ := in.received.GetVar(tx, flow)
+			if tx.EQ(v, in.FragmentsPerFlow) { // flow complete?
+				in.done.PutIfAbsent(tx, flow, 1)
+				return true
+			}
+			return false
+		})
+		in.processed.Add(1)
+		if completedNow {
+			in.completed.Add(1)
+		}
+	}
+}
+
+// Remaining reports how many packets are still queued.
+func (in *Intruder) Remaining() int { return in.packets.LenNT() }
+
+// Check verifies reassembly accounting: processed packets plus queued
+// packets equal the injected total, and when the queue drains every flow is
+// complete exactly once.
+func (in *Intruder) Check() error {
+	total := in.flows * in.FragmentsPerFlow
+	if got := in.processed.Load() + int64(in.packets.LenNT()); got != total {
+		return fmt.Errorf("intruder: %d packets accounted, want %d", got, total)
+	}
+	if in.packets.LenNT() == 0 {
+		if c := in.completed.Load(); c != in.flows {
+			return fmt.Errorf("intruder: %d flows completed, want %d", c, in.flows)
+		}
+		if got := int64(in.done.SizeNT()); got != in.flows {
+			return fmt.Errorf("intruder: done table has %d flows, want %d", got, in.flows)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"semstm/stm"
+)
+
+// Kmeans is the clustering workload. The dominant computation — finding the
+// nearest center for a point — is thread-local; the transactional kernel is
+// the shared accumulator update of Algorithm 5: one increment of the
+// cluster's member count plus one increment per feature. The semantic build
+// turns every update into a TM_INC, so transactions updating the same
+// cluster no longer conflict; the base build expands each into read+write,
+// making every concurrent update to a popular cluster a conflict.
+type Kmeans struct {
+	rt        *stm.Runtime
+	clusters  int
+	features  int
+	centers   [][]int64  // fixed centers for the assignment step (read-only)
+	newLen    []*stm.Var // new_centers_len, per cluster
+	newSum    [][]*stm.Var
+	processed atomic.Int64 // points folded in, counted post-commit
+	featTotal []atomic.Int64
+
+	// PointsPerOp is how many points one Op assigns and folds in (each in
+	// its own transaction, as in STAMP's per-point loop body).
+	PointsPerOp int
+	// Spread bounds feature coordinates.
+	Spread int64
+}
+
+// NewKmeans creates a workload with the given geometry.
+func NewKmeans(rt *stm.Runtime, clusters, features int) *Kmeans {
+	k := &Kmeans{
+		rt:          rt,
+		clusters:    clusters,
+		features:    features,
+		newLen:      stm.NewVars(clusters, 0),
+		newSum:      make([][]*stm.Var, clusters),
+		featTotal:   make([]atomic.Int64, features),
+		PointsPerOp: 4,
+		Spread:      1000,
+	}
+	rng := rand.New(rand.NewSource(7))
+	k.centers = make([][]int64, clusters)
+	for c := 0; c < clusters; c++ {
+		k.newSum[c] = stm.NewVars(features, 0)
+		k.centers[c] = make([]int64, features)
+		for f := 0; f < features; f++ {
+			k.centers[c][f] = rng.Int63n(k.Spread)
+		}
+	}
+	return k
+}
+
+// nearest computes the closest fixed center to the point (squared Euclidean
+// distance, all thread-local work).
+func (k *Kmeans) nearest(point []int64) int {
+	best, bestDist := 0, int64(1)<<62
+	for c := 0; c < k.clusters; c++ {
+		var d int64
+		for f := 0; f < k.features; f++ {
+			diff := point[f] - k.centers[c][f]
+			d += diff * diff
+		}
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// Op assigns PointsPerOp random points and folds each into the shared
+// accumulators with the Algorithm 5 transaction.
+func (k *Kmeans) Op(rng *rand.Rand) {
+	point := make([]int64, k.features)
+	for p := 0; p < k.PointsPerOp; p++ {
+		for f := range point {
+			point[f] = rng.Int63n(k.Spread)
+		}
+		idx := k.nearest(point)
+		k.rt.Atomically(func(tx *stm.Tx) {
+			tx.Inc(k.newLen[idx], 1)
+			for f := 0; f < k.features; f++ {
+				tx.Inc(k.newSum[idx][f], point[f])
+			}
+		})
+		k.processed.Add(1)
+		for f := 0; f < k.features; f++ {
+			k.featTotal[f].Add(point[f])
+		}
+	}
+}
+
+// Check verifies accumulator conservation: member counts sum to the number
+// of processed points, and per-feature sums across clusters equal the totals
+// of all processed points.
+func (k *Kmeans) Check() error {
+	var members int64
+	for c := 0; c < k.clusters; c++ {
+		members += k.newLen[c].Load()
+	}
+	if want := k.processed.Load(); members != want {
+		return fmt.Errorf("kmeans: members %d, processed %d", members, want)
+	}
+	for f := 0; f < k.features; f++ {
+		var sum int64
+		for c := 0; c < k.clusters; c++ {
+			sum += k.newSum[c][f].Load()
+		}
+		if want := k.featTotal[f].Load(); sum != want {
+			return fmt.Errorf("kmeans: feature %d sum %d, want %d", f, sum, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"semstm/stm"
+)
+
+// Labyrinth is the multi-path maze router. The maze is a three-dimensional
+// uniform grid; each operation connects a random source/destination pair
+// with a shortest path of adjacent empty cells (Lee expansion) and claims
+// the path in the shared grid.
+//
+// Two variants reproduce the paper's two panels:
+//
+//   - Original (Optimized=false): the router copies the whole shared grid
+//     *inside* the transaction — every emptiness check is a transactional
+//     isEmpty/isGarbage conditional, which the semantic build turns into a
+//     cmp — then claims the path, all in one long transaction.
+//   - Optimized (Optimized=true, [Ruan et al., TRANSACT 2014]): the grid
+//     copy moves outside the transaction (plain loads); the transaction only
+//     re-validates the chosen path cells as still empty and claims them, so
+//     transactions shrink dramatically and the semantic gain with it.
+type Labyrinth struct {
+	rt      *stm.Runtime
+	X, Y, Z int
+	grid    []*stm.Var // 0 = empty, >0 = path id
+
+	// Optimized selects the TRANSACT'14 variant.
+	Optimized bool
+
+	nextID  atomic.Int64
+	routed  atomic.Int64
+	failed  atomic.Int64
+	claimed atomic.Int64 // cells currently claimed (approximate)
+	gen     atomic.Int64 // bumped on every grid reset
+
+	mu    sync.Mutex
+	paths map[int64][]int // path id -> claimed cell indices
+}
+
+// NewLabyrinth creates an empty maze of the given dimensions.
+func NewLabyrinth(rt *stm.Runtime, x, y, z int, optimized bool) *Labyrinth {
+	l := &Labyrinth{
+		rt:        rt,
+		X:         x,
+		Y:         y,
+		Z:         z,
+		grid:      stm.NewVars(x*y*z, 0),
+		Optimized: optimized,
+		paths:     make(map[int64][]int),
+	}
+	l.nextID.Store(1)
+	return l
+}
+
+func (l *Labyrinth) idx(x, y, z int) int { return (z*l.Y+y)*l.X + x }
+
+// neighbors appends the orthogonal neighbors of cell i to buf.
+func (l *Labyrinth) neighbors(i int, buf []int) []int {
+	x := i % l.X
+	y := (i / l.X) % l.Y
+	z := i / (l.X * l.Y)
+	if x > 0 {
+		buf = append(buf, i-1)
+	}
+	if x < l.X-1 {
+		buf = append(buf, i+1)
+	}
+	if y > 0 {
+		buf = append(buf, i-l.X)
+	}
+	if y < l.Y-1 {
+		buf = append(buf, i+l.X)
+	}
+	if z > 0 {
+		buf = append(buf, i-l.X*l.Y)
+	}
+	if z < l.Z-1 {
+		buf = append(buf, i+l.X*l.Y)
+	}
+	return buf
+}
+
+// bfs runs a Lee expansion on the private free-cell map and returns a
+// shortest src→dst path (inclusive), or nil.
+func (l *Labyrinth) bfs(free []bool, src, dst int) []int {
+	if !free[src] || !free[dst] {
+		return nil
+	}
+	prev := make([]int, len(free))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	var nbuf [6]int
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			break
+		}
+		for _, n := range l.neighbors(cur, nbuf[:0]) {
+			if free[n] && prev[n] < 0 {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	if prev[dst] < 0 {
+		return nil
+	}
+	var path []int
+	for c := dst; ; c = prev[c] {
+		path = append(path, c)
+		if c == src {
+			break
+		}
+	}
+	return path
+}
+
+// routeOriginal copies the grid transactionally (the per-cell emptiness test
+// is the semantic conditional), routes locally, and claims the path — one
+// long transaction.
+func (l *Labyrinth) routeOriginal(src, dst int, id int64) []int {
+	var path []int
+	l.rt.Atomically(func(tx *stm.Tx) {
+		path = nil
+		free := make([]bool, len(l.grid))
+		for i, c := range l.grid {
+			free[i] = tx.EQ(c, 0) // isEmpty check
+		}
+		path = l.bfs(free, src, dst)
+		for _, c := range path {
+			tx.Write(l.grid[c], id)
+		}
+	})
+	return path
+}
+
+// routeOptimized snapshots the grid non-transactionally, routes locally, and
+// only validates + claims the chosen cells inside the transaction, retrying
+// with a fresh snapshot when the claim fails.
+func (l *Labyrinth) routeOptimized(src, dst int, id int64) []int {
+	const maxAttempts = 8
+	for a := 0; a < maxAttempts; a++ {
+		free := make([]bool, len(l.grid))
+		for i, c := range l.grid {
+			free[i] = c.Load() == 0
+		}
+		path := l.bfs(free, src, dst)
+		if path == nil {
+			return nil
+		}
+		claimed := stm.Run(l.rt, func(tx *stm.Tx) bool {
+			for _, c := range path {
+				if !tx.EQ(l.grid[c], 0) { // revalidate: still empty?
+					return false
+				}
+			}
+			for _, c := range path {
+				tx.Write(l.grid[c], id)
+			}
+			return true
+		})
+		if claimed {
+			return path
+		}
+	}
+	return nil
+}
+
+// maybeReset clears the maze once routed paths claim a large fraction of the
+// cells, so a long benchmark run keeps routing instead of degenerating into
+// failures on a saturated grid. STAMP routes a finite input on a grid sized
+// to fit; the periodic reset is the steady-state equivalent. The wipe is one
+// big transaction, so concurrent claims serialize correctly against it.
+func (l *Labyrinth) maybeReset() {
+	if l.claimed.Load() < int64(2*len(l.grid)/5) {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.claimed.Load() < int64(2*len(l.grid)/5) {
+		return // someone else reset meanwhile
+	}
+	l.rt.Atomically(func(tx *stm.Tx) {
+		for _, c := range l.grid {
+			tx.Write(c, 0)
+		}
+	})
+	l.paths = make(map[int64][]int)
+	l.claimed.Store(0)
+	l.gen.Add(1)
+}
+
+// Op routes one random pair.
+func (l *Labyrinth) Op(rng *rand.Rand) {
+	l.maybeReset()
+	gen := l.gen.Load()
+	src := rng.Intn(len(l.grid))
+	dst := rng.Intn(len(l.grid))
+	if src == dst {
+		l.failed.Add(1)
+		return
+	}
+	id := l.nextID.Add(1)
+	var path []int
+	if l.Optimized {
+		path = l.routeOptimized(src, dst, id)
+	} else {
+		path = l.routeOriginal(src, dst, id)
+	}
+	if path == nil {
+		l.failed.Add(1)
+		return
+	}
+	l.routed.Add(1)
+	l.claimed.Add(int64(len(path)))
+	l.mu.Lock()
+	// A reset may have wiped the cells between the claim and this record;
+	// recording such a path would fail the intactness check, so skip it
+	// (the claim itself was correct, its cells are simply gone or orphaned).
+	if l.gen.Load() == gen {
+		l.paths[id] = path
+	}
+	l.mu.Unlock()
+}
+
+// Routed reports how many pairs were successfully connected.
+func (l *Labyrinth) Routed() int64 { return l.routed.Load() }
+
+// Check verifies that every recorded path is intact in the grid (its cells
+// hold its id, so recorded paths are disjoint) and connected. Cells claimed
+// by transactions that raced a grid reset may be orphaned (claimed but
+// unrecorded); they are benign and reclaimed by the next reset.
+func (l *Labyrinth) Check() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, path := range l.paths {
+		for k, c := range path {
+			if got := l.grid[c].Load(); got != id {
+				return fmt.Errorf("labyrinth: cell %d holds %d, want path %d", c, got, id)
+			}
+			if k > 0 && !adjacent(l, path[k-1], c) {
+				return fmt.Errorf("labyrinth: path %d not connected at %d", id, k)
+			}
+		}
+	}
+	return nil
+}
+
+func adjacent(l *Labyrinth, a, b int) bool {
+	var nbuf [6]int
+	for _, n := range l.neighbors(a, nbuf[:0]) {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}

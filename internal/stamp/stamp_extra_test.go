@@ -1,0 +1,137 @@
+package stamp
+
+import (
+	"math/rand"
+	"testing"
+
+	"semstm/stm"
+)
+
+// TestVacationOperationMix drives enough sessions that all three profiles
+// (reserve, update, inquire) execute, then checks invariants.
+func TestVacationOperationMix(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	v := NewVacation(rt, 64)
+	v.ReservePct = 50
+	v.UpdatePct = 25 // 25% inquiries
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 400; i++ {
+		v.Op(rng)
+	}
+	if err := v.Check(); err != nil {
+		t.Fatal(err)
+	}
+	sn := rt.Stats()
+	if sn.Writes == 0 {
+		t.Fatal("updateTables never wrote a price")
+	}
+	if v.booked.Load() == 0 {
+		t.Fatal("no reservation succeeded")
+	}
+}
+
+// TestVacationCapacityExhaustion: with tiny capacity, reservations must stop
+// exactly when resources run out, never oversell.
+func TestVacationCapacityExhaustion(t *testing.T) {
+	rt := stm.New(stm.STL2)
+	v := NewVacation(rt, 4) // tiny: 4 resources per kind, capacity 3-7 each
+	v.ReservePct = 100
+	if err := drive(v, 4, 200); err != nil {
+		t.Fatal(err)
+	}
+	for slot, cap := range v.total {
+		if free := v.numFree[slot].Load(); free != 0 && free != cap && (free < 0 || free > cap) {
+			t.Fatalf("slot %d: free %d out of [0,%d]", slot, free, cap)
+		}
+	}
+}
+
+// TestGenomeSecondPhase: once the segment stream is exhausted, ops become
+// read-only matching probes and the table stays stable.
+func TestGenomeSecondPhase(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	g := NewGenome(rt, 80, 20)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 80/SegmentsPerOp+5; i++ {
+		g.Op(rng) // drains the stream, then probes
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	size := g.table.SizeNT()
+	for i := 0; i < 10; i++ {
+		g.Op(rng) // pure phase-2 probes
+	}
+	if g.table.SizeNT() != size {
+		t.Fatal("phase-2 probes mutated the table")
+	}
+}
+
+// TestLabyrinthReset: routing far more work than the grid holds must keep
+// succeeding thanks to the periodic transactional reset.
+func TestLabyrinthReset(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	l := NewLabyrinth(rt, 8, 8, 2, true)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 400; i++ {
+		l.Op(rng)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if l.gen.Load() == 0 {
+		t.Fatal("grid never reset despite saturating work")
+	}
+	if l.Routed() < 100 {
+		t.Fatalf("only %d routes on a recycling grid", l.Routed())
+	}
+}
+
+// TestKmeansNearestIsDeterministic: the assignment step is pure local math.
+func TestKmeansNearestIsDeterministic(t *testing.T) {
+	rt := stm.New(stm.NOrec)
+	k := NewKmeans(rt, 8, 4)
+	p := []int64{10, 20, 30, 40}
+	a := k.nearest(p)
+	for i := 0; i < 5; i++ {
+		if k.nearest(p) != a {
+			t.Fatal("nearest not deterministic")
+		}
+	}
+	if a < 0 || a >= 8 {
+		t.Fatalf("cluster %d out of range", a)
+	}
+}
+
+// TestSSCA2DegreeBound: vertices refuse edges past their capacity.
+func TestSSCA2DegreeBound(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	s := NewSSCA2(rt, 4, 3)
+	added := 0
+	for i := int64(0); i < 10; i++ {
+		if stm.Run(rt, func(tx *stm.Tx) bool { return s.AddEdge(tx, 0, i) }) {
+			added++
+			s.added.Add(1) // keep the conservation check's ledger in sync
+		}
+	}
+	if added != 3 {
+		t.Fatalf("added %d edges to a degree-3 vertex", added)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestYadaTermination: refinement must terminate (strict quality
+// improvement) even from a fully-bad initial mesh.
+func TestYadaTermination(t *testing.T) {
+	rt := stm.New(stm.STL2)
+	y := NewYada(rt, 30, 4000)
+	y.Drain(rand.New(rand.NewSource(2)))
+	if y.QueueLen() != 0 {
+		t.Fatal("drain left work")
+	}
+	if err := y.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

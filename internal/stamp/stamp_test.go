@@ -1,0 +1,235 @@
+package stamp
+
+import (
+	"math/rand"
+	"testing"
+
+	"semstm/stm"
+)
+
+func eachAlgo(t *testing.T, f func(t *testing.T, rt *stm.Runtime)) {
+	t.Helper()
+	for _, a := range stm.Algorithms() {
+		t.Run(a.String(), func(t *testing.T) { f(t, stm.New(a)) })
+	}
+}
+
+type workload interface {
+	Op(rng *rand.Rand)
+	Check() error
+}
+
+func drive(w workload, threads, opsPerThread int) error {
+	done := make(chan struct{})
+	for t := 0; t < threads; t++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsPerThread; i++ {
+				w.Op(rng)
+			}
+			done <- struct{}{}
+		}(int64(t) + 1)
+	}
+	for t := 0; t < threads; t++ {
+		<-done
+	}
+	return w.Check()
+}
+
+func TestVacationInvariants(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		v := NewVacation(rt, 64)
+		if err := drive(v, 4, 60); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestVacationSemanticProfile reproduces the paper's two observations: only
+// a small fraction of reads become compares (tree traversals stay reads),
+// and the booking increments get promoted by the sanity check.
+func TestVacationSemanticProfile(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	v := NewVacation(rt, 64)
+	if err := drive(v, 1, 300); err != nil {
+		t.Fatal(err)
+	}
+	sn := rt.Stats()
+	if sn.Compares == 0 || sn.Reads == 0 {
+		t.Fatalf("expected mixed profile: %+v", sn)
+	}
+	if float64(sn.Compares)/float64(sn.Reads+sn.Compares) > 0.5 {
+		t.Fatalf("compare share should be the minority (tree reads dominate): %+v", sn)
+	}
+	if sn.Promotes == 0 {
+		t.Fatalf("booking sanity check must promote increments: %+v", sn)
+	}
+}
+
+func TestKmeansConservation(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		k := NewKmeans(rt, 8, 4)
+		if err := drive(k, 4, 40); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestKmeansAllIncs: the Algorithm 5 transformation leaves only increments
+// in the transactional kernel (Table 3: 0 reads, 0 writes, 25 incs).
+func TestKmeansAllIncs(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	k := NewKmeans(rt, 8, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		k.Op(rng)
+	}
+	sn := rt.Stats()
+	if sn.Reads != 0 || sn.Writes != 0 || sn.Compares != 0 {
+		t.Fatalf("kmeans kernel must be pure incs: %+v", sn)
+	}
+	if sn.Incs == 0 {
+		t.Fatal("no incs recorded")
+	}
+}
+
+func TestLabyrinthOriginal(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		l := NewLabyrinth(rt, 12, 12, 2, false)
+		if err := drive(l, 3, 6); err != nil {
+			t.Fatal(err)
+		}
+		if l.Routed() == 0 {
+			t.Fatal("no path routed")
+		}
+	})
+}
+
+func TestLabyrinthOptimized(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		l := NewLabyrinth(rt, 12, 12, 2, true)
+		if err := drive(l, 3, 10); err != nil {
+			t.Fatal(err)
+		}
+		if l.Routed() == 0 {
+			t.Fatal("no path routed")
+		}
+	})
+}
+
+// TestLabyrinthVariantsProfile: the original variant reads (semantically)
+// the whole grid per transaction; the optimized variant touches only path
+// cells, so its transactions are far smaller.
+func TestLabyrinthVariantsProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rtA := stm.New(stm.SNOrec)
+	a := NewLabyrinth(rtA, 12, 12, 2, false)
+	for i := 0; i < 5; i++ {
+		a.Op(rng)
+	}
+	perTxA := float64(rtA.Stats().Compares) / float64(rtA.Stats().Commits)
+
+	rtB := stm.New(stm.SNOrec)
+	b := NewLabyrinth(rtB, 12, 12, 2, true)
+	for i := 0; i < 5; i++ {
+		b.Op(rng)
+	}
+	snB := rtB.Stats()
+	perTxB := float64(snB.Compares) / float64(snB.Commits)
+	if perTxA < 4*perTxB {
+		t.Fatalf("original %0.1f cmp/tx should dwarf optimized %0.1f", perTxA, perTxB)
+	}
+}
+
+func TestYadaDrainSingleThread(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		y := NewYada(rt, 40, 4000)
+		y.Drain(rand.New(rand.NewSource(3)))
+		if y.QueueLen() != 0 {
+			t.Fatalf("queue not drained: %d", y.QueueLen())
+		}
+		if err := y.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if y.Refined() == 0 {
+			t.Fatal("no refinement happened")
+		}
+	})
+}
+
+func TestYadaConcurrent(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		y := NewYada(rt, 60, 8000)
+		if err := drive(y, 4, 20); err != nil {
+			t.Fatal(err)
+		}
+		// Finish the remaining work and check the final mesh.
+		y.Drain(rand.New(rand.NewSource(4)))
+		if err := y.Check(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestGenomeDedup(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		g := NewGenome(rt, 800, 100)
+		if err := drive(g, 4, 30); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIntruderReassembly(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		in := NewIntruder(rt, 50)
+		rng := rand.New(rand.NewSource(8))
+		for in.Remaining() > 0 {
+			in.Op(rng)
+		}
+		if err := in.Check(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestIntruderConcurrent(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		in := NewIntruder(rt, 40)
+		// 4 threads * 10 ops * 4 packets = enough to drain 160 packets.
+		if err := drive(in, 4, 10); err != nil {
+			t.Fatal(err)
+		}
+		if in.Remaining() != 0 {
+			t.Fatalf("%d packets left", in.Remaining())
+		}
+	})
+}
+
+func TestSSCA2Integrity(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		s := NewSSCA2(rt, 128, 16)
+		if err := drive(s, 4, 40); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestSSCA2Table3Profile: 1 read + 1 write + 1 inc per semantic insertion,
+// 2 reads + 2 writes per base insertion.
+func TestSSCA2Table3Profile(t *testing.T) {
+	count := func(a stm.Algorithm) stm.Snapshot {
+		rt := stm.New(a)
+		s := NewSSCA2(rt, 64, 64)
+		rt.Atomically(func(tx *stm.Tx) { s.AddEdge(tx, 1, 2) })
+		return rt.Stats()
+	}
+	sem := count(stm.SNOrec)
+	if sem.Reads != 1 || sem.Writes != 1 || sem.Incs != 1 || sem.Promotes != 0 {
+		t.Fatalf("semantic profile %+v, want 1/1/1", sem)
+	}
+	base := count(stm.NOrec)
+	if base.Reads != 2 || base.Writes != 2 {
+		t.Fatalf("base profile %+v, want 2 reads 2 writes", base)
+	}
+}

@@ -1,0 +1,180 @@
+// Package stamp ports the transactional kernels of the STAMP benchmark suite
+// [Minh et al., IISWC 2008] to the semantic STM API: Vacation, Kmeans,
+// Labyrinth (original and the TRANSACT'14-optimized variant), Yada, Genome,
+// Intruder, and SSCA2. Inputs are synthetic and deterministic; the kernels
+// preserve the transaction shapes — and hence the base-vs-semantic operation
+// profiles of Table 3 — that drive the paper's results.
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"semstm/internal/txds"
+	"semstm/stm"
+)
+
+// Resource kinds of the Vacation reservation system.
+const (
+	resCar = iota
+	resFlight
+	resRoom
+	numResKinds
+)
+
+// Vacation is the travel-reservation OLTP workload. Each client session is
+// one coarse transaction: a reservation scans candidate resources, keeps the
+// most expensive one with free slots (Algorithm 4: the availability and
+// price checks are semantic GTs), and books it with a semantic decrement
+// followed by a sanity check that promotes the increment — reproducing the
+// paper's observation that Vacation's semantic gains are limited.
+type Vacation struct {
+	rt     *stm.Runtime
+	tables [numResKinds]*txds.BSTMap // id -> resource slot
+	// Parallel resource pools, indexed by the slot stored in the tables.
+	price   []*stm.Var
+	numFree []*stm.Var
+	total   []int64
+	booked  atomic.Int64 // successful bookings, counted post-commit
+
+	// Relations is how many resources exist per kind.
+	Relations int
+	// QueriesPerTx is how many candidate resources a reservation scans.
+	QueriesPerTx int
+	// ReservePct / UpdatePct split the operation mix; the remainder makes
+	// balance inquiries.
+	ReservePct, UpdatePct int
+}
+
+// NewVacation builds the reservation system with `relations` resources per
+// kind, each with a random price and capacity.
+func NewVacation(rt *stm.Runtime, relations int) *Vacation {
+	v := &Vacation{
+		rt:           rt,
+		Relations:    relations,
+		QueriesPerTx: 4,
+		ReservePct:   90,
+		UpdatePct:    5,
+	}
+	n := relations * numResKinds
+	v.price = stm.NewVars(n, 0)
+	v.numFree = stm.NewVars(n, 0)
+	v.total = make([]int64, n)
+	rng := rand.New(rand.NewSource(99))
+	slot := 0
+	for kind := 0; kind < numResKinds; kind++ {
+		v.tables[kind] = txds.NewBSTMap(relations * 8)
+		for id := int64(0); id < int64(relations); id++ {
+			cap := 3 + rng.Int63n(5)
+			v.price[slot].StoreNT(50 + rng.Int63n(450))
+			v.numFree[slot].StoreNT(cap)
+			v.total[slot] = cap
+			s := int64(slot)
+			rt.Atomically(func(tx *stm.Tx) { v.tables[kind].Put(tx, id, s) })
+			slot++
+		}
+	}
+	return v
+}
+
+// reserve is Algorithm 4: scan QueriesPerTx candidates of one resource kind,
+// remember the most expensive available one, then book it.
+func (v *Vacation) reserve(tx *stm.Tx, rng *rand.Rand) bool {
+	kind := rng.Intn(numResKinds)
+	maxPrice := int64(-1)
+	maxSlot := int64(-1)
+	for q := 0; q < v.QueriesPerTx; q++ {
+		id := rng.Int63n(int64(v.Relations))
+		slot, ok := v.tables[kind].Get(tx, id)
+		if !ok {
+			continue
+		}
+		if tx.GT(v.numFree[slot], 0) { // semantic availability check
+			if tx.GT(v.price[slot], maxPrice) { // semantic price check
+				maxPrice = tx.Read(v.price[slot])
+				maxSlot = slot
+			}
+		}
+	}
+	if maxSlot < 0 {
+		return false
+	}
+	tx.Inc(v.numFree[maxSlot], -1) // book one slot
+	// STAMP's reservation_info bookkeeping re-checks the record; the check
+	// touches the just-decremented counter, promoting the increment — the
+	// effect the paper reports as "almost all the inc operations were
+	// promoted ... because of an additional sanity check".
+	if !tx.GTE(v.numFree[maxSlot], 0) {
+		tx.Restart()
+	}
+	return true
+}
+
+// updateTables is the price-change profile: rewrite the price of a few
+// random resources.
+func (v *Vacation) updateTables(tx *stm.Tx, rng *rand.Rand) {
+	for q := 0; q < v.QueriesPerTx; q++ {
+		kind := rng.Intn(numResKinds)
+		id := rng.Int63n(int64(v.Relations))
+		if slot, ok := v.tables[kind].Get(tx, id); ok {
+			tx.Write(v.price[slot], 50+rng.Int63n(450))
+		}
+	}
+}
+
+// inquire is a read-only session summing prices of random resources.
+func (v *Vacation) inquire(tx *stm.Tx, rng *rand.Rand) int64 {
+	var sum int64
+	for q := 0; q < v.QueriesPerTx; q++ {
+		kind := rng.Intn(numResKinds)
+		id := rng.Int63n(int64(v.Relations))
+		if slot, ok := v.tables[kind].Get(tx, id); ok {
+			sum += tx.Read(v.price[slot])
+		}
+	}
+	return sum
+}
+
+// Op runs one client session.
+func (v *Vacation) Op(rng *rand.Rand) {
+	p := rng.Intn(100)
+	switch {
+	case p < v.ReservePct:
+		// The RNG is consumed inside the transaction body, so retries must
+		// replay the same candidate set: snapshot the draw up front.
+		seed := rng.Int63()
+		if stm.Run(v.rt, func(tx *stm.Tx) bool {
+			return v.reserve(tx, rand.New(rand.NewSource(seed)))
+		}) {
+			v.booked.Add(1)
+		}
+	case p < v.ReservePct+v.UpdatePct:
+		seed := rng.Int63()
+		v.rt.Atomically(func(tx *stm.Tx) {
+			v.updateTables(tx, rand.New(rand.NewSource(seed)))
+		})
+	default:
+		seed := rng.Int63()
+		v.rt.Atomically(func(tx *stm.Tx) {
+			v.inquire(tx, rand.New(rand.NewSource(seed)))
+		})
+	}
+}
+
+// Check verifies capacity invariants: free slots stay within [0, capacity]
+// and the global booking count equals the capacity consumed.
+func (v *Vacation) Check() error {
+	var consumed int64
+	for slot, cap := range v.total {
+		free := v.numFree[slot].Load()
+		if free < 0 || free > cap {
+			return fmt.Errorf("vacation: slot %d free=%d cap=%d", slot, free, cap)
+		}
+		consumed += cap - free
+	}
+	if b := v.booked.Load(); b != consumed {
+		return fmt.Errorf("vacation: booked %d but capacity consumed %d", b, consumed)
+	}
+	return nil
+}

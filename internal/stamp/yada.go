@@ -1,0 +1,178 @@
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"semstm/internal/txds"
+	"semstm/stm"
+)
+
+// Yada is the Delaunay mesh-refinement workload (Ruppert's algorithm),
+// reduced to its transactional skeleton: a shared pool of mesh elements,
+// each with a quality measure (the minimum angle) and neighbor links, plus a
+// shared work queue of bad elements. A refinement step pops a bad element,
+// checks that it and its cavity are still alive (the isGarbage conditionals
+// — semantic EQ checks), retires the cavity, and inserts replacement
+// elements of strictly better quality, re-enqueueing any that are still
+// below the threshold. Strict improvement guarantees termination.
+type Yada struct {
+	rt    *stm.Runtime
+	alive []*stm.Var // 1 = live element, 0 = retired
+	angle []*stm.Var // quality measure (degrees)
+	links [][]*stm.Var
+	queue *txds.Queue
+	next  atomic.Int64
+
+	// Threshold is the minimum acceptable angle; elements below it are
+	// refined (STAMP uses 20 degrees).
+	Threshold int64
+	// Improvement is how much each refinement step raises the angle.
+	Improvement int64
+	// CavityFan is how many replacement elements a refinement inserts.
+	CavityFan int
+
+	refined atomic.Int64
+}
+
+const yadaDegree = 3 // triangle: three neighbor links
+
+// NewYada creates a mesh with `elements` initial triangles of random
+// quality, neighbors wired randomly, and all bad elements enqueued. The
+// pool must be large enough for the refinement cascade: roughly
+// elements * (Threshold/Improvement) * CavityFan entries.
+func NewYada(rt *stm.Runtime, elements, pool int) *Yada {
+	y := &Yada{
+		rt:          rt,
+		alive:       stm.NewVars(pool+1, 0),
+		angle:       stm.NewVars(pool+1, 0),
+		links:       make([][]*stm.Var, yadaDegree),
+		queue:       txds.NewQueue(pool + 1),
+		Threshold:   20,
+		Improvement: 7,
+		CavityFan:   2,
+	}
+	for d := 0; d < yadaDegree; d++ {
+		y.links[d] = stm.NewVars(pool+1, 0)
+	}
+	y.next.Store(1)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < elements; i++ {
+		e := y.next.Add(1) - 1
+		y.alive[e].StoreNT(1)
+		y.angle[e].StoreNT(5 + rng.Int63n(30))
+		for d := 0; d < yadaDegree; d++ {
+			y.links[d][e].StoreNT(1 + rng.Int63n(int64(elements)))
+		}
+		if y.angle[e].Load() < y.Threshold {
+			ee := e
+			rt.Atomically(func(tx *stm.Tx) { y.queue.Enqueue(tx, ee) })
+		}
+	}
+	return y
+}
+
+// alloc reserves a fresh element slot.
+func (y *Yada) alloc() int64 {
+	i := y.next.Add(1) - 1
+	if int(i) >= len(y.alive) {
+		panic("stamp: yada element pool exhausted")
+	}
+	return i
+}
+
+// refineStep pops one bad element and refines it; it reports whether any
+// work was found.
+func (y *Yada) refineStep(rng *rand.Rand) bool {
+	elem, ok := int64(0), false
+	y.rt.Atomically(func(tx *stm.Tx) { elem, ok = y.queue.Dequeue(tx) })
+	if !ok {
+		return false
+	}
+
+	// Allocate replacements outside the transaction body so retries reuse
+	// the same slots.
+	fresh := make([]int64, y.CavityFan)
+	for i := range fresh {
+		fresh[i] = y.alloc()
+	}
+	angles := make([]int64, y.CavityFan)
+
+	y.rt.Atomically(func(tx *stm.Tx) {
+		// The element may have been retired by a neighbor's refinement
+		// after it was enqueued: the isGarbage check is a semantic EQ.
+		if !tx.EQ(y.alive[elem], 1) {
+			return
+		}
+		a := tx.Read(y.angle[elem])
+
+		// Cavity: the element plus its live neighbors.
+		cavity := []int64{elem}
+		for d := 0; d < yadaDegree; d++ {
+			n := tx.Read(y.links[d][elem])
+			if n != 0 && n != elem && tx.EQ(y.alive[n], 1) {
+				cavity = append(cavity, n)
+			}
+		}
+		// Retire the cavity.
+		for _, c := range cavity {
+			tx.Write(y.alive[c], 0)
+		}
+		// Insert replacements with strictly better quality, linked in a ring.
+		for i, f := range fresh {
+			angles[i] = a + y.Improvement + rng.Int63n(3)
+			tx.Write(y.alive[f], 1)
+			tx.Write(y.angle[f], angles[i])
+			for d := 0; d < yadaDegree; d++ {
+				tx.Write(y.links[d][f], fresh[(i+d+1)%len(fresh)])
+			}
+		}
+		for i, f := range fresh {
+			if angles[i] < y.Threshold {
+				if !y.queue.Enqueue(tx, f) {
+					panic("stamp: yada work queue full (size the pool up)")
+				}
+			}
+		}
+	})
+	y.refined.Add(1)
+	return true
+}
+
+// Op performs a handful of refinement steps (idle-spins briefly when the
+// queue momentarily empties, like STAMP worker loops).
+func (y *Yada) Op(rng *rand.Rand) {
+	for i := 0; i < 4; i++ {
+		y.refineStep(rng)
+	}
+}
+
+// Drain refines until the work queue is empty (single-threaded convenience
+// for tests).
+func (y *Yada) Drain(rng *rand.Rand) {
+	for y.refineStep(rng) {
+	}
+}
+
+// QueueLen reports the remaining work items.
+func (y *Yada) QueueLen() int { return y.queue.LenNT() }
+
+// Refined reports how many refinement transactions ran.
+func (y *Yada) Refined() int64 { return y.refined.Load() }
+
+// Check verifies the refinement invariants after a Drain: no live element is
+// below the threshold, and retired elements stay retired.
+func (y *Yada) Check() error {
+	if y.queue.LenNT() != 0 {
+		// Mid-run checks are fine; only a drained mesh must be clean.
+		return nil
+	}
+	top := y.next.Load()
+	for e := int64(1); e < top; e++ {
+		if y.alive[e].Load() == 1 && y.angle[e].Load() < y.Threshold {
+			return fmt.Errorf("yada: live element %d below threshold (angle %d)", e, y.angle[e].Load())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Package tl2 implements the TL2 STM algorithm [Dice, Shalev, Shavit; DISC
+// 2006] and its semantic extension S-TL2 (Algorithm 7 of "Extending TM
+// Primitives using Low Level Semantics", SPAA 2016).
+//
+// TL2 maps every transactional variable to an ownership record (orec) in a
+// shared table. An orec packs a version and a lock bit in one word; writers
+// lock the orecs of their write-set at commit, bump the global version clock,
+// validate their read-set against their start version, write back, and
+// release the orecs at the new version. S-TL2 adds a compare-set holding
+// semantic facts, a phase-1 optimization that extends the start version while
+// no classical read has been performed, and a CAS-based clock increment that
+// keeps compare-set validation consistent with concurrent committers.
+package tl2
+
+import (
+	"sync/atomic"
+
+	"semstm/internal/core"
+)
+
+// orecBits sets the table to 2^18 ownership records (~4 MiB of words).
+const orecBits = 18
+
+// orec is one ownership record. word packs version<<1 | lockBit; the version
+// bits are preserved while locked, so readers can still see the pre-lock
+// version. owner holds the locking attempt's unique id and is meaningful only
+// while the lock bit is set; attempt ids are globally unique, so a stale
+// owner value can never collide with a live attempt.
+type orec struct {
+	word  atomic.Uint64
+	owner atomic.Uint64
+}
+
+func locked(w uint64) bool        { return w&1 == 1 }
+func version(w uint64) uint64     { return w >> 1 }
+func versionWord(v uint64) uint64 { return v << 1 }
+
+// Global is the state shared by all transactions of one TL2 runtime.
+type Global struct {
+	clock atomic.Uint64
+	txid  atomic.Uint64
+	orecs [1 << orecBits]orec
+}
+
+// NewGlobal returns a fresh runtime state with the clock at zero.
+func NewGlobal() *Global { return &Global{} }
+
+// Clock exposes the global version clock (tests only).
+func (g *Global) Clock() uint64 { return g.clock.Load() }
+
+// orecIndexFor maps a variable to the index of its ownership record with a
+// multiplicative (Fibonacci) hash of the allocation id, the analogue of
+// hashing a raw address in native TL2.
+func (g *Global) orecIndexFor(v *core.Var) int {
+	h := v.ID() * 0x9E3779B97F4A7C15
+	return int(h >> (64 - orecBits))
+}
+
+// orecFor maps a variable to its ownership record.
+func (g *Global) orecFor(v *core.Var) *orec {
+	return &g.orecs[g.orecIndexFor(v)]
+}
+
+// waitBound limits how long a semantic operation politely waits for a locked
+// orec before giving up and aborting — the paper's "timeout mechanism ... to
+// avoid starvation".
+const waitBound = 4096
+
+// spinBound limits commit-time lock acquisition spins before aborting, which
+// (together with index-ordered acquisition) rules out deadlock.
+const spinBound = 4096

@@ -1,0 +1,465 @@
+package tl2
+
+import (
+	"runtime"
+	"sort"
+
+	"semstm/internal/core"
+)
+
+// heldLock records an orec locked at commit time together with its pre-lock
+// word, so an aborting commit can restore it.
+type heldLock struct {
+	o    *orec
+	prev uint64
+}
+
+// Tx is one TL2 / S-TL2 transaction descriptor, reused across attempts.
+type Tx struct {
+	g            *Global
+	semantic     bool
+	noExtend     bool
+	id           uint64 // unique per attempt; owner stamp for locked orecs
+	startVersion uint64
+	reads        []*orec      // read-set: orecs of classical reads
+	compares     *core.SemSet // compare-set: semantic facts (S-TL2 only)
+	writes       *core.WriteSet
+	held         []heldLock
+	lockIdx      []int // scratch: orec indices to lock, reused across commits
+	stats        core.TxStats
+}
+
+// NewTx returns a transaction descriptor bound to g. If semantic is true the
+// descriptor runs S-TL2; otherwise baseline TL2 with semantic operations
+// delegated to classical barriers.
+func NewTx(g *Global, semantic bool) *Tx {
+	return &Tx{
+		g:        g,
+		semantic: semantic,
+		reads:    make([]*orec, 0, 32),
+		compares: core.NewSemSet(),
+		writes:   core.NewWriteSet(),
+	}
+}
+
+// Start begins a new attempt (Algorithm 7 lines 1–3): snapshot the global
+// version clock as the start version and draw a fresh attempt id.
+func (tx *Tx) Start() {
+	tx.reads = tx.reads[:0]
+	tx.compares.Reset()
+	tx.writes.Reset()
+	tx.held = tx.held[:0]
+	tx.stats.Reset()
+	tx.id = tx.g.txid.Add(1)
+	tx.startVersion = tx.g.clock.Load()
+}
+
+// readConsistent performs the TL2 consistent-read protocol on v and appends
+// its orec to the read-set (Algorithm 7 lines 40–49): sample the orec, read
+// the value, re-sample, and abort on any lock or version movement beyond the
+// start version.
+func (tx *Tx) readConsistent(v *core.Var) int64 {
+	o := tx.g.orecFor(v)
+	w1 := o.word.Load()
+	if locked(w1) {
+		core.Abort()
+	}
+	val := v.Load()
+	w2 := o.word.Load()
+	if w1 != w2 || version(w1) > tx.startVersion {
+		core.Abort()
+	}
+	tx.reads = append(tx.reads, o)
+	return val
+}
+
+// raw resolves a read-after-write against write-set entry e. A pending
+// increment is promoted exactly as in S-NOrec, except that the read part uses
+// the TL2 consistent-read protocol and therefore lands in the read-set —
+// moving the transaction to phase 2.
+func (tx *Tx) raw(v *core.Var, e *core.WriteEntry) int64 {
+	if e.Kind == core.EntryInc {
+		val := tx.readConsistent(v)
+		tx.writes.Promote(v, e.Val+val)
+		tx.stats.Promotes++
+	}
+	return e.Val
+}
+
+// Read implements the classical TM_READ barrier (Algorithm 7 lines 37–50).
+func (tx *Tx) Read(v *core.Var) int64 {
+	tx.stats.Reads++
+	if e := tx.writes.Get(v); e != nil {
+		return tx.raw(v, e)
+	}
+	return tx.readConsistent(v)
+}
+
+// Write implements the classical TM_WRITE barrier (buffered, as in TL2).
+func (tx *Tx) Write(v *core.Var, val int64) {
+	tx.stats.Writes++
+	tx.writes.PutWrite(v, val)
+}
+
+// Cmp implements the semantic conditional of Algorithm 7 (lines 4–36). In
+// phase 1 — before the first classical read — the comparison may observe a
+// version newer than the start version; the compare-set is then revalidated
+// under a stable clock and the start version is extended. In phase 2 the
+// comparison must stay consistent with prior reads and follows the classical
+// TL2 version checks, but the fact still lands in the compare-set so that
+// commit-time validation is semantic.
+func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
+	if !tx.semantic {
+		return op.Eval(tx.Read(v), operand)
+	}
+	tx.stats.Compares++
+	if e := tx.writes.Get(v); e != nil {
+		return op.Eval(tx.raw(v, e), operand)
+	}
+	o := tx.g.orecFor(v)
+	if len(tx.reads) == 0 {
+		return tx.cmpPhase1(v, o, op, operand)
+	}
+	return tx.cmpPhase2(v, o, op, operand)
+}
+
+// cmpPhase1 handles a semantic conditional before any classical read
+// (Algorithm 7 lines 10–25).
+func (tx *Tx) cmpPhase1(v *core.Var, o *orec, op core.Op, operand int64) bool {
+	var val int64
+	var w1 uint64
+	for spin := 0; ; spin++ {
+		if spin > waitBound {
+			core.Abort()
+		}
+		w1 = o.word.Load()
+		if locked(w1) && o.owner.Load() != tx.id {
+			runtime.Gosched() // line 12: wait until unlocked
+			continue
+		}
+		val = v.Load()
+		w2 := o.word.Load()
+		if w1 != w2 {
+			runtime.Gosched() // line 16: retry read
+			continue
+		}
+		break
+	}
+	result := op.Eval(val, operand)
+	tx.compares.AppendOutcome(v, op, operand, result)
+	if version(w1) > tx.startVersion {
+		if tx.noExtend {
+			core.Abort() // ablation: behave like phase 2 from the start
+		}
+		for {
+			time := tx.g.clock.Load()
+			tx.validateCompareSet()
+			if time == tx.g.clock.Load() {
+				tx.startVersion = time // line 25: extend start version
+				break
+			}
+			// line 23: a concurrent commit moved the clock; retry.
+		}
+	}
+	return result
+}
+
+// cmpPhase2 handles a semantic conditional after the first classical read
+// (Algorithm 7 lines 26–35): the start version can no longer be extended, so
+// the read of the operand must pass the classical TL2 checks.
+func (tx *Tx) cmpPhase2(v *core.Var, o *orec, op core.Op, operand int64) bool {
+	w1 := o.word.Load()
+	if locked(w1) && o.owner.Load() != tx.id {
+		core.Abort()
+	}
+	val := v.Load()
+	w2 := o.word.Load()
+	if version(w1) > tx.startVersion || w1 != w2 {
+		core.Abort()
+	}
+	result := op.Eval(val, operand)
+	tx.compares.AppendOutcome(v, op, operand, result)
+	return result
+}
+
+// CmpVars implements the address–address conditional (_ITM_S2R). With clean
+// operands S-TL2 records a single two-address fact in the compare-set; the
+// consistent-pair read follows the same phase rules as Cmp, sampling both
+// orecs around the loads. Operands with buffered writes fall back to the
+// address–value machinery.
+func (tx *Tx) CmpVars(a *core.Var, op core.Op, b *core.Var) bool {
+	if !tx.semantic {
+		operand := tx.Read(b)
+		return op.Eval(tx.Read(a), operand)
+	}
+	if tx.writes.Get(a) != nil || tx.writes.Get(b) != nil {
+		var operand int64
+		if e := tx.writes.Get(b); e != nil {
+			operand = tx.raw(b, e)
+		} else {
+			tx.stats.Reads++
+			operand = tx.readConsistent(b)
+		}
+		return tx.Cmp(a, op, operand)
+	}
+	tx.stats.Compares++
+	oa, ob := tx.g.orecFor(a), tx.g.orecFor(b)
+	if len(tx.reads) == 0 {
+		return tx.cmpVarsPhase1(a, b, oa, ob, op)
+	}
+	return tx.cmpVarsPhase2(a, b, oa, ob, op)
+}
+
+// cmpVarsPhase1 performs the two-address comparison before any classical
+// read, extending the start version through compare-set revalidation when
+// either orec is newer than the snapshot.
+func (tx *Tx) cmpVarsPhase1(a, b *core.Var, oa, ob *orec, op core.Op) bool {
+	var va, vb int64
+	var wa, wb uint64
+	for spin := 0; ; spin++ {
+		if spin > waitBound {
+			core.Abort()
+		}
+		wa = oa.word.Load()
+		wb = ob.word.Load()
+		if (locked(wa) && oa.owner.Load() != tx.id) ||
+			(locked(wb) && ob.owner.Load() != tx.id) {
+			runtime.Gosched() // wait until unlocked
+			continue
+		}
+		va, vb = a.Load(), b.Load()
+		if oa.word.Load() != wa || ob.word.Load() != wb {
+			runtime.Gosched() // retry the pair read
+			continue
+		}
+		break
+	}
+	result := op.Eval(va, vb)
+	tx.compares.AppendOutcomeVar(a, op, b, result)
+	if version(wa) > tx.startVersion || version(wb) > tx.startVersion {
+		if tx.noExtend {
+			core.Abort() // ablation: phase-1 extension disabled
+		}
+		for {
+			time := tx.g.clock.Load()
+			tx.validateCompareSet()
+			if time == tx.g.clock.Load() {
+				tx.startVersion = time
+				break
+			}
+		}
+	}
+	return result
+}
+
+// cmpVarsPhase2 performs the two-address comparison after the first
+// classical read: both orecs must be consistent with the frozen snapshot.
+func (tx *Tx) cmpVarsPhase2(a, b *core.Var, oa, ob *orec, op core.Op) bool {
+	wa := oa.word.Load()
+	wb := ob.word.Load()
+	if (locked(wa) && oa.owner.Load() != tx.id) ||
+		(locked(wb) && ob.owner.Load() != tx.id) {
+		core.Abort()
+	}
+	va, vb := a.Load(), b.Load()
+	if version(wa) > tx.startVersion || version(wb) > tx.startVersion ||
+		oa.word.Load() != wa || ob.word.Load() != wb {
+		core.Abort()
+	}
+	result := op.Eval(va, vb)
+	tx.compares.AppendOutcomeVar(a, op, b, result)
+	return result
+}
+
+// CmpSum evaluates "(Σ vars) op rhs" by delegation to classical reads: the
+// version-based algorithm has no native expression support (the paper's
+// technical-report extension is value-based; see DESIGN.md), so the sum pins
+// its addends.
+func (tx *Tx) CmpSum(op core.Op, rhs int64, vars []*core.Var) bool {
+	var sum int64
+	for _, v := range vars {
+		sum += tx.Read(v)
+	}
+	return op.Eval(sum, rhs)
+}
+
+// CmpAny evaluates the composed condition clause by clause with
+// short-circuiting; under S-TL2 every evaluated clause is its own semantic
+// fact, which is exactly how the published algorithm treats composed
+// conditions.
+func (tx *Tx) CmpAny(conds []core.Cond) bool {
+	for _, c := range conds {
+		if tx.Cmp(c.Var, c.Op, c.Operand) {
+			return true
+		}
+	}
+	return false
+}
+
+// Inc implements the semantic increment; write-set handling is identical to
+// S-NOrec (the paper omits it from Algorithm 7 for that reason).
+func (tx *Tx) Inc(v *core.Var, delta int64) {
+	if !tx.semantic {
+		tx.Write(v, tx.Read(v)+delta)
+		return
+	}
+	tx.stats.Incs++
+	tx.writes.PutInc(v, delta)
+}
+
+// validateCompareSet re-evaluates every semantic fact against current memory
+// (Algorithm 7 lines 56–65). If a fact's variable is locked by another
+// transaction, the validator politely waits for the lock to be released —
+// the value is about to change, and only its final state decides the
+// semantic outcome — bounded by the starvation timeout.
+func (tx *Tx) validateCompareSet() {
+	for i := range tx.compares.Entries() {
+		e := &tx.compares.Entries()[i]
+		tx.waitUnlocked(tx.g.orecFor(e.Var))
+		if e.OperandVar != nil {
+			tx.waitUnlocked(tx.g.orecFor(e.OperandVar))
+		}
+		if !e.Holds() {
+			core.Abort() // line 64: semantic validation failed
+		}
+	}
+}
+
+// waitUnlocked spins politely while o is locked by another transaction,
+// bounded by the starvation timeout.
+func (tx *Tx) waitUnlocked(o *orec) {
+	for spin := 0; ; spin++ {
+		w := o.word.Load()
+		if !locked(w) || o.owner.Load() == tx.id {
+			return
+		}
+		if spin > waitBound {
+			core.Abort()
+		}
+		runtime.Gosched()
+	}
+}
+
+// validateReadSet checks that no orec in the read-set is locked by another
+// transaction or versioned beyond the start version (Algorithm 7 lines
+// 51–55). Orecs locked by this transaction are checked against their
+// preserved pre-lock version.
+func (tx *Tx) validateReadSet() {
+	for _, o := range tx.reads {
+		w := o.word.Load()
+		if locked(w) && o.owner.Load() != tx.id {
+			core.Abort()
+		}
+		if version(w) > tx.startVersion {
+			core.Abort()
+		}
+	}
+}
+
+// acquireWriteLocks locks the distinct orecs covering the write-set in table
+// order (deadlock avoidance) with bounded spinning. Held locks are recorded
+// with their pre-lock words so Cleanup can roll back.
+func (tx *Tx) acquireWriteLocks() {
+	entries := tx.writes.Entries()
+	tx.lockIdx = tx.lockIdx[:0]
+	for i := range entries {
+		tx.lockIdx = append(tx.lockIdx, tx.g.orecIndexFor(entries[i].Var))
+	}
+	sort.Ints(tx.lockIdx)
+	prev := -1
+	for _, idx := range tx.lockIdx {
+		if idx == prev {
+			continue // two variables sharing an orec: lock once
+		}
+		prev = idx
+		o := &tx.g.orecs[idx]
+		for spin := 0; ; spin++ {
+			w := o.word.Load()
+			if !locked(w) && o.word.CompareAndSwap(w, w|1) {
+				o.owner.Store(tx.id)
+				tx.held = append(tx.held, heldLock{o: o, prev: w})
+				break
+			}
+			if spin > spinBound {
+				core.Abort()
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// Commit publishes the transaction (Algorithm 7 lines 66–77). Read-only
+// transactions — and in S-TL2, compare-only transactions — commit
+// immediately: every read and comparison was already validated against the
+// start version. Writers lock their orecs, then loop: snapshot the clock,
+// revalidate the compare-set if the clock moved past the start version, and
+// try to advance the clock with CAS. The CAS (instead of TL2's
+// fetch-and-add) guarantees no concurrent commit invalidated the compare-set
+// validation just performed. Read-set validation is skipped only when no
+// other writer committed since the snapshot.
+func (tx *Tx) Commit() {
+	if tx.writes.Len() == 0 {
+		return
+	}
+	tx.acquireWriteLocks()
+	for {
+		time := tx.g.clock.Load()
+		if tx.semantic && tx.startVersion != time {
+			tx.validateCompareSet()
+		}
+		if tx.g.clock.CompareAndSwap(time, time+1) {
+			if tx.startVersion != time {
+				tx.validateReadSet()
+			}
+			tx.writeBack(time + 1)
+			return
+		}
+	}
+}
+
+// writeBack applies the write-set and releases every held orec at the new
+// version wv. Increments read memory here, under the orec lock, which is the
+// deferred "actual read at commit time" of Section 3.
+func (tx *Tx) writeBack(wv uint64) {
+	for _, e := range tx.writes.Entries() {
+		if e.Kind == core.EntryInc {
+			e.Var.StoreNT(e.Var.Load() + e.Val)
+		} else {
+			e.Var.StoreNT(e.Val)
+		}
+	}
+	for _, h := range tx.held {
+		h.o.word.Store(versionWord(wv))
+	}
+	tx.held = tx.held[:0]
+}
+
+// Cleanup restores the pre-lock word of every orec still held by a failed
+// commit, releasing the locks without changing versions.
+func (tx *Tx) Cleanup() {
+	for _, h := range tx.held {
+		h.o.word.Store(h.prev)
+	}
+	tx.held = tx.held[:0]
+}
+
+// AttemptStats exposes the per-attempt operation counters.
+func (tx *Tx) AttemptStats() *core.TxStats { return &tx.stats }
+
+// SetNoExtend disables the phase-1 snapshot-extension optimization
+// (Algorithm 7 lines 19–25), turning every stale-version cmp into an abort.
+// It exists for the ablation benchmarks that quantify the optimization.
+func (tx *Tx) SetNoExtend(on bool) { tx.noExtend = on }
+
+// ReadSetLen reports the number of read-set entries (tests and diagnostics).
+func (tx *Tx) ReadSetLen() int { return len(tx.reads) }
+
+// CompareSetLen reports the number of compare-set facts (tests only).
+func (tx *Tx) CompareSetLen() int { return tx.compares.Len() }
+
+// InPhase1 reports whether the transaction has not yet performed a classical
+// read, i.e. the start version may still be extended (tests only).
+func (tx *Tx) InPhase1() bool { return len(tx.reads) == 0 }
+
+// StartVersion exposes the current start version (tests only).
+func (tx *Tx) StartVersion() uint64 { return tx.startVersion }

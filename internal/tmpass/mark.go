@@ -1,0 +1,395 @@
+// Package tmpass implements the paper's two GCC compilation passes on the
+// GIMPLE-like IR:
+//
+//   - Mark (the extended tm_mark): instruments every shared access inside an
+//     atomic region with TM barriers and — when pattern detection is enabled
+//     — recognizes conditional expressions over transactional reads and
+//     read-add-write sequences, replacing them with the semantic builtins
+//     _ITM_S1R (OpTMCmp), _ITM_S2R (OpTMCmp2) and _ITM_SW (OpTMInc).
+//   - Optimize (tm_optimize): removes transactional reads whose result is
+//     never live, which is exactly what the read half of a replaced inc
+//     becomes.
+package tmpass
+
+import (
+	"fmt"
+
+	"semstm/internal/core"
+	"semstm/internal/gimple"
+)
+
+// Stats reports what the passes did, mirroring the numbers the paper uses to
+// argue the reduction of TM calls.
+type Stats struct {
+	S1R          int // address–value conditionals replaced
+	S2R          int // address–address conditionals replaced
+	SW           int // increments replaced
+	SE           int // sum-expression conditionals replaced (extension)
+	RemovedReads int // never-live TM reads deleted by Optimize
+	RemovedOther int // other never-live pure instructions deleted
+}
+
+// Options selects pass behaviour.
+type Options struct {
+	// DetectPatterns enables the semantic cmp/inc pattern detection; with it
+	// off, Mark performs only the classical instrumentation (plain GCC).
+	DetectPatterns bool
+	// Optimize runs the tm_optimize dead-read elimination after Mark.
+	Optimize bool
+	// DetectExpressions additionally matches sum-expression conditionals
+	// (x + y > 0) — the technical-report extension the paper's published
+	// GCC passes deliberately leave out. Off by default.
+	DetectExpressions bool
+}
+
+// Run applies the passes to every function of the program and returns the
+// aggregate statistics.
+func Run(p *gimple.Program, opts Options) (Stats, error) {
+	var st Stats
+	for _, f := range p.Funcs {
+		if err := mark(f, opts.DetectPatterns, opts.DetectExpressions, &st); err != nil {
+			return st, fmt.Errorf("tm_mark %s: %w", f.Name, err)
+		}
+	}
+	if opts.Optimize {
+		for _, f := range p.Funcs {
+			optimize(f, &st)
+		}
+	}
+	return st, nil
+}
+
+// txDepths computes the atomic-region nesting depth at entry of every block
+// by propagating depths along control-flow edges from the entry block.
+func txDepths(f *gimple.Function) ([]int, error) {
+	depth := make([]int, len(f.Blocks))
+	seen := make([]bool, len(f.Blocks))
+	type item struct{ blk, d int }
+	work := []item{{0, 0}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[it.blk] {
+			if depth[it.blk] != it.d {
+				return nil, fmt.Errorf("inconsistent atomic depth at B%d (%d vs %d)",
+					it.blk, depth[it.blk], it.d)
+			}
+			continue
+		}
+		seen[it.blk] = true
+		depth[it.blk] = it.d
+		d := it.d
+		for _, in := range f.Blocks[it.blk].Instrs {
+			switch in.Op {
+			case gimple.OpTxBegin:
+				d++
+			case gimple.OpTxEnd:
+				d--
+				if d < 0 {
+					return nil, fmt.Errorf("tx_end without tx_begin in B%d", it.blk)
+				}
+			case gimple.OpBr:
+				work = append(work, item{in.Then, d}, item{in.Else, d})
+			case gimple.OpJmp:
+				work = append(work, item{in.Then, d})
+			}
+		}
+	}
+	return depth, nil
+}
+
+func mark(f *gimple.Function, detect, exprs bool, st *Stats) error {
+	depth, err := txDepths(f)
+	if err != nil {
+		return err
+	}
+	// Phase 1: classical instrumentation — barriers on every shared access
+	// inside an atomic region.
+	for b, blk := range f.Blocks {
+		d := depth[b]
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			switch in.Op {
+			case gimple.OpTxBegin:
+				d++
+			case gimple.OpTxEnd:
+				d--
+			case gimple.OpLoad:
+				if d > 0 {
+					in.Op = gimple.OpTMRead
+				}
+			case gimple.OpStore:
+				if d > 0 {
+					in.Op = gimple.OpTMWrite
+				}
+			}
+		}
+	}
+	if !detect {
+		return nil
+	}
+	if exprs {
+		for _, blk := range f.Blocks {
+			detectSumPatterns(blk, st)
+		}
+	}
+	// Phase 2: semantic pattern detection, block-local as in the paper
+	// ("simple expression patterns that usually reside in the same basic
+	// block"), no alias analysis needed.
+	for _, blk := range f.Blocks {
+		detectPatterns(f, blk, st)
+	}
+	return nil
+}
+
+// detectSumPatterns rewrites branch conditions of the form
+// "TM_READ(a) + TM_READ(b) <op> literal/local" into the _ITM_SE builtin.
+// It runs before the plain cmp detection so the composite wins.
+func detectSumPatterns(blk *gimple.Block, st *Stats) {
+	defs := defIndex(blk)
+	for i := range blk.Instrs {
+		br := blk.Instrs[i]
+		if br.Op != gimple.OpBr || br.A.Kind != gimple.Temp {
+			continue
+		}
+		ci := resolve(blk, defs, br.A)
+		if ci < 0 || blk.Instrs[ci].Op != gimple.OpCmp {
+			continue
+		}
+		cmp := blk.Instrs[ci]
+		cond := cmp.Cond
+		sumOp, rhs := cmp.A, cmp.B
+		if !isValueOperand(rhs) {
+			if isValueOperand(sumOp) {
+				sumOp, rhs = rhs, sumOp
+				cond = mirror(cond)
+			} else {
+				continue
+			}
+		}
+		ai := resolve(blk, defs, sumOp)
+		if ai < 0 || blk.Instrs[ai].Op != gimple.OpAdd {
+			continue
+		}
+		add := blk.Instrs[ai]
+		la := resolve(blk, defs, add.A)
+		lb := resolve(blk, defs, add.B)
+		if la < 0 || lb < 0 ||
+			blk.Instrs[la].Op != gimple.OpTMRead ||
+			blk.Instrs[lb].Op != gimple.OpTMRead {
+			continue
+		}
+		blk.Instrs[ci] = gimple.Instr{
+			Op:   gimple.OpTMCmpSum,
+			Dst:  cmp.Dst,
+			B:    rhs,
+			Cond: cond,
+			Args: []gimple.Operand{blk.Instrs[la].A, blk.Instrs[lb].A},
+		}
+		st.SE++
+	}
+}
+
+// defIndex maps each temp to the index of its defining instruction within
+// the block (temps are single-assignment; defs from other blocks are absent,
+// which keeps the matching conservative).
+func defIndex(blk *gimple.Block) map[int64]int {
+	defs := make(map[int64]int)
+	for i, in := range blk.Instrs {
+		if in.Dst.Kind == gimple.Temp {
+			defs[in.Dst.Val] = i
+		}
+	}
+	return defs
+}
+
+// resolve follows Mov chains to the origin instruction of a temp operand,
+// returning its index or -1.
+func resolve(blk *gimple.Block, defs map[int64]int, o gimple.Operand) int {
+	for o.Kind == gimple.Temp {
+		i, ok := defs[o.Val]
+		if !ok {
+			return -1
+		}
+		in := blk.Instrs[i]
+		if in.Op == gimple.OpMov {
+			o = in.A
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// isValueOperand reports whether o is a literal or a local variable — the
+// operand classes the paper's detection accepts on the non-address side.
+func isValueOperand(o gimple.Operand) bool {
+	return o.Kind == gimple.Imm || o.Kind == gimple.Local
+}
+
+// mirror swaps the sides of a comparison: (a op b) == (b mirror(op) a).
+func mirror(op core.Op) core.Op {
+	switch op {
+	case core.OpGT:
+		return core.OpLT
+	case core.OpGTE:
+		return core.OpLTE
+	case core.OpLT:
+		return core.OpGT
+	case core.OpLTE:
+		return core.OpGTE
+	default: // EQ, NEQ are symmetric
+		return op
+	}
+}
+
+// localsWrittenBetween reports whether any local is assigned between
+// instruction indices (lo, hi) in the block — used to be sure two
+// structurally equal address computations still see the same local values.
+func localsWrittenBetween(blk *gimple.Block, lo, hi int) bool {
+	for i := lo + 1; i < hi; i++ {
+		in := blk.Instrs[i]
+		if in.Dst.Kind == gimple.Local {
+			return true
+		}
+		if in.Op == gimple.OpCall {
+			return true // conservative: unknown effects on evaluation order
+		}
+	}
+	return false
+}
+
+// sameAddress reports whether two address operands are provably equal within
+// the block: identical immediates, the same temp, or temps computed by
+// structurally identical pure additions with no intervening local writes.
+func sameAddress(blk *gimple.Block, defs map[int64]int, a, b gimple.Operand) bool {
+	if a == b {
+		if a.Kind == gimple.Imm || a.Kind == gimple.Temp {
+			return true
+		}
+		return false
+	}
+	if a.Kind == gimple.Temp && b.Kind == gimple.Temp {
+		ia, okA := defs[a.Val]
+		ib, okB := defs[b.Val]
+		if !okA || !okB {
+			return false
+		}
+		da, db := blk.Instrs[ia], blk.Instrs[ib]
+		if da.Op != gimple.OpAdd || db.Op != gimple.OpAdd {
+			return false
+		}
+		if da.A != db.A || da.B != db.B {
+			return false
+		}
+		// The shared operands must be stable between the two computations.
+		lo, hi := ia, ib
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if (da.A.Kind == gimple.Local || da.B.Kind == gimple.Local) &&
+			localsWrittenBetween(blk, lo, hi) {
+			return false
+		}
+		return da.A.Kind != gimple.Temp && da.B.Kind != gimple.Temp
+	}
+	return false
+}
+
+// detectPatterns rewrites cmp and inc patterns within one block.
+func detectPatterns(f *gimple.Function, blk *gimple.Block, st *Stats) {
+	defs := defIndex(blk)
+
+	// cmp detection: a branch condition computed by OpCmp whose operand
+	// origins are transactional reads.
+	for i := range blk.Instrs {
+		br := blk.Instrs[i]
+		if br.Op != gimple.OpBr || br.A.Kind != gimple.Temp {
+			continue
+		}
+		ci := resolve(blk, defs, br.A)
+		if ci < 0 || blk.Instrs[ci].Op != gimple.OpCmp {
+			continue
+		}
+		cmp := blk.Instrs[ci]
+		la := resolve(blk, defs, cmp.A)
+		lb := resolve(blk, defs, cmp.B)
+		aIsRead := la >= 0 && blk.Instrs[la].Op == gimple.OpTMRead
+		bIsRead := lb >= 0 && blk.Instrs[lb].Op == gimple.OpTMRead
+		switch {
+		case aIsRead && bIsRead:
+			blk.Instrs[ci] = gimple.Instr{
+				Op: gimple.OpTMCmp2, Dst: cmp.Dst,
+				A: blk.Instrs[la].A, B: blk.Instrs[lb].A, Cond: cmp.Cond,
+			}
+			st.S2R++
+		case aIsRead && isValueOperand(cmp.B):
+			blk.Instrs[ci] = gimple.Instr{
+				Op: gimple.OpTMCmp, Dst: cmp.Dst,
+				A: blk.Instrs[la].A, B: cmp.B, Cond: cmp.Cond,
+			}
+			st.S1R++
+		case bIsRead && isValueOperand(cmp.A):
+			blk.Instrs[ci] = gimple.Instr{
+				Op: gimple.OpTMCmp, Dst: cmp.Dst,
+				A: blk.Instrs[lb].A, B: cmp.A, Cond: mirror(cmp.Cond),
+			}
+			st.S1R++
+		}
+	}
+
+	// inc detection: TM_WRITE whose value is an add/sub over a TM_READ of
+	// the same address plus a literal or local.
+	var out []gimple.Instr
+	changed := false
+	defs = defIndex(blk)
+	for i := range blk.Instrs {
+		w := blk.Instrs[i]
+		if w.Op != gimple.OpTMWrite || w.B.Kind != gimple.Temp {
+			out = append(out, w)
+			continue
+		}
+		vi := resolve(blk, defs, w.B)
+		if vi < 0 {
+			out = append(out, w)
+			continue
+		}
+		val := blk.Instrs[vi]
+		if val.Op != gimple.OpAdd && val.Op != gimple.OpSub {
+			out = append(out, w)
+			continue
+		}
+		la := resolve(blk, defs, val.A)
+		lb := resolve(blk, defs, val.B)
+		aIsSelf := la >= 0 && blk.Instrs[la].Op == gimple.OpTMRead &&
+			sameAddress(blk, defs, blk.Instrs[la].A, w.A)
+		bIsSelf := lb >= 0 && blk.Instrs[lb].Op == gimple.OpTMRead &&
+			sameAddress(blk, defs, blk.Instrs[lb].A, w.A)
+		switch {
+		case val.Op == gimple.OpAdd && aIsSelf && isValueOperand(val.B):
+			out = append(out, gimple.Instr{Op: gimple.OpTMInc, A: w.A, B: val.B})
+			st.SW++
+			changed = true
+		case val.Op == gimple.OpAdd && bIsSelf && isValueOperand(val.A):
+			out = append(out, gimple.Instr{Op: gimple.OpTMInc, A: w.A, B: val.A})
+			st.SW++
+			changed = true
+		case val.Op == gimple.OpSub && aIsSelf && isValueOperand(val.B):
+			if val.B.Kind == gimple.Imm {
+				out = append(out, gimple.Instr{Op: gimple.OpTMInc, A: w.A, B: gimple.I(-val.B.Val)})
+			} else {
+				neg := f.NewTemp()
+				out = append(out,
+					gimple.Instr{Op: gimple.OpSub, Dst: neg, A: gimple.I(0), B: val.B},
+					gimple.Instr{Op: gimple.OpTMInc, A: w.A, B: neg})
+			}
+			st.SW++
+			changed = true
+		default:
+			out = append(out, w)
+		}
+	}
+	if changed {
+		blk.Instrs = out
+	}
+}

@@ -1,0 +1,68 @@
+package tmpass
+
+import "semstm/internal/gimple"
+
+// pureProducer reports whether the instruction only defines a temp and has
+// no side effects, so it can be deleted when the temp is never live.
+// Transactional reads qualify: dropping a TM_READ can only reduce the
+// read-set (this is the core of the paper's tm_optimize pass; GCC performs
+// no liveness optimization on transactional code by itself).
+func pureProducer(op gimple.Opcode) bool {
+	switch op {
+	case gimple.OpConst, gimple.OpMov, gimple.OpAdd, gimple.OpSub,
+		gimple.OpMul, gimple.OpDiv, gimple.OpMod, gimple.OpCmp,
+		gimple.OpNot, gimple.OpLoad, gimple.OpTMRead:
+		return true
+	default:
+		return false
+	}
+}
+
+// optimize deletes never-live pure instructions until fixpoint. Temps are
+// single-assignment but may be read in other blocks, so uses are counted
+// function-wide, which keeps the pass conservative ("it does not remove a
+// read if there is no guarantee that it is never-live").
+func optimize(f *gimple.Function, st *Stats) {
+	for {
+		uses := make(map[int64]int, f.NumTemps)
+		countUse := func(o gimple.Operand) {
+			if o.Kind == gimple.Temp {
+				uses[o.Val]++
+			}
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				countUse(in.A)
+				countUse(in.B)
+				for _, a := range in.Args {
+					countUse(a)
+				}
+			}
+		}
+		removed := false
+		for _, blk := range f.Blocks {
+			out := blk.Instrs[:0]
+			for _, in := range blk.Instrs {
+				dead := pureProducer(in.Op) &&
+					in.Dst.Kind == gimple.Temp &&
+					uses[in.Dst.Val] == 0
+				// Movs into locals are never dead (locals live across
+				// blocks); pureProducer already requires a temp Dst.
+				if dead {
+					if in.Op == gimple.OpTMRead {
+						st.RemovedReads++
+					} else {
+						st.RemovedOther++
+					}
+					removed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			blk.Instrs = out
+		}
+		if !removed {
+			return
+		}
+	}
+}

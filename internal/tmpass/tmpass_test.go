@@ -1,0 +1,384 @@
+package tmpass
+
+import (
+	"testing"
+
+	"semstm/internal/gimple"
+	"semstm/internal/txlang"
+)
+
+func compile(t *testing.T, src string) *gimple.Program {
+	t.Helper()
+	prog, err := txlang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func countOps(f *gimple.Function) map[gimple.Opcode]int {
+	m := map[gimple.Opcode]int{}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			m[in.Op]++
+		}
+	}
+	return m
+}
+
+func TestMarkInstrumentsOnlyAtomic(t *testing.T) {
+	prog := compile(t, `
+shared x;
+func f() {
+	x = 1;         // outside: stays a plain store
+	atomic { x = 2; }
+	return x;      // outside: stays a plain load
+}`)
+	if _, err := Run(prog, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpStore] != 1 || ops[gimple.OpTMWrite] != 1 {
+		t.Fatalf("stores: plain=%d tm=%d", ops[gimple.OpStore], ops[gimple.OpTMWrite])
+	}
+	if ops[gimple.OpLoad] != 1 || ops[gimple.OpTMRead] != 0 {
+		t.Fatalf("loads: plain=%d tm=%d", ops[gimple.OpLoad], ops[gimple.OpTMRead])
+	}
+}
+
+func TestMarkInstrumentsAcrossBlocks(t *testing.T) {
+	prog := compile(t, `
+shared x;
+func f(n) {
+	var i = 0;
+	atomic {
+		while (i < n) {
+			x = x + 1;     // inside loop inside atomic
+			i = i + 1;
+		}
+	}
+	return 0;
+}`)
+	if _, err := Run(prog, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpLoad] != 0 || ops[gimple.OpStore] != 0 {
+		t.Fatalf("plain accesses survived inside atomic: %v", ops)
+	}
+	if ops[gimple.OpTMRead] != 1 || ops[gimple.OpTMWrite] != 1 {
+		t.Fatalf("tm accesses: %v", ops)
+	}
+}
+
+func TestDetectS1R(t *testing.T) {
+	prog := compile(t, `
+shared x;
+func f(k) {
+	var r = 0;
+	atomic {
+		if (x > 0) { r = 1; }     // address-value, literal
+		if (x == k) { r = 2; }    // address-value, local
+	}
+	return r;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R != 2 || st.S2R != 0 {
+		t.Fatalf("stats %+v, want 2 S1R", st)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpTMCmp] != 2 {
+		t.Fatalf("TMCmp = %d", ops[gimple.OpTMCmp])
+	}
+	if ops[gimple.OpTMRead] != 0 {
+		t.Fatalf("feeding reads not removed: %d left", ops[gimple.OpTMRead])
+	}
+	if st.RemovedReads != 2 {
+		t.Fatalf("removed reads = %d", st.RemovedReads)
+	}
+}
+
+func TestDetectS1RMirrored(t *testing.T) {
+	// literal on the left: 0 < x  ==>  x > 0.
+	prog := compile(t, `
+shared x;
+func f() {
+	var r = 0;
+	atomic { if (0 < x) { r = 1; } }
+	return r;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	for _, blk := range prog.Funcs["f"].Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == gimple.OpTMCmp {
+				if in.Cond.String() != ">" {
+					t.Fatalf("mirrored cond = %s, want >", in.Cond)
+				}
+				if in.B.Kind != gimple.Imm || in.B.Val != 0 {
+					t.Fatalf("operand %v", in.B)
+				}
+			}
+		}
+	}
+}
+
+func TestDetectS2R(t *testing.T) {
+	prog := compile(t, `
+shared head;
+shared tail;
+func empty() {
+	var r = 0;
+	atomic { if (head == tail) { r = 1; } }
+	return r;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S2R != 1 || st.S1R != 0 {
+		t.Fatalf("stats %+v, want 1 S2R", st)
+	}
+	if st.RemovedReads != 2 {
+		t.Fatalf("both feeding reads should die: %+v", st)
+	}
+}
+
+func TestDetectSW(t *testing.T) {
+	prog := compile(t, `
+shared x;
+shared arr[16];
+func f(i, d) {
+	atomic {
+		x = x + 1;              // scalar, literal
+		x = x - d;              // scalar, local, subtraction
+		arr[i] = arr[i] + d;    // array element, local delta
+	}
+	return 0;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SW != 3 {
+		t.Fatalf("stats %+v, want 3 SW", st)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpTMInc] != 3 || ops[gimple.OpTMWrite] != 0 {
+		t.Fatalf("ops %v", ops)
+	}
+	if ops[gimple.OpTMRead] != 0 {
+		t.Fatalf("read halves not removed: %d", ops[gimple.OpTMRead])
+	}
+	if st.RemovedReads != 3 {
+		t.Fatalf("removed reads = %d", st.RemovedReads)
+	}
+}
+
+func TestNoDetectDifferentAddresses(t *testing.T) {
+	prog := compile(t, `
+shared arr[16];
+func f(i, j) {
+	atomic { arr[i] = arr[j] + 1; }   // not an increment of the same cell
+	return 0;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SW != 0 {
+		t.Fatalf("false positive inc detection: %+v", st)
+	}
+}
+
+func TestNoDetectSharedOperand(t *testing.T) {
+	// x = x + y with shared y is NOT an _ITM_SW pattern (the delta must be
+	// a literal or local); it stays read/read/write.
+	prog := compile(t, `
+shared x;
+shared y;
+func f() {
+	atomic { x = x + y; }
+	return 0;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SW != 0 {
+		t.Fatalf("false positive: %+v", st)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpTMRead] != 2 || ops[gimple.OpTMWrite] != 1 {
+		t.Fatalf("ops %v", ops)
+	}
+}
+
+func TestNoDetectIndexMutatedBetween(t *testing.T) {
+	// The index local changes between the read and the write, so the two
+	// address computations are NOT the same cell: must stay read+write.
+	prog := compile(t, `
+shared arr[16];
+func f(i) {
+	var t = 0;
+	atomic {
+		t = arr[i];
+		i = i + 1;
+		arr[i] = t + 1;
+	}
+	return 0;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SW != 0 {
+		t.Fatalf("false positive inc across index mutation: %+v", st)
+	}
+}
+
+func TestOptimizeKeepsLiveReads(t *testing.T) {
+	// The read's value is also returned, so the read must survive even
+	// though the conditional was converted.
+	prog := compile(t, `
+shared x;
+func f() {
+	var v = 0;
+	atomic {
+		v = x;
+		if (x > 0) { v = v + 1; }
+	}
+	return v;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpTMRead] != 1 {
+		t.Fatalf("live read count = %d, want 1 (v = x)", ops[gimple.OpTMRead])
+	}
+}
+
+func TestPlainMarkLeavesPatterns(t *testing.T) {
+	prog := compile(t, `
+shared x;
+func f() {
+	var r = 0;
+	atomic {
+		if (x > 0) { x = x + 1; r = 1; }
+	}
+	return r;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R != 0 || st.SW != 0 {
+		t.Fatalf("plain mark must not rewrite patterns: %+v", st)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpTMCmp] != 0 || ops[gimple.OpTMInc] != 0 {
+		t.Fatalf("semantic builtins emitted in plain mode: %v", ops)
+	}
+	if ops[gimple.OpTMRead] != 2 || ops[gimple.OpTMWrite] != 1 {
+		t.Fatalf("classical instrumentation wrong: %v", ops)
+	}
+}
+
+// TestDetectSE: with DetectExpressions enabled, "x + y > 0" over two
+// transactional reads becomes one _ITM_SE builtin and its feeding reads die.
+func TestDetectSE(t *testing.T) {
+	src := `
+shared x;
+shared y;
+func f(k) {
+	var r = 0;
+	atomic {
+		if (x + y > 0) { r = 1; }
+		if (k < x + y) { r = r + 1; }    // mirrored: sum on the right
+	}
+	return r;
+}`
+	prog := compile(t, src)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true, DetectExpressions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SE != 2 {
+		t.Fatalf("SE = %d, want 2: %+v", st.SE, st)
+	}
+	ops := countOps(prog.Funcs["f"])
+	if ops[gimple.OpTMCmpSum] != 2 || ops[gimple.OpTMRead] != 0 {
+		t.Fatalf("ops %v", ops)
+	}
+	if st.RemovedReads != 4 {
+		t.Fatalf("removed reads = %d, want 4", st.RemovedReads)
+	}
+
+	// Without the flag, the published passes leave the pattern alone.
+	prog2 := compile(t, src)
+	st2, err := Run(prog2, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.SE != 0 {
+		t.Fatalf("SE detected without the flag: %+v", st2)
+	}
+}
+
+// TestDetectSENotForSharedRHS: the comparison operand must be a literal or
+// local; a third shared read disqualifies the pattern.
+func TestDetectSENotForSharedRHS(t *testing.T) {
+	prog := compile(t, `
+shared x;
+shared y;
+shared z;
+func f() {
+	var r = 0;
+	atomic { if (x + y > z) { r = 1; } }
+	return r;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true, DetectExpressions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SE != 0 {
+		t.Fatalf("false positive SE: %+v", st)
+	}
+}
+
+func TestRunOnCompositeCondition(t *testing.T) {
+	// Algorithm 1's motivating condition: both clauses detected separately.
+	prog := compile(t, `
+shared x;
+shared y;
+func f() {
+	var r = 0;
+	atomic {
+		if (x > 0 || y > 0) { r = 1; }
+	}
+	return r;
+}`)
+	st, err := Run(prog, Options{DetectPatterns: true, Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R != 2 {
+		t.Fatalf("both clauses must convert: %+v", st)
+	}
+	if st.RemovedReads != 2 {
+		t.Fatalf("removed = %d", st.RemovedReads)
+	}
+}

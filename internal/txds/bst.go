@@ -1,0 +1,145 @@
+package txds
+
+import (
+	"sync/atomic"
+
+	"semstm/stm"
+)
+
+// BSTMap is a transactional binary search tree mapping int64 keys to int64
+// values, the stand-in for STAMP's red-black trees (see DESIGN.md: random
+// keys give expected logarithmic depth without rebalancing, and the access
+// profile — chains of internal reads ending in a small update — matches what
+// the paper reports for Vacation). Nodes live in parallel Var pools and link
+// by index; index 0 is the nil sentinel.
+//
+// Node allocation uses a non-transactional bump counter: an aborted insert
+// leaks its node, which is harmless for benchmarks and tests (native STAMP
+// uses a transaction-aware allocator instead).
+type BSTMap struct {
+	root   *stm.Var
+	keys   []*stm.Var
+	vals   []*stm.Var
+	lefts  []*stm.Var
+	rights []*stm.Var
+	live   []*stm.Var // 1 = present, 0 = lazily deleted
+	next   atomic.Int64
+}
+
+// NewBSTMap creates a map with storage for at most capacity insertions
+// (including those wasted by aborted attempts).
+func NewBSTMap(capacity int) *BSTMap {
+	m := &BSTMap{
+		root:   stm.NewVar(0),
+		keys:   stm.NewVars(capacity+1, 0),
+		vals:   stm.NewVars(capacity+1, 0),
+		lefts:  stm.NewVars(capacity+1, 0),
+		rights: stm.NewVars(capacity+1, 0),
+		live:   stm.NewVars(capacity+1, 0),
+	}
+	m.next.Store(1) // 0 is the nil sentinel
+	return m
+}
+
+// alloc reserves a fresh node index.
+func (m *BSTMap) alloc() int64 {
+	i := m.next.Add(1) - 1
+	if int(i) >= len(m.keys) {
+		panic("txds: BSTMap node pool exhausted")
+	}
+	return i
+}
+
+// find walks from the root to the node holding key. It returns the node
+// index (0 if absent) and the parent index plus which child link was
+// followed, so callers can attach a new node.
+func (m *BSTMap) find(tx *stm.Tx, key int64) (node, parent int64, leftChild bool) {
+	parent = 0
+	node = tx.Read(m.root)
+	for node != 0 {
+		k := tx.Read(m.keys[node])
+		if k == key {
+			return node, parent, leftChild
+		}
+		parent = node
+		if key < k {
+			node = tx.Read(m.lefts[node])
+			leftChild = true
+		} else {
+			node = tx.Read(m.rights[node])
+			leftChild = false
+		}
+	}
+	return 0, parent, leftChild
+}
+
+// Get returns the value stored under key.
+func (m *BSTMap) Get(tx *stm.Tx, key int64) (val int64, ok bool) {
+	node, _, _ := m.find(tx, key)
+	if node == 0 || !tx.EQ(m.live[node], 1) {
+		return 0, false
+	}
+	return tx.Read(m.vals[node]), true
+}
+
+// GetVar returns the Var holding the value stored under key, so callers can
+// apply semantic operations (cmp, inc) directly to the mapped value — the
+// pattern of Vacation's reservation records.
+func (m *BSTMap) GetVar(tx *stm.Tx, key int64) (*stm.Var, bool) {
+	node, _, _ := m.find(tx, key)
+	if node == 0 || !tx.EQ(m.live[node], 1) {
+		return nil, false
+	}
+	return m.vals[node], true
+}
+
+// Put inserts or updates key -> val, reporting whether the key was inserted
+// (true) or updated (false).
+func (m *BSTMap) Put(tx *stm.Tx, key, val int64) bool {
+	node, parent, leftChild := m.find(tx, key)
+	if node != 0 {
+		inserted := !tx.EQ(m.live[node], 1) // revive a lazily deleted node
+		tx.Write(m.vals[node], val)
+		tx.Write(m.live[node], 1)
+		return inserted
+	}
+	n := m.alloc()
+	tx.Write(m.keys[n], key)
+	tx.Write(m.vals[n], val)
+	tx.Write(m.lefts[n], 0)
+	tx.Write(m.rights[n], 0)
+	tx.Write(m.live[n], 1)
+	switch {
+	case parent == 0:
+		tx.Write(m.root, n)
+	case leftChild:
+		tx.Write(m.lefts[parent], n)
+	default:
+		tx.Write(m.rights[parent], n)
+	}
+	return true
+}
+
+// Delete lazily removes key, reporting whether it was present. The node
+// stays in the tree as a routing node, which keeps structural changes — and
+// hence conflicts — minimal, like STAMP's rbtree removals of interior nodes.
+func (m *BSTMap) Delete(tx *stm.Tx, key int64) bool {
+	node, _, _ := m.find(tx, key)
+	if node == 0 || !tx.EQ(m.live[node], 1) {
+		return false
+	}
+	tx.Write(m.live[node], 0)
+	return true
+}
+
+// SizeNT counts live keys non-transactionally (quiescent use only).
+func (m *BSTMap) SizeNT() int {
+	n := 0
+	top := m.next.Load()
+	for i := int64(1); i < top; i++ {
+		if m.live[i].Load() == 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package txds
+
+import (
+	"sync/atomic"
+
+	"semstm/stm"
+)
+
+// ChainTable is a transactional chained hash map from int64 keys to int64
+// values, used by the Genome (segment de-duplication) and Intruder (flow
+// reassembly) workloads. Buckets are head indices into parallel node pools;
+// index 0 is the nil sentinel. Chains are prepended, so an insert writes one
+// bucket head and the fields of a fresh node.
+type ChainTable struct {
+	buckets []*stm.Var
+	keys    []*stm.Var
+	vals    []*stm.Var
+	nexts   []*stm.Var
+	mask    int64
+	next    atomic.Int64
+}
+
+// NewChainTable creates a table with the given number of buckets (rounded up
+// to a power of two) and storage for at most capacity insertions.
+func NewChainTable(buckets, capacity int) *ChainTable {
+	n := 1
+	for n < buckets {
+		n <<= 1
+	}
+	t := &ChainTable{
+		buckets: stm.NewVars(n, 0),
+		keys:    stm.NewVars(capacity+1, 0),
+		vals:    stm.NewVars(capacity+1, 0),
+		nexts:   stm.NewVars(capacity+1, 0),
+		mask:    int64(n - 1),
+	}
+	t.next.Store(1)
+	return t
+}
+
+func (t *ChainTable) bucket(key int64) *stm.Var {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return t.buckets[int64(h>>33)&t.mask]
+}
+
+// findNode walks the chain of key's bucket and returns the node index
+// holding key, or 0.
+func (t *ChainTable) findNode(tx *stm.Tx, key int64) int64 {
+	n := tx.Read(t.bucket(key))
+	for n != 0 {
+		if tx.Read(t.keys[n]) == key {
+			return n
+		}
+		n = tx.Read(t.nexts[n])
+	}
+	return 0
+}
+
+// Get returns the value stored under key.
+func (t *ChainTable) Get(tx *stm.Tx, key int64) (int64, bool) {
+	n := t.findNode(tx, key)
+	if n == 0 {
+		return 0, false
+	}
+	return tx.Read(t.vals[n]), true
+}
+
+// GetVar returns the Var holding key's value for direct semantic operations.
+func (t *ChainTable) GetVar(tx *stm.Tx, key int64) (*stm.Var, bool) {
+	n := t.findNode(tx, key)
+	if n == 0 {
+		return nil, false
+	}
+	return t.vals[n], true
+}
+
+// PutIfAbsent inserts key -> val if the key is not present and reports
+// whether it inserted — the Genome "insert segment if unseen" primitive.
+func (t *ChainTable) PutIfAbsent(tx *stm.Tx, key, val int64) bool {
+	if t.findNode(tx, key) != 0 {
+		return false
+	}
+	n := t.alloc()
+	b := t.bucket(key)
+	tx.Write(t.keys[n], key)
+	tx.Write(t.vals[n], val)
+	tx.Write(t.nexts[n], tx.Read(b))
+	tx.Write(b, n)
+	return true
+}
+
+// Put inserts or updates key -> val.
+func (t *ChainTable) Put(tx *stm.Tx, key, val int64) {
+	if n := t.findNode(tx, key); n != 0 {
+		tx.Write(t.vals[n], val)
+		return
+	}
+	n := t.alloc()
+	b := t.bucket(key)
+	tx.Write(t.keys[n], key)
+	tx.Write(t.vals[n], val)
+	tx.Write(t.nexts[n], tx.Read(b))
+	tx.Write(b, n)
+}
+
+// Inc adds delta to the value under key, inserting the key with value delta
+// if absent. The update is a semantic increment, so concurrent Incs of the
+// same existing key do not conflict.
+func (t *ChainTable) Inc(tx *stm.Tx, key, delta int64) {
+	if n := t.findNode(tx, key); n != 0 {
+		tx.Inc(t.vals[n], delta)
+		return
+	}
+	t.Put(tx, key, delta)
+}
+
+func (t *ChainTable) alloc() int64 {
+	i := t.next.Add(1) - 1
+	if int(i) >= len(t.keys) {
+		panic("txds: ChainTable node pool exhausted")
+	}
+	return i
+}
+
+// SizeNT counts entries non-transactionally by chain walking (quiescent use
+// only).
+func (t *ChainTable) SizeNT() int {
+	n := 0
+	for _, b := range t.buckets {
+		for i := b.Load(); i != 0; i = t.nexts[i].Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+// Package txds provides transactional data structures built on the semantic
+// STM API: an open-addressing hash table (the probing pattern of Algorithm 2
+// of the paper), an array-based queue (Algorithm 3), a chained hash table,
+// and an index-pool binary search tree map. All structures express their
+// membership checks through semantic conditionals, so they benefit from
+// S-NOrec/S-TL2 automatically while remaining correct (if slower) on the
+// classical baselines, which delegate the semantic calls.
+package txds
+
+import (
+	"fmt"
+
+	"semstm/stm"
+)
+
+// Cell encoding of the open-addressing table: the vers word of a cell is
+// cellFree for an empty cell, cellRemoved for a tombstone, and a positive
+// entry version for a live cell.
+const (
+	cellFree    = 0
+	cellRemoved = -1
+)
+
+// OpenTable is a fixed-capacity open-addressing hash set of positive int64
+// keys with linear probing, tombstone deletion, and in-place entry
+// refreshing. Each cell carries a version word: probing follows Algorithm 2
+// — every cell inspection is a semantic conditional —
+//
+//	while (TM_NEQ(vers[i], FREE) &&
+//	       (TM_EQ(vers[i], REMOVED) || TM_NEQ(keys[i], key)))
+//	        advance
+//
+// so a probe records facts like "this cell is live" and "this cell is not my
+// key" instead of pinning exact words. Update bumps a live entry's version
+// in place (the versioned-record pattern of software caches): probers that
+// passed over the entry keep all their facts and, under the semantic
+// algorithms, no longer abort — the differential behind the paper's
+// hashtable results.
+type OpenTable struct {
+	vers []*stm.Var // cellFree, cellRemoved, or entry version >= 1
+	keys []*stm.Var
+	mask int64
+}
+
+// NewOpenTable creates a table with capacity rounded up to a power of two.
+// The caller must keep the load factor well below 1; inserting into a full
+// table panics.
+func NewOpenTable(capacity int) *OpenTable {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &OpenTable{
+		vers: stm.NewVars(n, cellFree),
+		keys: stm.NewVars(n, 0),
+		mask: int64(n - 1),
+	}
+}
+
+// Cap returns the table capacity.
+func (t *OpenTable) Cap() int { return len(t.vers) }
+
+// slot is the home position of a key: a plain modulus, as in the paper's
+// Algorithm 2 pseudocode.
+func (t *OpenTable) slot(key int64) int64 {
+	return key & t.mask
+}
+
+// probe walks the probe chain of key per Algorithm 2 and returns the index
+// where the walk stopped: either a FREE cell (key absent) or the live cell
+// holding key.
+func (t *OpenTable) probe(tx *stm.Tx, key int64) int64 {
+	i := t.slot(key)
+	for n := int64(0); ; n++ {
+		if n > t.mask {
+			panic("txds: open table probe wrapped (table full)")
+		}
+		if !tx.NEQ(t.vers[i], cellFree) {
+			return i // free: not found
+		}
+		if !(tx.EQ(t.vers[i], cellRemoved) || tx.NEQ(t.keys[i], key)) {
+			return i // live cell holding key
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Contains reports whether key is in the table.
+func (t *OpenTable) Contains(tx *stm.Tx, key int64) bool {
+	i := t.probe(tx, key)
+	// Algorithm 2's return: vers[i] == FREE ? absent : found.
+	return !tx.EQ(t.vers[i], cellFree)
+}
+
+// Insert adds key and reports whether it was absent. The probe locates
+// either the key (no-op) or the first FREE cell; tombstoned cells on the
+// chain are reused when possible.
+func (t *OpenTable) Insert(tx *stm.Tx, key int64) bool {
+	i := t.slot(key)
+	reuse := int64(-1)
+	for n := int64(0); ; n++ {
+		if n > t.mask {
+			panic("txds: open table full")
+		}
+		if tx.EQ(t.vers[i], cellFree) {
+			break
+		}
+		if tx.EQ(t.vers[i], cellRemoved) {
+			if reuse < 0 {
+				reuse = i
+			}
+		} else if tx.EQ(t.keys[i], key) {
+			return false // already present
+		}
+		i = (i + 1) & t.mask
+	}
+	if reuse >= 0 {
+		i = reuse
+	}
+	tx.Write(t.vers[i], 1)
+	tx.Write(t.keys[i], key)
+	return true
+}
+
+// Remove tombstones key and reports whether it was present.
+func (t *OpenTable) Remove(tx *stm.Tx, key int64) bool {
+	i := t.probe(tx, key)
+	if tx.EQ(t.vers[i], cellFree) {
+		return false
+	}
+	tx.Write(t.vers[i], cellRemoved)
+	return true
+}
+
+// Update refreshes key's entry in place by bumping its version word with a
+// semantic increment, reporting whether the key was present. The cell stays
+// live and keeps its key, so every fact recorded by concurrent probers still
+// holds; only transactions that pinned the exact version word (the classical
+// baselines) are invalidated.
+func (t *OpenTable) Update(tx *stm.Tx, key int64) bool {
+	i := t.probe(tx, key)
+	if tx.EQ(t.vers[i], cellFree) {
+		return false
+	}
+	tx.Inc(t.vers[i], 1)
+	return true
+}
+
+// Version returns the current version of key's entry (0 if absent), pinning
+// it like any exact read.
+func (t *OpenTable) Version(tx *stm.Tx, key int64) int64 {
+	i := t.probe(tx, key)
+	if tx.EQ(t.vers[i], cellFree) {
+		return 0
+	}
+	return tx.Read(t.vers[i])
+}
+
+// SizeNT counts live keys non-transactionally (quiescent use only).
+func (t *OpenTable) SizeNT() int {
+	n := 0
+	for _, s := range t.vers {
+		if s.Load() >= 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// String describes the table.
+func (t *OpenTable) String() string {
+	return fmt.Sprintf("OpenTable(cap=%d)", len(t.vers))
+}

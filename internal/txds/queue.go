@@ -1,0 +1,69 @@
+package txds
+
+import "semstm/stm"
+
+// Queue is a bounded array-based FIFO queue following Algorithm 3 of the
+// paper: the empty/full tests are semantic conditionals on a size counter
+// and the head/tail advances are semantic increments, so an enqueuer and a
+// dequeuer only conflict when the queue is near empty or near full — the
+// concurrency an efficient handcrafted queue provides.
+type Queue struct {
+	data []*stm.Var
+	head *stm.Var // logical index of the next element to pop
+	tail *stm.Var // logical index of the next free slot
+	size *stm.Var // current number of elements
+	n    int64
+}
+
+// NewQueue creates a queue with the given capacity.
+func NewQueue(capacity int) *Queue {
+	return &Queue{
+		data: stm.NewVars(capacity, 0),
+		head: stm.NewVar(0),
+		tail: stm.NewVar(0),
+		size: stm.NewVar(0),
+		n:    int64(capacity),
+	}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return int(q.n) }
+
+// Enqueue appends item and reports success (false when full). The fullness
+// check records the fact "size < n", which concurrent dequeuers only
+// strengthen; the tail read pins the slot index, serializing concurrent
+// enqueuers — exactly the conflicts a correct queue requires.
+func (q *Queue) Enqueue(tx *stm.Tx, item int64) bool {
+	if tx.GTE(q.size, q.n) {
+		return false // full
+	}
+	t := tx.Read(q.tail)
+	tx.Write(q.data[t%q.n], item)
+	tx.Inc(q.tail, 1)
+	tx.Inc(q.size, 1)
+	return true
+}
+
+// Dequeue removes and returns the oldest item (ok=false when empty),
+// mirroring Algorithm 3: the emptiness test is semantic (TM_EQ head, tail —
+// here expressed on the size counter), the head advance is a TM_INC.
+func (q *Queue) Dequeue(tx *stm.Tx) (item int64, ok bool) {
+	if tx.LTE(q.size, 0) {
+		return 0, false // empty
+	}
+	h := tx.Read(q.head)
+	item = tx.Read(q.data[h%q.n])
+	tx.Inc(q.head, 1)
+	tx.Inc(q.size, -1)
+	return item, true
+}
+
+// EmptyByIndices is the literal Algorithm 3 emptiness test — the
+// address–address conditional TM_EQ(head, tail) — exposed for tests and for
+// workloads that never fill the queue.
+func (q *Queue) EmptyByIndices(tx *stm.Tx) bool {
+	return tx.CmpVars(q.head, stm.OpEQ, q.tail)
+}
+
+// LenNT returns the current size non-transactionally (quiescent use only).
+func (q *Queue) LenNT() int { return int(q.size.Load()) }

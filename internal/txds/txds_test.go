@@ -1,0 +1,475 @@
+package txds
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"semstm/stm"
+)
+
+func eachAlgo(t *testing.T, f func(t *testing.T, rt *stm.Runtime)) {
+	t.Helper()
+	for _, a := range stm.Algorithms() {
+		t.Run(a.String(), func(t *testing.T) { f(t, stm.New(a)) })
+	}
+}
+
+func TestOpenTableBasics(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		tbl := NewOpenTable(64)
+		rt.Atomically(func(tx *stm.Tx) {
+			if tbl.Contains(tx, 10) {
+				t.Error("empty table contains 10")
+			}
+			if !tbl.Insert(tx, 10) {
+				t.Error("first insert failed")
+			}
+			if tbl.Insert(tx, 10) {
+				t.Error("duplicate insert succeeded")
+			}
+			if !tbl.Contains(tx, 10) {
+				t.Error("lost key 10")
+			}
+			if !tbl.Remove(tx, 10) {
+				t.Error("remove failed")
+			}
+			if tbl.Contains(tx, 10) {
+				t.Error("key present after remove")
+			}
+			if tbl.Remove(tx, 10) {
+				t.Error("double remove succeeded")
+			}
+		})
+		if tbl.SizeNT() != 0 {
+			t.Fatalf("size = %d", tbl.SizeNT())
+		}
+	})
+}
+
+// TestOpenTableTombstoneReuse: removing and re-inserting must reuse the
+// probe chain correctly (tombstones neither break lookups nor leak slots).
+func TestOpenTableTombstoneReuse(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	tbl := NewOpenTable(16)
+	rt.Atomically(func(tx *stm.Tx) {
+		// Build a deliberate collision chain by inserting many keys, then
+		// punch a tombstone in the middle and check probing skips it.
+		for k := int64(0); k < 8; k++ {
+			tbl.Insert(tx, k)
+		}
+		tbl.Remove(tx, 3)
+		for k := int64(0); k < 8; k++ {
+			want := k != 3
+			if tbl.Contains(tx, k) != want {
+				t.Errorf("Contains(%d) = %v", k, !want)
+			}
+		}
+		if !tbl.Insert(tx, 100) {
+			t.Error("insert into tombstoned table failed")
+		}
+		if !tbl.Contains(tx, 100) {
+			t.Error("lost key 100")
+		}
+	})
+}
+
+func TestOpenTableModel(t *testing.T) {
+	rt := stm.New(stm.STL2)
+	tbl := NewOpenTable(256)
+	model := map[int64]bool{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		k := rng.Int63n(100)
+		switch rng.Intn(3) {
+		case 0:
+			got := stm.Run(rt, func(tx *stm.Tx) bool { return tbl.Insert(tx, k) })
+			if got != !model[k] {
+				t.Fatalf("step %d: Insert(%d) = %v, model %v", i, k, got, model[k])
+			}
+			model[k] = true
+		case 1:
+			got := stm.Run(rt, func(tx *stm.Tx) bool { return tbl.Remove(tx, k) })
+			if got != model[k] {
+				t.Fatalf("step %d: Remove(%d) = %v, model %v", i, k, got, model[k])
+			}
+			delete(model, k)
+		default:
+			got := stm.Run(rt, func(tx *stm.Tx) bool { return tbl.Contains(tx, k) })
+			if got != model[k] {
+				t.Fatalf("step %d: Contains(%d) = %v, model %v", i, k, got, model[k])
+			}
+		}
+	}
+	if tbl.SizeNT() != len(model) {
+		t.Fatalf("size %d, model %d", tbl.SizeNT(), len(model))
+	}
+}
+
+func TestOpenTableConcurrentDisjointInserts(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		tbl := NewOpenTable(4096)
+		const workers, per = 6, 100
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(base int64) {
+				defer wg.Done()
+				for i := int64(0); i < per; i++ {
+					k := base*per + i
+					rt.Atomically(func(tx *stm.Tx) { tbl.Insert(tx, k) })
+				}
+			}(int64(w))
+		}
+		wg.Wait()
+		if tbl.SizeNT() != workers*per {
+			t.Fatalf("size = %d, want %d", tbl.SizeNT(), workers*per)
+		}
+	})
+}
+
+// TestOpenTableConcurrentSameKeys: racing inserts of the same keys must
+// yield exactly one logical copy each.
+func TestOpenTableConcurrentSameKeys(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		tbl := NewOpenTable(1024)
+		const workers, keys = 6, 50
+		var inserted [keys]int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := [keys]int64{}
+				for k := int64(0); k < keys; k++ {
+					if stm.Run(rt, func(tx *stm.Tx) bool { return tbl.Insert(tx, k) }) {
+						local[k]++
+					}
+				}
+				mu.Lock()
+				for i, c := range local {
+					inserted[i] += c
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		for k, c := range inserted {
+			if c != 1 {
+				t.Fatalf("key %d inserted %d times", k, c)
+			}
+		}
+		if tbl.SizeNT() != keys {
+			t.Fatalf("size = %d", tbl.SizeNT())
+		}
+	})
+}
+
+func TestQueueFIFO(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		q := NewQueue(8)
+		rt.Atomically(func(tx *stm.Tx) {
+			if _, ok := q.Dequeue(tx); ok {
+				t.Error("dequeue from empty succeeded")
+			}
+			if !q.EmptyByIndices(tx) {
+				t.Error("fresh queue not empty by indices")
+			}
+		})
+		for i := int64(1); i <= 8; i++ {
+			if !stm.Run(rt, func(tx *stm.Tx) bool { return q.Enqueue(tx, i) }) {
+				t.Fatalf("enqueue %d failed", i)
+			}
+		}
+		rt.Atomically(func(tx *stm.Tx) {
+			if q.Enqueue(tx, 99) {
+				t.Error("enqueue into full queue succeeded")
+			}
+		})
+		for i := int64(1); i <= 8; i++ {
+			item, ok := int64(0), false
+			rt.Atomically(func(tx *stm.Tx) { item, ok = q.Dequeue(tx) })
+			if !ok || item != i {
+				t.Fatalf("dequeue = (%d,%v), want (%d,true)", item, ok, i)
+			}
+		}
+		if q.LenNT() != 0 {
+			t.Fatalf("len = %d", q.LenNT())
+		}
+	})
+}
+
+// TestQueueWrapAround pushes the logical indices past the capacity several
+// times to exercise the modulo addressing.
+func TestQueueWrapAround(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	q := NewQueue(4)
+	next := int64(0)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 4; i++ {
+			v := next
+			next++
+			rt.Atomically(func(tx *stm.Tx) { q.Enqueue(tx, v) })
+		}
+		for i := 0; i < 4; i++ {
+			want := next - 4 + int64(i)
+			got := int64(-1)
+			rt.Atomically(func(tx *stm.Tx) { got, _ = q.Dequeue(tx) })
+			if got != want {
+				t.Fatalf("round %d: got %d want %d", round, got, want)
+			}
+		}
+	}
+}
+
+// TestQueueProducerConsumer transfers every item exactly once across
+// concurrent producers and consumers.
+func TestQueueProducerConsumer(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		const producers, per = 4, 200
+		const total = producers * per
+		q := NewQueue(64)
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(base int64) {
+				defer wg.Done()
+				for i := int64(0); i < per; i++ {
+					v := base*per + i
+					for !stm.Run(rt, func(tx *stm.Tx) bool { return q.Enqueue(tx, v) }) {
+					}
+				}
+			}(int64(p))
+		}
+		seen := make([]bool, total)
+		var seenMu sync.Mutex
+		var remaining atomic.Int64
+		remaining.Store(total)
+		var consumers sync.WaitGroup
+		for c := 0; c < 3; c++ {
+			consumers.Add(1)
+			go func() {
+				defer consumers.Done()
+				for remaining.Load() > 0 {
+					item, ok := int64(0), false
+					rt.Atomically(func(tx *stm.Tx) { item, ok = q.Dequeue(tx) })
+					if !ok {
+						runtime.Gosched()
+						continue
+					}
+					seenMu.Lock()
+					if item < 0 || item >= total || seen[item] {
+						t.Errorf("bad or duplicate item %d", item)
+					} else {
+						seen[item] = true
+					}
+					seenMu.Unlock()
+					remaining.Add(-1)
+				}
+			}()
+		}
+		wg.Wait()
+		consumers.Wait()
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("item %d never consumed", i)
+			}
+		}
+	})
+}
+
+func TestBSTMapBasics(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		m := NewBSTMap(128)
+		rt.Atomically(func(tx *stm.Tx) {
+			if _, ok := m.Get(tx, 5); ok {
+				t.Error("empty map has key")
+			}
+			if !m.Put(tx, 5, 50) {
+				t.Error("fresh put reported update")
+			}
+			if m.Put(tx, 5, 51) {
+				t.Error("update reported insert")
+			}
+			if v, ok := m.Get(tx, 5); !ok || v != 51 {
+				t.Errorf("Get = (%d,%v)", v, ok)
+			}
+			if !m.Delete(tx, 5) {
+				t.Error("delete failed")
+			}
+			if m.Delete(tx, 5) {
+				t.Error("double delete succeeded")
+			}
+			if _, ok := m.Get(tx, 5); ok {
+				t.Error("deleted key still present")
+			}
+			// Revival through a routing node.
+			if !m.Put(tx, 5, 99) {
+				t.Error("revival must report insert")
+			}
+			if v, _ := m.Get(tx, 5); v != 99 {
+				t.Error("revived value wrong")
+			}
+		})
+	})
+}
+
+func TestBSTMapModel(t *testing.T) {
+	rt := stm.New(stm.STL2)
+	m := NewBSTMap(4096)
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3000; i++ {
+		k := rng.Int63n(200)
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Int63n(1000)
+			rt.Atomically(func(tx *stm.Tx) { m.Put(tx, k, v) })
+			model[k] = v
+		case 2:
+			rt.Atomically(func(tx *stm.Tx) { m.Delete(tx, k) })
+			delete(model, k)
+		default:
+			var got int64
+			var ok bool
+			rt.Atomically(func(tx *stm.Tx) { got, ok = m.Get(tx, k) })
+			wantV, wantOK := model[k]
+			if ok != wantOK || (ok && got != wantV) {
+				t.Fatalf("step %d: Get(%d) = (%d,%v), want (%d,%v)", i, k, got, ok, wantV, wantOK)
+			}
+		}
+	}
+	if m.SizeNT() != len(model) {
+		t.Fatalf("size %d, model %d", m.SizeNT(), len(model))
+	}
+}
+
+func TestBSTMapGetVarSemanticUpdate(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	m := NewBSTMap(64)
+	rt.Atomically(func(tx *stm.Tx) { m.Put(tx, 7, 100) })
+	rt.Atomically(func(tx *stm.Tx) {
+		v, ok := m.GetVar(tx, 7)
+		if !ok {
+			t.Fatal("GetVar failed")
+		}
+		if tx.GT(v, 0) {
+			tx.Inc(v, -1) // the Vacation numFree pattern
+		}
+	})
+	got := stm.Run(rt, func(tx *stm.Tx) int64 { v, _ := m.Get(tx, 7); return v })
+	if got != 99 {
+		t.Fatalf("value = %d", got)
+	}
+}
+
+func TestBSTMapConcurrentInserts(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		m := NewBSTMap(1 << 14)
+		const workers, per = 6, 100
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(base int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(base))
+				for i := int64(0); i < per; i++ {
+					k := base*per + i
+					v := rng.Int63()
+					rt.Atomically(func(tx *stm.Tx) { m.Put(tx, k, v) })
+				}
+			}(int64(w))
+		}
+		wg.Wait()
+		if m.SizeNT() != workers*per {
+			t.Fatalf("size = %d, want %d", m.SizeNT(), workers*per)
+		}
+	})
+}
+
+func TestChainTableBasics(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		c := NewChainTable(16, 256)
+		rt.Atomically(func(tx *stm.Tx) {
+			if !c.PutIfAbsent(tx, 1, 10) {
+				t.Error("first PutIfAbsent failed")
+			}
+			if c.PutIfAbsent(tx, 1, 20) {
+				t.Error("second PutIfAbsent succeeded")
+			}
+			if v, ok := c.Get(tx, 1); !ok || v != 10 {
+				t.Errorf("Get = (%d,%v)", v, ok)
+			}
+			c.Put(tx, 1, 30)
+			if v, _ := c.Get(tx, 1); v != 30 {
+				t.Error("Put update lost")
+			}
+			c.Inc(tx, 1, 5)
+			if v, _ := c.Get(tx, 1); v != 35 {
+				t.Error("Inc lost")
+			}
+			c.Inc(tx, 2, 7) // insert-through-Inc
+			if v, _ := c.Get(tx, 2); v != 7 {
+				t.Error("Inc insert lost")
+			}
+		})
+		if c.SizeNT() != 2 {
+			t.Fatalf("size = %d", c.SizeNT())
+		}
+	})
+}
+
+// TestChainTableCollisions forces many keys into few buckets and checks
+// chain integrity.
+func TestChainTableCollisions(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	c := NewChainTable(2, 512)
+	for k := int64(0); k < 100; k++ {
+		rt.Atomically(func(tx *stm.Tx) { c.Put(tx, k, k*10) })
+	}
+	for k := int64(0); k < 100; k++ {
+		v, ok := int64(0), false
+		rt.Atomically(func(tx *stm.Tx) { v, ok = c.Get(tx, k) })
+		if !ok || v != k*10 {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	if c.SizeNT() != 100 {
+		t.Fatalf("size = %d", c.SizeNT())
+	}
+}
+
+func TestChainTableConcurrentPutIfAbsent(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		c := NewChainTable(64, 1<<13)
+		const workers, keys = 6, 60
+		counts := make([]int64, keys)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := int64(0); k < keys; k++ {
+					if stm.Run(rt, func(tx *stm.Tx) bool { return c.PutIfAbsent(tx, k, k) }) {
+						mu.Lock()
+						counts[k]++
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for k, n := range counts {
+			if n != 1 {
+				t.Fatalf("key %d won %d times", k, n)
+			}
+		}
+		if c.SizeNT() != keys {
+			t.Fatalf("size = %d", c.SizeNT())
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package txlang
+
+// File is a parsed TxC source file.
+type File struct {
+	Shared []SharedDecl
+	Funcs  []*FuncDecl
+}
+
+// SharedDecl declares a shared (transactional) variable or array.
+type SharedDecl struct {
+	Name string
+	Size int64 // 1 for scalars
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// VarDecl declares a function-local variable with an optional initializer.
+type VarDecl struct {
+	Name string
+	Init Expr // may be nil
+}
+
+// Assign stores Value into Target (a local, shared scalar, or shared array
+// element).
+type Assign struct {
+	Target Expr // VarRef or IndexRef
+	Value  Expr
+}
+
+// If is a conditional statement.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+}
+
+// While is a loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Return exits the function with an optional value.
+type Return struct {
+	Value Expr // may be nil
+}
+
+// Atomic is a transactional region.
+type Atomic struct {
+	Body []Stmt
+}
+
+// Break exits the innermost loop.
+type Break struct{}
+
+// ExprStmt evaluates an expression for its effects (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+func (VarDecl) stmt()  {}
+func (Assign) stmt()   {}
+func (If) stmt()       {}
+func (While) stmt()    {}
+func (Return) stmt()   {}
+func (Atomic) stmt()   {}
+func (Break) stmt()    {}
+func (ExprStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+}
+
+// VarRef names a local or shared scalar.
+type VarRef struct {
+	Name string
+}
+
+// IndexRef names a shared array element.
+type IndexRef struct {
+	Name string
+	Idx  Expr
+}
+
+// Binary applies a binary operator: one of + - * / % == != < <= > >= && ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary applies a unary operator: ! or unary -.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Call invokes a function or the rand(n) builtin.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (IntLit) expr()   {}
+func (VarRef) expr()   {}
+func (IndexRef) expr() {}
+func (Binary) expr()   {}
+func (Unary) expr()    {}
+func (Call) expr()     {}

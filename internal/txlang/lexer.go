@@ -1,0 +1,146 @@
+// Package txlang implements TxC, a small C-like language with
+// `atomic { ... }` blocks, and its compiler to the GIMPLE-like IR of package
+// gimple. It is this repository's stand-in for the paper's GCC front end:
+// programs are written against shared variables with no TM calls at all, and
+// the compiler (plus the passes in package tmpass) instruments and optimizes
+// them exactly as the modified GCC does.
+//
+// Grammar sketch:
+//
+//	program  := (shared | func)*
+//	shared   := "shared" IDENT ("[" INT "]")? ";"
+//	func     := "func" IDENT "(" params? ")" block
+//	stmt     := "var" IDENT ("=" expr)? ";" | lvalue "=" expr ";"
+//	          | "if" "(" expr ")" block ("else" block)?
+//	          | "while" "(" expr ")" block | "return" expr? ";"
+//	          | "atomic" block | "break" ";" | expr ";"
+//	expr     := the usual C operators: || && == != < <= > >= + - * / % ! ()
+//	          | INT | IDENT | IDENT "[" expr "]" | IDENT "(" args? ")"
+package txlang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokKeyword
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+}
+
+var keywords = map[string]bool{
+	"shared": true, "func": true, "var": true, "if": true, "else": true,
+	"while": true, "return": true, "atomic": true, "break": true,
+}
+
+// lexer tokenizes TxC source.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src), line: 1} }
+
+func (lx *lexer) error(format string, args ...any) error {
+	return fmt.Errorf("txc:%d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case unicode.IsSpace(c):
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: lx.line}, nil
+
+scan:
+	c := lx.src[lx.pos]
+	start := lx.pos
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for lx.pos < len(lx.src) && (unicode.IsLetter(lx.src[lx.pos]) || unicode.IsDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '_') {
+			lx.pos++
+		}
+		text := string(lx.src[start:lx.pos])
+		k := tokIdent
+		if keywords[text] {
+			k = tokKeyword
+		}
+		return token{kind: k, text: text, line: lx.line}, nil
+	case unicode.IsDigit(c):
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		text := string(lx.src[start:lx.pos])
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, lx.error("bad integer %q", text)
+		}
+		return token{kind: tokInt, text: text, val: v, line: lx.line}, nil
+	default:
+		two := ""
+		if lx.pos+1 < len(lx.src) {
+			two = string(lx.src[lx.pos : lx.pos+2])
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||":
+			lx.pos += 2
+			return token{kind: tokPunct, text: two, line: lx.line}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '<', '>', '=', '!', '(', ')', '{', '}', '[', ']', ';', ',':
+			lx.pos++
+			return token{kind: tokPunct, text: string(c), line: lx.line}, nil
+		}
+		return token{}, lx.error("unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,522 @@
+package txlang
+
+import (
+	"fmt"
+
+	"semstm/internal/core"
+	"semstm/internal/gimple"
+)
+
+// Compile parses TxC source and lowers it to the GIMPLE-like IR. The output
+// is *uninstrumented*: shared accesses are plain OpLoad/OpStore even inside
+// atomic regions; package tmpass's Mark pass performs the transactional
+// instrumentation (and, optionally, the semantic pattern detection), exactly
+// as GCC's tm_mark does.
+func Compile(src string) (*gimple.Program, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+// Lower lowers a parsed file to IR.
+func Lower(file *File) (*gimple.Program, error) {
+	prog := &gimple.Program{
+		Symbols: make(map[string]int64),
+		Funcs:   make(map[string]*gimple.Function),
+	}
+	for _, d := range file.Shared {
+		if _, dup := prog.Symbols[d.Name]; dup {
+			return nil, fmt.Errorf("txc: duplicate shared variable %q", d.Name)
+		}
+		prog.Symbols[d.Name] = prog.SharedSize
+		prog.SharedSize += d.Size
+	}
+	for _, fd := range file.Funcs {
+		if _, dup := prog.Funcs[fd.Name]; dup {
+			return nil, fmt.Errorf("txc: duplicate function %q", fd.Name)
+		}
+		lw := &lowerer{file: file, prog: prog}
+		fn, err := lw.lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs[fd.Name] = fn
+	}
+	return prog, nil
+}
+
+// loopCtx records a loop's exit block and the atomic depth it was entered at
+// (break may not jump out of an atomic region).
+type loopCtx struct {
+	exit        int
+	atomicDepth int
+}
+
+type lowerer struct {
+	file *File
+	prog *gimple.Program
+	fn   *gimple.Function
+
+	locals      map[string]int
+	cur         int
+	terminated  bool
+	loops       []loopCtx
+	atomicDepth int
+}
+
+func (lw *lowerer) lowerFunc(fd *FuncDecl) (*gimple.Function, error) {
+	lw.fn = &gimple.Function{Name: fd.Name, NumParams: len(fd.Params)}
+	lw.locals = make(map[string]int)
+	for _, p := range fd.Params {
+		if _, dup := lw.locals[p]; dup {
+			return nil, fmt.Errorf("txc: duplicate parameter %q in %s", p, fd.Name)
+		}
+		lw.locals[p] = lw.newLocal()
+	}
+	lw.cur = lw.fn.NewBlock()
+	lw.terminated = false
+	if err := lw.stmts(fd.Body); err != nil {
+		return nil, err
+	}
+	if !lw.terminated {
+		lw.emit(gimple.Instr{Op: gimple.OpRet, A: gimple.I(0)})
+		lw.terminated = true
+	}
+	// Terminate any dangling blocks (unreachable joins) with a return so the
+	// VM never falls off a block.
+	for i, b := range lw.fn.Blocks {
+		if len(b.Instrs) == 0 || !isTerminator(b.Instrs[len(b.Instrs)-1].Op) {
+			lw.fn.Emit(i, gimple.Instr{Op: gimple.OpRet, A: gimple.I(0)})
+		}
+	}
+	return lw.fn, nil
+}
+
+func isTerminator(op gimple.Opcode) bool {
+	return op == gimple.OpBr || op == gimple.OpJmp || op == gimple.OpRet
+}
+
+func (lw *lowerer) newLocal() int {
+	i := lw.fn.NumLocals
+	lw.fn.NumLocals++
+	return i
+}
+
+func (lw *lowerer) emit(in gimple.Instr) {
+	if lw.terminated {
+		return // unreachable code after return/break
+	}
+	lw.fn.Emit(lw.cur, in)
+	if isTerminator(in.Op) {
+		lw.terminated = true
+	}
+}
+
+// switchTo makes b the current block (assumed unterminated).
+func (lw *lowerer) switchTo(b int) {
+	lw.cur = b
+	lw.terminated = false
+}
+
+// jumpTo terminates the current block with a jump to b (if not already
+// terminated) and continues there.
+func (lw *lowerer) jumpTo(b int) {
+	lw.emit(gimple.Instr{Op: gimple.OpJmp, Then: b})
+	lw.switchTo(b)
+}
+
+func (lw *lowerer) stmts(list []Stmt) error {
+	for _, s := range list {
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case VarDecl:
+		if _, dup := lw.locals[st.Name]; dup {
+			return fmt.Errorf("txc: duplicate local %q in %s", st.Name, lw.fn.Name)
+		}
+		if _, shadowed := lw.prog.Symbols[st.Name]; shadowed {
+			return fmt.Errorf("txc: local %q shadows a shared variable", st.Name)
+		}
+		slot := lw.newLocal()
+		lw.locals[st.Name] = slot
+		if st.Init != nil {
+			v, err := lw.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			lw.emit(gimple.Instr{Op: gimple.OpMov, Dst: gimple.L(slot), A: v})
+		}
+		return nil
+
+	case Assign:
+		return lw.assign(st)
+
+	case If:
+		thenB := lw.fn.NewBlock()
+		joinB := lw.fn.NewBlock()
+		elseB := joinB
+		if st.Else != nil {
+			elseB = lw.fn.NewBlock()
+		}
+		if err := lw.cond(st.Cond, thenB, elseB); err != nil {
+			return err
+		}
+		lw.switchTo(thenB)
+		if err := lw.stmts(st.Then); err != nil {
+			return err
+		}
+		lw.emit(gimple.Instr{Op: gimple.OpJmp, Then: joinB})
+		if st.Else != nil {
+			lw.switchTo(elseB)
+			if err := lw.stmts(st.Else); err != nil {
+				return err
+			}
+			lw.emit(gimple.Instr{Op: gimple.OpJmp, Then: joinB})
+		}
+		lw.switchTo(joinB)
+		return nil
+
+	case While:
+		headB := lw.fn.NewBlock()
+		bodyB := lw.fn.NewBlock()
+		exitB := lw.fn.NewBlock()
+		lw.jumpTo(headB)
+		if err := lw.cond(st.Cond, bodyB, exitB); err != nil {
+			return err
+		}
+		lw.switchTo(bodyB)
+		lw.loops = append(lw.loops, loopCtx{exit: exitB, atomicDepth: lw.atomicDepth})
+		err := lw.stmts(st.Body)
+		lw.loops = lw.loops[:len(lw.loops)-1]
+		if err != nil {
+			return err
+		}
+		lw.emit(gimple.Instr{Op: gimple.OpJmp, Then: headB})
+		lw.switchTo(exitB)
+		return nil
+
+	case Return:
+		a := gimple.I(0)
+		if st.Value != nil {
+			v, err := lw.expr(st.Value)
+			if err != nil {
+				return err
+			}
+			a = v
+		}
+		lw.emit(gimple.Instr{Op: gimple.OpRet, A: a})
+		return nil
+
+	case Atomic:
+		lw.emit(gimple.Instr{Op: gimple.OpTxBegin})
+		lw.atomicDepth++
+		err := lw.stmts(st.Body)
+		lw.atomicDepth--
+		if err != nil {
+			return err
+		}
+		lw.emit(gimple.Instr{Op: gimple.OpTxEnd})
+		return nil
+
+	case Break:
+		if len(lw.loops) == 0 {
+			return fmt.Errorf("txc: break outside loop in %s", lw.fn.Name)
+		}
+		top := lw.loops[len(lw.loops)-1]
+		if top.atomicDepth != lw.atomicDepth {
+			return fmt.Errorf("txc: break may not jump out of an atomic block in %s", lw.fn.Name)
+		}
+		lw.emit(gimple.Instr{Op: gimple.OpJmp, Then: top.exit})
+		return nil
+
+	case ExprStmt:
+		_, err := lw.expr(st.X)
+		return err
+
+	default:
+		return fmt.Errorf("txc: unknown statement %T", s)
+	}
+}
+
+func (lw *lowerer) assign(st Assign) error {
+	val, err := lw.expr(st.Value)
+	if err != nil {
+		return err
+	}
+	switch tgt := st.Target.(type) {
+	case VarRef:
+		if slot, ok := lw.locals[tgt.Name]; ok {
+			lw.emit(gimple.Instr{Op: gimple.OpMov, Dst: gimple.L(slot), A: val})
+			return nil
+		}
+		if base, ok := lw.prog.Symbols[tgt.Name]; ok {
+			lw.emit(gimple.Instr{Op: gimple.OpStore, A: gimple.I(base), B: val})
+			return nil
+		}
+		return fmt.Errorf("txc: undefined variable %q in %s", tgt.Name, lw.fn.Name)
+	case IndexRef:
+		addr, err := lw.address(tgt)
+		if err != nil {
+			return err
+		}
+		lw.emit(gimple.Instr{Op: gimple.OpStore, A: addr, B: val})
+		return nil
+	default:
+		return fmt.Errorf("txc: invalid assignment target %T", st.Target)
+	}
+}
+
+// address lowers a shared array element reference to an address operand.
+func (lw *lowerer) address(ix IndexRef) (gimple.Operand, error) {
+	base, ok := lw.prog.Symbols[ix.Name]
+	if !ok {
+		return gimple.None, fmt.Errorf("txc: undefined shared array %q", ix.Name)
+	}
+	idx, err := lw.expr(ix.Idx)
+	if err != nil {
+		return gimple.None, err
+	}
+	if idx.Kind == gimple.Imm {
+		return gimple.I(base + idx.Val), nil
+	}
+	t := lw.fn.NewTemp()
+	lw.emit(gimple.Instr{Op: gimple.OpAdd, Dst: t, A: idx, B: gimple.I(base)})
+	return t, nil
+}
+
+var cmpOps = map[string]core.Op{
+	"==": core.OpEQ, "!=": core.OpNEQ,
+	"<": core.OpLT, "<=": core.OpLTE,
+	">": core.OpGT, ">=": core.OpGTE,
+}
+
+var arithOps = map[string]gimple.Opcode{
+	"+": gimple.OpAdd, "-": gimple.OpSub,
+	"*": gimple.OpMul, "/": gimple.OpDiv, "%": gimple.OpMod,
+}
+
+// expr lowers an expression in value context and returns its operand.
+func (lw *lowerer) expr(e Expr) (gimple.Operand, error) {
+	switch ex := e.(type) {
+	case IntLit:
+		return gimple.I(ex.Val), nil
+
+	case VarRef:
+		if slot, ok := lw.locals[ex.Name]; ok {
+			return gimple.L(slot), nil
+		}
+		if base, ok := lw.prog.Symbols[ex.Name]; ok {
+			t := lw.fn.NewTemp()
+			lw.emit(gimple.Instr{Op: gimple.OpLoad, Dst: t, A: gimple.I(base)})
+			return t, nil
+		}
+		return gimple.None, fmt.Errorf("txc: undefined variable %q in %s", ex.Name, lw.fn.Name)
+
+	case IndexRef:
+		addr, err := lw.address(ex)
+		if err != nil {
+			return gimple.None, err
+		}
+		t := lw.fn.NewTemp()
+		lw.emit(gimple.Instr{Op: gimple.OpLoad, Dst: t, A: addr})
+		return t, nil
+
+	case Binary:
+		if op, ok := arithOps[ex.Op]; ok {
+			l, err := lw.expr(ex.L)
+			if err != nil {
+				return gimple.None, err
+			}
+			r, err := lw.expr(ex.R)
+			if err != nil {
+				return gimple.None, err
+			}
+			if l.Kind == gimple.Imm && r.Kind == gimple.Imm {
+				if v, ok := foldArith(ex.Op, l.Val, r.Val); ok {
+					return gimple.I(v), nil
+				}
+			}
+			t := lw.fn.NewTemp()
+			lw.emit(gimple.Instr{Op: op, Dst: t, A: l, B: r})
+			return t, nil
+		}
+		if cop, ok := cmpOps[ex.Op]; ok {
+			l, err := lw.expr(ex.L)
+			if err != nil {
+				return gimple.None, err
+			}
+			r, err := lw.expr(ex.R)
+			if err != nil {
+				return gimple.None, err
+			}
+			t := lw.fn.NewTemp()
+			lw.emit(gimple.Instr{Op: gimple.OpCmp, Dst: t, A: l, B: r, Cond: cop})
+			return t, nil
+		}
+		if ex.Op == "&&" || ex.Op == "||" {
+			// Value-context short circuit: materialize through a hidden
+			// local assigned on both paths.
+			slot := lw.newLocal()
+			thenB := lw.fn.NewBlock()
+			elseB := lw.fn.NewBlock()
+			joinB := lw.fn.NewBlock()
+			if err := lw.cond(ex, thenB, elseB); err != nil {
+				return gimple.None, err
+			}
+			lw.switchTo(thenB)
+			lw.emit(gimple.Instr{Op: gimple.OpMov, Dst: gimple.L(slot), A: gimple.I(1)})
+			lw.emit(gimple.Instr{Op: gimple.OpJmp, Then: joinB})
+			lw.switchTo(elseB)
+			lw.emit(gimple.Instr{Op: gimple.OpMov, Dst: gimple.L(slot), A: gimple.I(0)})
+			lw.emit(gimple.Instr{Op: gimple.OpJmp, Then: joinB})
+			lw.switchTo(joinB)
+			return gimple.L(slot), nil
+		}
+		return gimple.None, fmt.Errorf("txc: unknown operator %q", ex.Op)
+
+	case Unary:
+		x, err := lw.expr(ex.X)
+		if err != nil {
+			return gimple.None, err
+		}
+		switch ex.Op {
+		case "-":
+			if x.Kind == gimple.Imm {
+				return gimple.I(-x.Val), nil
+			}
+			t := lw.fn.NewTemp()
+			lw.emit(gimple.Instr{Op: gimple.OpSub, Dst: t, A: gimple.I(0), B: x})
+			return t, nil
+		case "!":
+			if x.Kind == gimple.Imm {
+				if x.Val == 0 {
+					return gimple.I(1), nil
+				}
+				return gimple.I(0), nil
+			}
+			t := lw.fn.NewTemp()
+			lw.emit(gimple.Instr{Op: gimple.OpNot, Dst: t, A: x})
+			return t, nil
+		default:
+			return gimple.None, fmt.Errorf("txc: unknown unary %q", ex.Op)
+		}
+
+	case Call:
+		args := make([]gimple.Operand, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := lw.expr(a)
+			if err != nil {
+				return gimple.None, err
+			}
+			args[i] = v
+		}
+		if ex.Name != "rand" {
+			callee := lw.findFunc(ex.Name)
+			if callee == nil {
+				return gimple.None, fmt.Errorf("txc: undefined function %q", ex.Name)
+			}
+			if len(callee.Params) != len(ex.Args) {
+				return gimple.None, fmt.Errorf("txc: %s expects %d args, got %d",
+					ex.Name, len(callee.Params), len(ex.Args))
+			}
+		} else if len(ex.Args) != 1 {
+			return gimple.None, fmt.Errorf("txc: rand expects 1 arg")
+		}
+		t := lw.fn.NewTemp()
+		lw.emit(gimple.Instr{Op: gimple.OpCall, Dst: t, Fn: ex.Name, Args: args})
+		return t, nil
+
+	default:
+		return gimple.None, fmt.Errorf("txc: unknown expression %T", e)
+	}
+}
+
+func (lw *lowerer) findFunc(name string) *FuncDecl {
+	for _, f := range lw.file.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func foldArith(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	}
+	return 0, false
+}
+
+// cond lowers an expression in branch context, jumping to thenB when it is
+// true and elseB otherwise. Short-circuit operators become control flow, so
+// every comparison reaches the IR as its own OpCmp feeding an OpBr — the
+// shape tm_mark's pattern detection expects (the paper treats each clause of
+// a composed condition as a separate semantic operation).
+func (lw *lowerer) cond(e Expr, thenB, elseB int) error {
+	switch ex := e.(type) {
+	case Binary:
+		switch ex.Op {
+		case "&&":
+			mid := lw.fn.NewBlock()
+			if err := lw.cond(ex.L, mid, elseB); err != nil {
+				return err
+			}
+			lw.switchTo(mid)
+			return lw.cond(ex.R, thenB, elseB)
+		case "||":
+			mid := lw.fn.NewBlock()
+			if err := lw.cond(ex.L, thenB, mid); err != nil {
+				return err
+			}
+			lw.switchTo(mid)
+			return lw.cond(ex.R, thenB, elseB)
+		}
+		if cop, ok := cmpOps[ex.Op]; ok {
+			l, err := lw.expr(ex.L)
+			if err != nil {
+				return err
+			}
+			r, err := lw.expr(ex.R)
+			if err != nil {
+				return err
+			}
+			t := lw.fn.NewTemp()
+			lw.emit(gimple.Instr{Op: gimple.OpCmp, Dst: t, A: l, B: r, Cond: cop})
+			lw.emit(gimple.Instr{Op: gimple.OpBr, A: t, Then: thenB, Else: elseB})
+			return nil
+		}
+	case Unary:
+		if ex.Op == "!" {
+			return lw.cond(ex.X, elseB, thenB)
+		}
+	}
+	v, err := lw.expr(e)
+	if err != nil {
+		return err
+	}
+	lw.emit(gimple.Instr{Op: gimple.OpBr, A: v, Then: thenB, Else: elseB})
+	return nil
+}

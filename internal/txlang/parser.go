@@ -1,0 +1,440 @@
+package txlang
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a TxC source file.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "shared"):
+			d, err := p.sharedDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Shared = append(f.Shared, d)
+		case p.at(tokKeyword, "func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errorf("expected 'shared' or 'func', got %q", p.cur().text)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if !p.at(k, text) {
+		return token{}, p.errorf("expected %q, got %q", text, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("txc:%d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) sharedDecl() (SharedDecl, error) {
+	p.advance() // shared
+	name, err := p.expectIdent()
+	if err != nil {
+		return SharedDecl{}, err
+	}
+	d := SharedDecl{Name: name, Size: 1}
+	if p.accept(tokPunct, "[") {
+		t := p.cur()
+		if t.kind != tokInt {
+			return SharedDecl{}, p.errorf("array size must be an integer literal")
+		}
+		p.advance()
+		if t.val <= 0 {
+			return SharedDecl{}, p.errorf("array size must be positive")
+		}
+		d.Size = t.val
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return SharedDecl{}, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return SharedDecl{}, err
+	}
+	return d, nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errorf("expected identifier, got %q", p.cur().text)
+	}
+	return p.advance().text, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	p.advance() // func
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name}
+	if !p.at(tokPunct, ")") {
+		for {
+			param, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, param)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // }
+	return stmts, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(tokKeyword, "var"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept(tokPunct, "=") {
+			init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return VarDecl{Name: name, Init: init}, nil
+
+	case p.at(tokKeyword, "if"):
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				s, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else {
+				els, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return If{Cond: cond, Then: then, Else: els}, nil
+
+	case p.at(tokKeyword, "while"):
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return While{Cond: cond, Body: body}, nil
+
+	case p.at(tokKeyword, "return"):
+		p.advance()
+		var val Expr
+		if !p.at(tokPunct, ";") {
+			var err error
+			val, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return Return{Value: val}, nil
+
+	case p.at(tokKeyword, "atomic"):
+		p.advance()
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return Atomic{Body: body}, nil
+
+	case p.at(tokKeyword, "break"):
+		p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return Break{}, nil
+
+	default:
+		// Assignment or expression statement.
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(tokPunct, "=") {
+			switch e.(type) {
+			case VarRef, IndexRef:
+			default:
+				return nil, p.errorf("invalid assignment target")
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return Assign{Target: e, Value: val}, nil
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return ExprStmt{X: e}, nil
+	}
+}
+
+// Expression parsing with precedence climbing.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "||") {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "&&") {
+		p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokPunct, "=="), p.at(tokPunct, "!="), p.at(tokPunct, "<"),
+			p.at(tokPunct, "<="), p.at(tokPunct, ">"), p.at(tokPunct, ">="):
+			op := p.advance().text
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Binary{Op: op, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "+") || p.at(tokPunct, "-") {
+		op := p.advance().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPunct, "*") || p.at(tokPunct, "/") || p.at(tokPunct, "%") {
+		op := p.advance().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(tokPunct, "!") || p.at(tokPunct, "-") {
+		op := p.advance().text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: op, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.cur().kind == tokInt:
+		t := p.advance()
+		return IntLit{Val: t.val}, nil
+	case p.cur().kind == tokIdent:
+		name := p.advance().text
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return IndexRef{Name: name, Idx: idx}, nil
+		case p.accept(tokPunct, "("):
+			var args []Expr
+			if !p.at(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return Call{Name: name, Args: args}, nil
+		default:
+			return VarRef{Name: name}, nil
+		}
+	case p.accept(tokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("unexpected token %q", p.cur().text)
+	}
+}

@@ -1,0 +1,233 @@
+package txlang
+
+import (
+	"strings"
+	"testing"
+
+	"semstm/internal/gimple"
+)
+
+func TestParseSharedDecls(t *testing.T) {
+	f, err := Parse("shared x; shared arr[64];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Shared) != 2 {
+		t.Fatalf("shared decls = %d", len(f.Shared))
+	}
+	if f.Shared[0].Name != "x" || f.Shared[0].Size != 1 {
+		t.Fatalf("decl 0: %+v", f.Shared[0])
+	}
+	if f.Shared[1].Name != "arr" || f.Shared[1].Size != 64 {
+		t.Fatalf("decl 1: %+v", f.Shared[1])
+	}
+}
+
+func TestParseFunction(t *testing.T) {
+	src := `
+func add(a, b) {
+	var c = a + b;
+	return c;
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	fn := f.Funcs[0]
+	if fn.Name != "add" || len(fn.Params) != 2 || len(fn.Body) != 2 {
+		t.Fatalf("fn: %+v", fn)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse("func f(a, b, c) { return a + b * c; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body[0].(Return)
+	add, ok := ret.Value.(Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top op: %+v", ret.Value)
+	}
+	mul, ok := add.R.(Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("right op: %+v", add.R)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	f, err := Parse("func f(a, b, c) { return a == 1 || b == 2 && c == 3; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := f.Funcs[0].Body[0].(Return).Value.(Binary)
+	if or.Op != "||" {
+		t.Fatalf("top op %q, want ||", or.Op)
+	}
+	and, ok := or.R.(Binary)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("right: %+v", or.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"shared;",
+		"func f( { }",
+		"func f() { var; }",
+		"func f() { 1 + ; }",
+		"func f() { if x { } }",   // missing parens
+		"func f() { return 1 }",   // missing semicolon
+		"func f() { x[ = 1; }",    // bad index
+		"shared a[0];",            // non-positive size
+		"func f() { @ }",          // lexer error
+		"bogus",                   // top-level junk
+		"func f() { y = (1; }",    // unbalanced paren
+		"func f() { while (1) { ", // unterminated block
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// leading comment
+shared x; // trailing
+func f() { // another
+	return 0;
+}`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined var", "func f() { return nope; }"},
+		{"undefined array", "func f() { return nope[0]; }"},
+		{"undefined func", "func f() { return g(); }"},
+		{"arity", "func g(a) { return a; } func f() { return g(); }"},
+		{"dup shared", "shared x; shared x;"},
+		{"dup func", "func f() { return 0; } func f() { return 0; }"},
+		{"dup local", "func f() { var a; var a; }"},
+		{"dup param", "func f(a, a) { return 0; }"},
+		{"shadow", "shared x; func f() { var x; }"},
+		{"break outside loop", "func f() { break; }"},
+		{"break out of atomic", "shared x; func f() { while (1) { atomic { break; } } }"},
+		{"rand arity", "func f() { return rand(1, 2); }"},
+		{"assign to literal", "func f() { 3 = 4; }"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: compile succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestLowerSymbolLayout(t *testing.T) {
+	prog, err := Compile("shared a; shared b[10]; shared c;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.SharedSize != 12 {
+		t.Fatalf("shared size = %d", prog.SharedSize)
+	}
+	if prog.Symbols["a"] != 0 || prog.Symbols["b"] != 1 || prog.Symbols["c"] != 11 {
+		t.Fatalf("symbols: %+v", prog.Symbols)
+	}
+}
+
+func TestLowerConstantFolding(t *testing.T) {
+	prog, err := Compile("func f() { return 2 + 3 * 4; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Funcs["f"]
+	// The entire expression folds: no arithmetic instructions remain.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case gimple.OpAdd, gimple.OpMul:
+				t.Fatalf("unfolded arithmetic: %s", in)
+			case gimple.OpRet:
+				if in.A.Kind != gimple.Imm || in.A.Val != 14 {
+					t.Fatalf("ret operand %v", in.A)
+				}
+			}
+		}
+	}
+}
+
+func TestLowerAtomicBrackets(t *testing.T) {
+	prog, err := Compile("shared x; func f() { atomic { x = 1; } return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var begins, ends, stores int
+	for _, blk := range prog.Funcs["f"].Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case gimple.OpTxBegin:
+				begins++
+			case gimple.OpTxEnd:
+				ends++
+			case gimple.OpStore:
+				stores++
+			}
+		}
+	}
+	if begins != 1 || ends != 1 || stores != 1 {
+		t.Fatalf("begins=%d ends=%d stores=%d", begins, ends, stores)
+	}
+}
+
+// TestLowerShortCircuitIsControlFlow: && in branch context must become two
+// separate conditional branches (the shape pattern detection needs), not a
+// logical-and instruction.
+func TestLowerShortCircuitIsControlFlow(t *testing.T) {
+	prog, err := Compile(`
+shared x; shared y;
+func f() {
+	var r = 0;
+	atomic {
+		if (x > 0 && y > 0) { r = 1; }
+	}
+	return r;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmps, brs int
+	for _, blk := range prog.Funcs["f"].Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case gimple.OpCmp:
+				cmps++
+			case gimple.OpBr:
+				brs++
+			}
+		}
+	}
+	if cmps != 2 || brs < 2 {
+		t.Fatalf("cmps=%d brs=%d, want 2 cmps each feeding a branch", cmps, brs)
+	}
+}
+
+func TestDumpReadable(t *testing.T) {
+	prog, err := Compile("shared x; func f(n) { atomic { x = x + n; } return x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Funcs["f"].Dump()
+	for _, want := range []string{"func f", "tx_begin", "tx_end", "shared["} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package txprogs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestQueuePassStats(t *testing.T) {
+	_, st, err := Compile(QueueSrc, SemanticGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S2R != 1 {
+		t.Fatalf("S2R = %d, want 1 (head != tail)", st.S2R)
+	}
+	if st.SW != 2 {
+		t.Fatalf("SW = %d, want 2 (head++ and tail++)", st.SW)
+	}
+}
+
+func TestQueueFIFOAcrossModes(t *testing.T) {
+	for _, m := range Modes() {
+		vm, _, err := Build(QueueSrc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := vm.NewThread(1)
+		for i := int64(10); i < 15; i++ {
+			if _, err := th.Call("enqueue", i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := int64(10); i < 15; i++ {
+			v, err := th.Call("dequeue")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != i {
+				t.Fatalf("%v: dequeue = %d, want %d", m, v, i)
+			}
+		}
+		if v, _ := th.Call("dequeue"); v != -1 {
+			t.Fatalf("%v: empty dequeue = %d", m, v)
+		}
+	}
+}
+
+// TestQueuePipelineAcrossModes pipes items through the compiled queue with
+// one producer and one consumer; every value must arrive exactly once and in
+// order.
+func TestQueuePipelineAcrossModes(t *testing.T) {
+	const items = 300
+	for _, m := range Modes() {
+		vm, _, err := Build(QueueSrc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var consumed atomic.Int64
+		go func() {
+			defer wg.Done()
+			th := vm.NewThread(1)
+			for i := int64(1); i <= items; i++ {
+				// Capacity discipline is the caller's job (as in the
+				// paper's Algorithm 3): keep fewer than 64 in flight.
+				for i-consumed.Load() >= 60 {
+					runtime.Gosched()
+				}
+				if _, err := th.Call("enqueue", i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		var got []int64
+		go func() {
+			defer wg.Done()
+			th := vm.NewThread(2)
+			for len(got) < items {
+				v, err := th.Call("dequeue")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v >= 0 {
+					got = append(got, v)
+					consumed.Add(1)
+				}
+			}
+		}()
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		for i, v := range got {
+			if v != int64(i+1) {
+				t.Fatalf("%v: item %d = %d (order broken)", m, i, v)
+			}
+		}
+	}
+}
+
+func TestBankPassStats(t *testing.T) {
+	_, st, err := Compile(BankSrc, SemanticGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R != 1 {
+		t.Fatalf("S1R = %d, want 1 (overdraft check)", st.S1R)
+	}
+	if st.SW != 2 {
+		t.Fatalf("SW = %d, want 2 (debit and credit)", st.SW)
+	}
+}
+
+// TestBankConservationAcrossModes: concurrent compiled transfers conserve
+// the total under all three compiler/runtime configurations.
+func TestBankConservationAcrossModes(t *testing.T) {
+	const accounts, initial = 128, 1000
+	for _, m := range Modes() {
+		vm, _, err := Build(BankSrc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < accounts; i++ {
+			if err := vm.SetShared("accounts", i, initial); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const workers, per = 4, 150
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				th := vm.NewThread(seed)
+				r := seed
+				next := func(n int64) int64 {
+					r = r*6364136223846793005 + 1442695040888963407
+					v := (r >> 33) % n
+					if v < 0 {
+						v += n
+					}
+					return v
+				}
+				for i := 0; i < per; i++ {
+					if _, err := th.Call("transfer", next(accounts), next(accounts), 1+next(40)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		// The long-reader total must see a conserved sum.
+		th := vm.NewThread(99)
+		sum, err := th.Call("total")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != accounts*initial {
+			t.Fatalf("%v: total = %d, want %d", m, sum, accounts*initial)
+		}
+		var negative bool
+		for i := int64(0); i < accounts; i++ {
+			if v, _ := vm.SharedNT("accounts", i); v < 0 {
+				negative = true
+			}
+		}
+		if negative {
+			t.Fatalf("%v: overdraft", m)
+		}
+	}
+}

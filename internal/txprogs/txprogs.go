@@ -1,0 +1,356 @@
+// Package txprogs holds the canonical TxC programs of the GCC-based
+// evaluation (Figure 2 of the paper) and helpers to build them into runnable
+// VMs under the three compiler/runtime configurations the paper compares.
+package txprogs
+
+import (
+	"fmt"
+
+	"semstm/internal/gimple"
+	"semstm/internal/tmpass"
+	"semstm/internal/txlang"
+	"semstm/internal/txvm"
+	"semstm/stm"
+)
+
+// Mode is one compiler/runtime configuration of Section 7.2.
+type Mode int
+
+const (
+	// PlainGCC: classical instrumentation only (no pattern detection, no
+	// tm_optimize), NOrec runtime — the paper's "NOrec" GCC curve.
+	PlainGCC Mode = iota
+	// ModifiedGCC: pattern detection + tm_optimize, but the semantic ABI
+	// calls delegate to classical barriers inside a NOrec runtime — the
+	// paper's "NOrec Modified-GCC" curve (fewer TM calls, same semantics).
+	ModifiedGCC
+	// SemanticGCC: pattern detection + tm_optimize on an S-NOrec runtime —
+	// the paper's "S-NOrec" GCC curve.
+	SemanticGCC
+)
+
+// String names the mode as the paper's legends do.
+func (m Mode) String() string {
+	switch m {
+	case PlainGCC:
+		return "NOrec"
+	case ModifiedGCC:
+		return "NOrec Modified-GCC"
+	case SemanticGCC:
+		return "S-NOrec"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists the three configurations in display order.
+func Modes() []Mode { return []Mode{PlainGCC, ModifiedGCC, SemanticGCC} }
+
+// Compile compiles src and runs the passes for the mode, returning the
+// program and the pass statistics.
+func Compile(src string, mode Mode) (*gimple.Program, tmpass.Stats, error) {
+	prog, err := txlang.Compile(src)
+	if err != nil {
+		return nil, tmpass.Stats{}, err
+	}
+	opts := tmpass.Options{
+		DetectPatterns: mode != PlainGCC,
+		Optimize:       mode != PlainGCC,
+	}
+	st, err := tmpass.Run(prog, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return prog, st, nil
+}
+
+// Build compiles src for the mode and wires it to the matching runtime.
+func Build(src string, mode Mode) (*txvm.VM, tmpass.Stats, error) {
+	prog, st, err := Compile(src, mode)
+	if err != nil {
+		return nil, st, err
+	}
+	algo := stm.NOrec
+	if mode == SemanticGCC {
+		algo = stm.SNOrec
+	}
+	return txvm.New(prog, stm.New(algo)), st, nil
+}
+
+// HashtableSrc is the open-addressing hash table of Algorithm 2 written in
+// TxC: cell states are 0=FREE, 1=IN-USE, 2=REMOVED; every probe step is a
+// conditional over transactional reads that the pattern detection turns into
+// _ITM_S1R calls. txn10 is the Figure 2a workload: ten set/get operations
+// per transaction over a half-size key space.
+const HashtableSrc = `
+// Open-addressing hashtable with tombstones and in-place entry refreshes
+// (Algorithm 2). states: 0 = FREE, -1 = REMOVED, >= 1 = live entry version.
+shared states[1024];
+shared set[1024];
+
+func contains(value) {
+	var index = value % 1024;
+	var found = 0;
+	var steps = 0;
+	atomic {
+		while (steps < 1024 && states[index] != 0 && (states[index] == -1 || set[index] != value)) {
+			index = (index + 1) % 1024;
+			steps = steps + 1;
+		}
+		if (states[index] > 0) {
+			found = 1;
+		}
+	}
+	return found;
+}
+
+func insert(value) {
+	var index = value % 1024;
+	var reuse = -1;
+	var r = 0;
+	atomic {
+		var done = 0;
+		var steps = 0;
+		while (done == 0 && steps < 1024) {
+			if (states[index] == 0) {
+				done = 1;
+			} else {
+				if (states[index] == -1) {
+					if (reuse < 0) {
+						reuse = index;
+					}
+					index = (index + 1) % 1024;
+				} else {
+					if (set[index] == value) {
+						done = 1;
+						r = -1;
+					} else {
+						index = (index + 1) % 1024;
+					}
+				}
+			}
+			steps = steps + 1;
+		}
+		if (r == 0 && done == 1) {
+			if (reuse >= 0) {
+				index = reuse;
+			}
+			states[index] = 1;
+			set[index] = value;
+			r = 1;
+		}
+	}
+	return r;
+}
+
+func remove(value) {
+	var index = value % 1024;
+	var r = 0;
+	var steps = 0;
+	atomic {
+		while (steps < 1024 && states[index] != 0 && (states[index] == -1 || set[index] != value)) {
+			index = (index + 1) % 1024;
+			steps = steps + 1;
+		}
+		if (states[index] > 0) {
+			states[index] = -1;
+			r = 1;
+		}
+	}
+	return r;
+}
+
+// update refreshes a live entry in place: the version bump is detected as
+// _ITM_SW, and probers passing over the cell keep their facts.
+func update(value) {
+	var index = value % 1024;
+	var r = 0;
+	var steps = 0;
+	atomic {
+		while (steps < 1024 && states[index] != 0 && (states[index] == -1 || set[index] != value)) {
+			index = (index + 1) % 1024;
+			steps = steps + 1;
+		}
+		if (states[index] > 0) {
+			states[index] = states[index] + 1;
+			r = 1;
+		}
+	}
+	return r;
+}
+
+// txn10 is one benchmark transaction: 10 random table operations (half
+// lookups, a third refreshes, the rest insert/remove churn).
+func txn10() {
+	atomic {
+		var i = 0;
+		while (i < 10) {
+			var v = rand(512) + 1;
+			var p = rand(10);
+			if (p < 5) {
+				contains(v);
+			} else {
+				if (p < 8) {
+					update(v);
+				} else {
+					if (insert(v) == 0) {
+						remove(v);
+					}
+				}
+			}
+			i = i + 1;
+		}
+	}
+	return;
+}
+`
+
+// VacationSrc is the reservation kernel of Algorithm 4 written in TxC: the
+// availability and price checks become _ITM_S1R, the booking decrement
+// becomes _ITM_SW, and the post-booking sanity check promotes it — the
+// Figure 2c workload.
+const VacationSrc = `
+// Vacation-style reservations over flat resource tables (Algorithm 4).
+shared price[256];
+shared numfree[256];
+
+func reserve() {
+	var r = 0;
+	atomic {
+		var maxp = -1;
+		var maxi = -1;
+		var q = 0;
+		while (q < 4) {
+			var id = rand(256);
+			if (numfree[id] > 0) {
+				if (price[id] > maxp) {
+					maxp = price[id];
+					maxi = id;
+				}
+			}
+			q = q + 1;
+		}
+		if (maxi >= 0) {
+			numfree[maxi] = numfree[maxi] - 1;
+			if (numfree[maxi] < 0) {
+				r = -1;
+			} else {
+				r = 1;
+			}
+		}
+	}
+	return r;
+}
+
+func update() {
+	atomic {
+		var q = 0;
+		while (q < 4) {
+			var id = rand(256);
+			price[id] = rand(450) + 50;
+			q = q + 1;
+		}
+	}
+	return;
+}
+
+// client runs one session: p in [0,100) selects the profile.
+func client(p) {
+	if (p < 90) {
+		return reserve();
+	}
+	update();
+	return 0;
+}
+`
+
+// QueueSrc is the array-based queue of Algorithm 3 written literally in
+// TxC: the emptiness test `head != tail` is an address–address conditional
+// (detected as _ITM_S2R) and the cursor advances are increments (_ITM_SW),
+// re-enabling enqueue/dequeue concurrency. Capacity discipline is the
+// caller's job, as in the paper's pseudocode.
+const QueueSrc = `
+// Algorithm 3: array-based queue.
+shared qdata[64];
+shared head;
+shared tail;
+
+func enqueue(v) {
+	atomic {
+		qdata[tail % 64] = v;
+		tail = tail + 1;
+	}
+	return 0;
+}
+
+func dequeue() {
+	var item = -1;
+	atomic {
+		if (head != tail) {
+			item = qdata[head % 64];
+			head = head + 1;
+		}
+	}
+	return item;
+}
+`
+
+// BankSrc is the money-transfer kernel in TxC: the overdraft check becomes
+// _ITM_S1R and the two balance updates become _ITM_SW.
+const BankSrc = `
+shared accounts[128];
+
+func transfer(from, to, amt) {
+	var r = 0;
+	atomic {
+		if (accounts[from] >= amt) {
+			accounts[from] = accounts[from] - amt;
+			accounts[to] = accounts[to] + amt;
+			r = 1;
+		}
+	}
+	return r;
+}
+
+// total sums all balances in one transaction (a long reader).
+func total() {
+	var s = 0;
+	var i = 0;
+	atomic {
+		while (i < 128) {
+			s = s + accounts[i];
+			i = i + 1;
+		}
+	}
+	return s;
+}
+`
+
+// CounterSrc is a minimal increment kernel used by quick tests and the tmc
+// example: the classic x++ pattern that becomes a single _ITM_SW.
+const CounterSrc = `
+shared counter;
+shared limit;
+
+func bump(n) {
+	var i = 0;
+	atomic {
+		while (i < n) {
+			counter = counter + 1;
+			i = i + 1;
+		}
+	}
+	return;
+}
+
+func bounded_bump() {
+	var did = 0;
+	atomic {
+		if (counter < limit) {
+			counter = counter + 1;
+			did = 1;
+		}
+	}
+	return did;
+}
+`

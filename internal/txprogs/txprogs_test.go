@@ -1,0 +1,240 @@
+package txprogs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestModesCompile(t *testing.T) {
+	for _, src := range []string{HashtableSrc, VacationSrc, CounterSrc} {
+		for _, m := range Modes() {
+			if _, _, err := Build(src, m); err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+		}
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	names := map[Mode]string{
+		PlainGCC:    "NOrec",
+		ModifiedGCC: "NOrec Modified-GCC",
+		SemanticGCC: "S-NOrec",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d: %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+// TestHashtablePassStats: with pattern detection on, the probe conditionals
+// become _ITM_S1R calls and their feeding reads disappear.
+func TestHashtablePassStats(t *testing.T) {
+	_, stPlain, err := Compile(HashtableSrc, PlainGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPlain.S1R != 0 || stPlain.SW != 0 || stPlain.RemovedReads != 0 {
+		t.Fatalf("plain mode must not transform: %+v", stPlain)
+	}
+	_, st, err := Compile(HashtableSrc, ModifiedGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R < 8 {
+		t.Fatalf("expected many S1R conversions in the probe loops: %+v", st)
+	}
+	if st.RemovedReads == 0 {
+		t.Fatalf("expected dead probe reads removed: %+v", st)
+	}
+}
+
+// TestVacationPassStats: the reservation kernel yields both conditional and
+// increment conversions.
+func TestVacationPassStats(t *testing.T) {
+	_, st, err := Compile(VacationSrc, SemanticGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.S1R < 3 {
+		t.Fatalf("expected availability/price/sanity conditionals: %+v", st)
+	}
+	if st.SW != 1 {
+		t.Fatalf("expected exactly the booking decrement as SW: %+v", st)
+	}
+}
+
+// TestCounterPassStats: x++ is one SW; the bounded variant adds one S1R.
+func TestCounterPassStats(t *testing.T) {
+	_, st, err := Compile(CounterSrc, SemanticGCC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SW != 2 {
+		t.Fatalf("SW = %d, want 2 (bump and bounded_bump)", st.SW)
+	}
+	if st.S2R != 1 {
+		t.Fatalf("S2R = %d, want 1 (counter < limit compares two shared addresses)", st.S2R)
+	}
+}
+
+// TestHashtableEquivalenceAcrossModes drives the compiled hashtable
+// concurrently under each mode and checks structural sanity plus sequential
+// behaviour: after inserting a known key, contains finds it; after removing,
+// it does not.
+func TestHashtableBehaviour(t *testing.T) {
+	for _, m := range Modes() {
+		vm, _, err := Build(HashtableSrc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := vm.NewThread(1)
+		mustCall := func(fn string, args ...int64) int64 {
+			v, err := th.Call(fn, args...)
+			if err != nil {
+				t.Fatalf("%v: %s: %v", m, fn, err)
+			}
+			return v
+		}
+		if mustCall("contains", 7) != 0 {
+			t.Fatalf("%v: empty table contains 7", m)
+		}
+		if mustCall("insert", 7) != 1 {
+			t.Fatalf("%v: insert failed", m)
+		}
+		if mustCall("insert", 7) != -1 {
+			t.Fatalf("%v: duplicate insert not detected", m)
+		}
+		if mustCall("contains", 7) != 1 {
+			t.Fatalf("%v: inserted key missing", m)
+		}
+		if mustCall("remove", 7) != 1 {
+			t.Fatalf("%v: remove failed", m)
+		}
+		if mustCall("contains", 7) != 0 {
+			t.Fatalf("%v: removed key still present", m)
+		}
+		// Collision chain: 5 and 5+1024 hash to the same slot... the key
+		// space is mod 1024, so use adjacent-slot collisions instead.
+		if mustCall("insert", 100) != 1 || mustCall("insert", 101) != 1 {
+			t.Fatalf("%v: chain inserts failed", m)
+		}
+		if mustCall("contains", 100) != 1 || mustCall("contains", 101) != 1 {
+			t.Fatalf("%v: chain lookups failed", m)
+		}
+	}
+}
+
+func TestHashtableConcurrent(t *testing.T) {
+	for _, m := range Modes() {
+		vm, _, err := Build(HashtableSrc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workers, txPerWorker = 4, 30
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				th := vm.NewThread(seed)
+				for i := 0; i < txPerWorker; i++ {
+					if _, err := th.Call("txn10"); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatalf("%v: %v", m, err)
+		}
+		sn := vm.Runtime().Stats()
+		if sn.Commits == 0 {
+			t.Fatalf("%v: nothing committed", m)
+		}
+		if m == SemanticGCC && sn.Compares == 0 {
+			t.Fatalf("%v: semantic mode recorded no compares: %+v", m, sn)
+		}
+		if m != SemanticGCC && sn.Compares != 0 {
+			t.Fatalf("%v: non-semantic runtime recorded compares: %+v", m, sn)
+		}
+	}
+}
+
+// TestVacationConservation: capacity is only consumed by successful
+// reservations and can never go negative.
+func TestVacationConservation(t *testing.T) {
+	for _, m := range Modes() {
+		vm, _, err := Build(VacationSrc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var totalCap int64
+		for i := int64(0); i < 256; i++ {
+			cap := 2 + i%4
+			if err := vm.SetShared("numfree", i, cap); err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.SetShared("price", i, 100+i); err != nil {
+				t.Fatal(err)
+			}
+			totalCap += cap
+		}
+		const workers, sessions = 4, 60
+		sanityFailures := make(chan int64, workers)
+		booked := make(chan int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				th := vm.NewThread(seed)
+				var mine, bad int64
+				for i := 0; i < sessions; i++ {
+					v, err := th.Call("client", int64(i%100))
+					if err != nil {
+						t.Error(err)
+						break
+					}
+					if v == 1 {
+						mine++
+					}
+					if v == -1 {
+						bad++
+					}
+				}
+				booked <- mine
+				sanityFailures <- bad
+			}(int64(w) + 1)
+		}
+		wg.Wait()
+		close(booked)
+		close(sanityFailures)
+		var totalBooked, totalBad int64
+		for v := range booked {
+			totalBooked += v
+		}
+		for v := range sanityFailures {
+			totalBad += v
+		}
+		if totalBad != 0 {
+			t.Fatalf("%v: %d sanity failures (negative capacity observed)", m, totalBad)
+		}
+		var left int64
+		for i := int64(0); i < 256; i++ {
+			v, _ := vm.SharedNT("numfree", i)
+			if v < 0 {
+				t.Fatalf("%v: negative capacity at %d", m, i)
+			}
+			left += v
+		}
+		if left+totalBooked != totalCap {
+			t.Fatalf("%v: capacity leak: left %d + booked %d != %d", m, left, totalBooked, totalCap)
+		}
+	}
+}

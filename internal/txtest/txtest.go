@@ -1,0 +1,59 @@
+// Package txtest provides helpers for driving transaction descriptors
+// step-by-step from a single goroutine, which lets tests reproduce the
+// paper's interleavings (Algorithms 1, 8 and 9) deterministically.
+package txtest
+
+import "semstm/internal/core"
+
+// Aborted runs f and reports whether it aborted (panicked with the
+// transaction-abort sentinel). Any other panic propagates.
+func Aborted(f func()) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if !core.IsAbort(r) {
+				panic(r)
+			}
+			aborted = true
+		}
+	}()
+	f()
+	return false
+}
+
+// MustCommit runs Start, body, and Commit on impl, and reports whether the
+// whole attempt committed. The descriptor's Cleanup is invoked on abort.
+func MustCommit(impl core.TxImpl, body func()) bool {
+	ok := !Aborted(func() {
+		impl.Start()
+		body()
+		impl.Commit()
+	})
+	if !ok {
+		impl.Cleanup()
+	}
+	return ok
+}
+
+// MustCommitRest runs body and then Commit on an already-started descriptor,
+// reporting whether the attempt committed. Cleanup is invoked on abort.
+func MustCommitRest(impl core.TxImpl, body func()) bool {
+	ok := !Aborted(func() {
+		body()
+		impl.Commit()
+	})
+	if !ok {
+		impl.Cleanup()
+	}
+	return ok
+}
+
+// Step runs a mid-transaction step (reads, writes, semantic ops) on an
+// already-started descriptor and reports whether it survived (did not abort).
+// On abort the descriptor's Cleanup is invoked.
+func Step(impl core.TxImpl, body func()) bool {
+	ok := !Aborted(body)
+	if !ok {
+		impl.Cleanup()
+	}
+	return ok
+}

@@ -1,0 +1,356 @@
+// Package txvm executes GIMPLE-like IR programs against the semantic STM
+// runtime. It plays the role of the GCC-compiled binary in the paper's
+// second evaluation: inside atomic regions *every* shared access goes
+// through a TM barrier (whole-block speculation, unlike the explicit-API
+// RSTM mode), and the semantic builtins emitted by the tm_mark pattern
+// detection map onto the runtime's Cmp/CmpVars/Inc operations — or, on a
+// non-semantic runtime, delegate to classical barriers ("NOrec
+// Modified-GCC").
+package txvm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semstm/internal/gimple"
+	"semstm/stm"
+)
+
+// VM holds a program, its shared memory image, and the runtime executing its
+// atomic regions.
+type VM struct {
+	prog   *gimple.Program
+	rt     *stm.Runtime
+	shared []*stm.Var
+	// MaxSteps bounds the instructions of a single Call as a runaway-loop
+	// backstop.
+	MaxSteps int64
+}
+
+// New creates a VM with zeroed shared memory.
+func New(prog *gimple.Program, rt *stm.Runtime) *VM {
+	return &VM{
+		prog:     prog,
+		rt:       rt,
+		shared:   stm.NewVars(int(prog.SharedSize), 0),
+		MaxSteps: 1 << 30,
+	}
+}
+
+// Runtime returns the backing STM runtime.
+func (vm *VM) Runtime() *stm.Runtime { return vm.rt }
+
+// SetShared initializes shared[name+offset] non-transactionally.
+func (vm *VM) SetShared(name string, offset, val int64) error {
+	base, ok := vm.prog.Symbols[name]
+	if !ok {
+		return fmt.Errorf("txvm: unknown shared symbol %q", name)
+	}
+	addr := base + offset
+	if addr < 0 || addr >= vm.prog.SharedSize {
+		return fmt.Errorf("txvm: %s[%d] out of range", name, offset)
+	}
+	vm.shared[addr].StoreNT(val)
+	return nil
+}
+
+// SharedNT reads shared[name+offset] non-transactionally.
+func (vm *VM) SharedNT(name string, offset int64) (int64, error) {
+	base, ok := vm.prog.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("txvm: unknown shared symbol %q", name)
+	}
+	addr := base + offset
+	if addr < 0 || addr >= vm.prog.SharedSize {
+		return 0, fmt.Errorf("txvm: %s[%d] out of range", name, offset)
+	}
+	return vm.shared[addr].Load(), nil
+}
+
+// Thread is one executor; each OS-level worker should own one (it carries
+// the PRNG backing the rand builtin).
+type Thread struct {
+	vm    *VM
+	rng   *rand.Rand
+	steps int64
+}
+
+// NewThread creates a thread with a seeded PRNG.
+func (vm *VM) NewThread(seed int64) *Thread {
+	return &Thread{vm: vm, rng: rand.New(rand.NewSource(seed))}
+}
+
+// vmError wraps a runtime error so it can unwind through Atomically.
+type vmError struct{ err error }
+
+// Call runs the named function to completion and returns its value.
+func (th *Thread) Call(name string, args ...int64) (ret int64, err error) {
+	f, err := th.vm.prog.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(args) != f.NumParams {
+		return 0, fmt.Errorf("txvm: %s expects %d args, got %d", name, f.NumParams, len(args))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if ve, ok := r.(vmError); ok {
+				err = ve.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	th.steps = 0
+	return th.call(f, args, nil), nil
+}
+
+func (th *Thread) fail(format string, a ...any) {
+	panic(vmError{fmt.Errorf("txvm: "+format, a...)})
+}
+
+// frame is one activation record.
+type frame struct {
+	f      *gimple.Function
+	regs   []int64
+	locals []int64
+}
+
+// call executes f with args under the given (possibly nil) transaction.
+func (th *Thread) call(f *gimple.Function, args []int64, tx *stm.Tx) int64 {
+	fr := &frame{
+		f:      f,
+		regs:   make([]int64, f.NumTemps),
+		locals: make([]int64, f.NumLocals),
+	}
+	copy(fr.locals, args)
+	ret, _, _, _ := th.run(fr, 0, 0, tx, false)
+	return ret
+}
+
+// value resolves an operand against the frame.
+func (th *Thread) value(fr *frame, o gimple.Operand) int64 {
+	switch o.Kind {
+	case gimple.Imm:
+		return o.Val
+	case gimple.Temp:
+		return fr.regs[o.Val]
+	case gimple.Local:
+		return fr.locals[o.Val]
+	default:
+		th.fail("read of absent operand")
+		return 0
+	}
+}
+
+// assign writes a destination operand.
+func (th *Thread) assign(fr *frame, o gimple.Operand, v int64) {
+	switch o.Kind {
+	case gimple.Temp:
+		fr.regs[o.Val] = v
+	case gimple.Local:
+		fr.locals[o.Val] = v
+	default:
+		th.fail("write to absent operand")
+	}
+}
+
+// cell resolves an address operand to a shared variable.
+func (th *Thread) cell(fr *frame, o gimple.Operand) *stm.Var {
+	addr := th.value(fr, o)
+	if addr < 0 || addr >= int64(len(th.vm.shared)) {
+		th.fail("shared address %d out of range [0,%d)", addr, len(th.vm.shared))
+	}
+	return th.vm.shared[addr]
+}
+
+// run interprets from (blk, pc). When stopAtTxEnd is set it returns at the
+// matching depth-0 OpTxEnd with the position just past it; it also returns
+// when the function returns. The boolean result reports "function returned".
+func (th *Thread) run(fr *frame, blk, pc int, tx *stm.Tx, stopAtTxEnd bool) (ret int64, returned bool, exitBlk, exitPC int) {
+	depth := 0
+	for {
+		if blk < 0 || blk >= len(fr.f.Blocks) {
+			th.fail("%s: bad block B%d", fr.f.Name, blk)
+		}
+		instrs := fr.f.Blocks[blk].Instrs
+		if pc >= len(instrs) {
+			th.fail("%s: fell off B%d", fr.f.Name, blk)
+		}
+		in := instrs[pc]
+		th.steps++
+		if th.steps > th.vm.MaxSteps {
+			th.fail("step budget exceeded in %s", fr.f.Name)
+		}
+		switch in.Op {
+		case gimple.OpConst, gimple.OpMov:
+			th.assign(fr, in.Dst, th.value(fr, in.A))
+		case gimple.OpAdd:
+			th.assign(fr, in.Dst, th.value(fr, in.A)+th.value(fr, in.B))
+		case gimple.OpSub:
+			th.assign(fr, in.Dst, th.value(fr, in.A)-th.value(fr, in.B))
+		case gimple.OpMul:
+			th.assign(fr, in.Dst, th.value(fr, in.A)*th.value(fr, in.B))
+		case gimple.OpDiv:
+			b := th.value(fr, in.B)
+			if b == 0 {
+				th.fail("division by zero in %s", fr.f.Name)
+			}
+			th.assign(fr, in.Dst, th.value(fr, in.A)/b)
+		case gimple.OpMod:
+			b := th.value(fr, in.B)
+			if b == 0 {
+				th.fail("modulo by zero in %s", fr.f.Name)
+			}
+			th.assign(fr, in.Dst, th.value(fr, in.A)%b)
+		case gimple.OpCmp:
+			v := int64(0)
+			if in.Cond.Eval(th.value(fr, in.A), th.value(fr, in.B)) {
+				v = 1
+			}
+			th.assign(fr, in.Dst, v)
+		case gimple.OpNot:
+			v := int64(0)
+			if th.value(fr, in.A) == 0 {
+				v = 1
+			}
+			th.assign(fr, in.Dst, v)
+
+		case gimple.OpLoad:
+			if tx != nil {
+				th.fail("uninstrumented shared load inside atomic region (run tm_mark)")
+			}
+			th.assign(fr, in.Dst, th.cell(fr, in.A).Load())
+		case gimple.OpStore:
+			if tx != nil {
+				th.fail("uninstrumented shared store inside atomic region (run tm_mark)")
+			}
+			th.cell(fr, in.A).StoreNT(th.value(fr, in.B))
+
+		case gimple.OpTMRead:
+			if tx == nil {
+				th.fail("TM_READ outside atomic region")
+			}
+			th.assign(fr, in.Dst, tx.Read(th.cell(fr, in.A)))
+		case gimple.OpTMWrite:
+			if tx == nil {
+				th.fail("TM_WRITE outside atomic region")
+			}
+			tx.Write(th.cell(fr, in.A), th.value(fr, in.B))
+		case gimple.OpTMCmp:
+			if tx == nil {
+				th.fail("_ITM_S1R outside atomic region")
+			}
+			v := int64(0)
+			if tx.Cmp(th.cell(fr, in.A), in.Cond, th.value(fr, in.B)) {
+				v = 1
+			}
+			th.assign(fr, in.Dst, v)
+		case gimple.OpTMCmp2:
+			if tx == nil {
+				th.fail("_ITM_S2R outside atomic region")
+			}
+			v := int64(0)
+			if tx.CmpVars(th.cell(fr, in.A), in.Cond, th.cell(fr, in.B)) {
+				v = 1
+			}
+			th.assign(fr, in.Dst, v)
+		case gimple.OpTMInc:
+			if tx == nil {
+				th.fail("_ITM_SW outside atomic region")
+			}
+			tx.Inc(th.cell(fr, in.A), th.value(fr, in.B))
+		case gimple.OpTMCmpSum:
+			if tx == nil {
+				th.fail("_ITM_SE outside atomic region")
+			}
+			vars := make([]*stm.Var, len(in.Args))
+			for k, a := range in.Args {
+				vars[k] = th.cell(fr, a)
+			}
+			v := int64(0)
+			if tx.CmpSum(in.Cond, th.value(fr, in.B), vars...) {
+				v = 1
+			}
+			th.assign(fr, in.Dst, v)
+
+		case gimple.OpBr:
+			if th.value(fr, in.A) != 0 {
+				blk, pc = in.Then, 0
+			} else {
+				blk, pc = in.Else, 0
+			}
+			continue
+		case gimple.OpJmp:
+			blk, pc = in.Then, 0
+			continue
+		case gimple.OpRet:
+			return th.value(fr, in.A), true, blk, pc
+
+		case gimple.OpCall:
+			th.assign(fr, in.Dst, th.doCall(fr, in, tx))
+
+		case gimple.OpTxBegin:
+			if tx != nil {
+				depth++ // flattened nesting
+				break
+			}
+			// Snapshot the frame so aborted attempts re-execute from the
+			// same machine state.
+			saveR := append([]int64(nil), fr.regs...)
+			saveL := append([]int64(nil), fr.locals...)
+			entryBlk, entryPC := blk, pc+1
+			var r struct {
+				ret      int64
+				returned bool
+				blk, pc  int
+			}
+			th.vm.rt.Atomically(func(t *stm.Tx) {
+				copy(fr.regs, saveR)
+				copy(fr.locals, saveL)
+				r.ret, r.returned, r.blk, r.pc = th.run(fr, entryBlk, entryPC, t, true)
+			})
+			if r.returned {
+				return r.ret, true, r.blk, r.pc
+			}
+			blk, pc = r.blk, r.pc
+			continue
+
+		case gimple.OpTxEnd:
+			if tx == nil {
+				th.fail("tx_end outside atomic region")
+			}
+			if depth > 0 {
+				depth--
+				break
+			}
+			if !stopAtTxEnd {
+				th.fail("unbalanced tx_end in %s", fr.f.Name)
+			}
+			return 0, false, blk, pc + 1
+
+		default:
+			th.fail("unknown opcode %d", in.Op)
+		}
+		pc++
+	}
+}
+
+// doCall dispatches a call instruction: the rand builtin or a user function.
+func (th *Thread) doCall(fr *frame, in gimple.Instr, tx *stm.Tx) int64 {
+	args := make([]int64, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = th.value(fr, a)
+	}
+	if in.Fn == "rand" {
+		if len(args) != 1 || args[0] <= 0 {
+			th.fail("rand(n) requires n > 0, got %v", args)
+		}
+		return th.rng.Int63n(args[0])
+	}
+	f, err := th.vm.prog.Lookup(in.Fn)
+	if err != nil {
+		th.fail("call to unknown function %q", in.Fn)
+	}
+	return th.call(f, args, tx)
+}

@@ -1,0 +1,360 @@
+package txvm
+
+import (
+	"sync"
+	"testing"
+
+	"semstm/internal/tmpass"
+	"semstm/internal/txlang"
+	"semstm/stm"
+)
+
+// build compiles src, runs the passes, and wires a VM to the algorithm.
+func build(t *testing.T, src string, detect bool, algo stm.Algorithm) *VM {
+	t.Helper()
+	prog, err := txlang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmpass.Run(prog, tmpass.Options{DetectPatterns: detect, Optimize: detect}); err != nil {
+		t.Fatal(err)
+	}
+	return New(prog, stm.New(algo))
+}
+
+func TestPureComputation(t *testing.T) {
+	vm := build(t, `
+func fact(n) {
+	var r = 1;
+	while (n > 1) {
+		r = r * n;
+		n = n - 1;
+	}
+	return r;
+}
+func pick(a, b) {
+	if (a >= b) { return a; }
+	return b;
+}
+func arith(a, b) {
+	return (a + b) * 2 - a / b + a % b;
+}`, true, stm.SNOrec)
+	th := vm.NewThread(1)
+	if v, err := th.Call("fact", 6); err != nil || v != 720 {
+		t.Fatalf("fact(6) = %d, %v", v, err)
+	}
+	if v, err := th.Call("pick", 3, 9); err != nil || v != 9 {
+		t.Fatalf("pick = %d, %v", v, err)
+	}
+	if v, err := th.Call("pick", 9, 3); err != nil || v != 9 {
+		t.Fatalf("pick = %d, %v", v, err)
+	}
+	// (4+2)*2 - 4/2 + 4%2 = 12 - 2 + 0
+	if v, err := th.Call("arith", 4, 2); err != nil || v != 10 {
+		t.Fatalf("arith = %d, %v", v, err)
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	vm := build(t, `func f(a) { return a / 0 + a; } func g() { return 1; }`, false, stm.NOrec)
+	th := vm.NewThread(1)
+	if _, err := th.Call("missing"); err == nil {
+		t.Error("missing function must error")
+	}
+	if _, err := th.Call("g", 1); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	if _, err := th.Call("f", 3); err == nil {
+		t.Error("division by zero must error")
+	}
+}
+
+func TestSharedAccessOutsideAtomic(t *testing.T) {
+	vm := build(t, `
+shared x;
+func set(v) { x = v; return 0; }
+func get() { return x; }`, false, stm.NOrec)
+	th := vm.NewThread(1)
+	if _, err := th.Call("set", 41); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := th.Call("get"); err != nil || v != 41 {
+		t.Fatalf("get = %d, %v", v, err)
+	}
+	if v, _ := vm.SharedNT("x", 0); v != 41 {
+		t.Fatalf("SharedNT = %d", v)
+	}
+}
+
+func TestAtomicCommitAndReturnInside(t *testing.T) {
+	for _, detect := range []bool{false, true} {
+		vm := build(t, `
+shared x;
+func bump_and_get() {
+	atomic {
+		x = x + 1;
+		return x;
+	}
+}`, detect, stm.SNOrec)
+		if err := vm.SetShared("x", 0, 10); err != nil {
+			t.Fatal(err)
+		}
+		th := vm.NewThread(1)
+		v, err := th.Call("bump_and_get")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With pattern detection the increment defers, and the return
+		// value reads it back (promoted); either way the result is 11.
+		if v != 11 {
+			t.Fatalf("detect=%v: got %d", detect, v)
+		}
+		if got, _ := vm.SharedNT("x", 0); got != 11 {
+			t.Fatalf("detect=%v: memory %d", detect, got)
+		}
+	}
+}
+
+func TestNestedAtomicFlattens(t *testing.T) {
+	vm := build(t, `
+shared x;
+func inner() {
+	atomic { x = x + 1; }
+	return 0;
+}
+func outer() {
+	atomic {
+		inner();
+		inner();
+		x = x + 10;
+	}
+	return x;
+}`, true, stm.SNOrec)
+	th := vm.NewThread(1)
+	v, err := th.Call("outer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12 {
+		t.Fatalf("outer = %d, want 12", v)
+	}
+}
+
+func TestUninstrumentedAtomicAccessFails(t *testing.T) {
+	// Build WITHOUT running tm_mark at all: shared access inside atomic
+	// must be rejected by the VM.
+	prog, err := txlang.Compile("shared x; func f() { atomic { x = 1; } return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog, stm.New(stm.NOrec))
+	if _, err := vm.NewThread(1).Call("f"); err == nil {
+		t.Fatal("expected instrumentation error")
+	}
+}
+
+func TestSharedBoundsChecked(t *testing.T) {
+	vm := build(t, `
+shared arr[4];
+func poke(i, v) { arr[i] = v; return 0; }`, false, stm.NOrec)
+	th := vm.NewThread(1)
+	if _, err := th.Call("poke", 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Call("poke", 4, 7); err == nil {
+		t.Fatal("out-of-range store must error")
+	}
+	if _, err := th.Call("poke", -1, 7); err == nil {
+		t.Fatal("negative address must error")
+	}
+}
+
+func TestSetSharedValidation(t *testing.T) {
+	vm := build(t, "shared a[4];", false, stm.NOrec)
+	if err := vm.SetShared("a", 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.SetShared("a", 9, 5); err == nil {
+		t.Error("offset past array must error")
+	}
+	if err := vm.SetShared("zzz", 0, 5); err == nil {
+		t.Error("unknown symbol must error")
+	}
+	if _, err := vm.SharedNT("zzz", 0); err == nil {
+		t.Error("unknown symbol read must error")
+	}
+}
+
+func TestRandBuiltin(t *testing.T) {
+	vm := build(t, "func roll(n) { return rand(n); }", false, stm.NOrec)
+	th := vm.NewThread(42)
+	for i := 0; i < 100; i++ {
+		v, err := th.Call("roll", 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 0 || v >= 6 {
+			t.Fatalf("rand out of range: %d", v)
+		}
+	}
+	if _, err := th.Call("roll", 0); err == nil {
+		t.Fatal("rand(0) must error")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	vm := build(t, "func spin() { while (1) { } return 0; }", false, stm.NOrec)
+	vm.MaxSteps = 10000
+	if _, err := vm.NewThread(1).Call("spin"); err == nil {
+		t.Fatal("expected step-budget error")
+	}
+}
+
+// TestSumExpressionEndToEnd compiles a joint-balance check with the
+// expression extension and verifies the _ITM_SE builtin runs correctly.
+func TestSumExpressionEndToEnd(t *testing.T) {
+	src := `
+shared a;
+shared b;
+func solvent() {
+	var r = 0;
+	atomic {
+		if (a + b > 0) { r = 1; }
+	}
+	return r;
+}`
+	prog, err := txlang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tmpass.Run(prog, tmpass.Options{
+		DetectPatterns: true, Optimize: true, DetectExpressions: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SE != 1 {
+		t.Fatalf("SE = %d", st.SE)
+	}
+	vm := New(prog, stm.New(stm.SNOrec))
+	if err := vm.SetShared("a", 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.SetShared("b", 0, -3); err != nil {
+		t.Fatal(err)
+	}
+	th := vm.NewThread(1)
+	if v, err := th.Call("solvent"); err != nil || v != 1 {
+		t.Fatalf("solvent = %d, %v", v, err)
+	}
+	if err := vm.SetShared("b", 0, -50); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := th.Call("solvent"); err != nil || v != 0 {
+		t.Fatalf("insolvent = %d, %v", v, err)
+	}
+	sn := vm.Runtime().Stats()
+	if sn.Compares != 2 || sn.Reads != 0 {
+		t.Fatalf("expression must be a single compare, no reads: %+v", sn)
+	}
+}
+
+// TestConcurrentAtomicCounter runs the compiled counter kernel from many
+// goroutines under every mode and checks the total — the VM's equivalent of
+// the library-level counter test.
+func TestConcurrentAtomicCounter(t *testing.T) {
+	for _, cfg := range []struct {
+		name   string
+		detect bool
+		algo   stm.Algorithm
+	}{
+		{"plain-norec", false, stm.NOrec},
+		{"modified-norec", true, stm.NOrec},
+		{"semantic-snorec", true, stm.SNOrec},
+		{"semantic-stl2", true, stm.STL2},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			vm := build(t, `
+shared counter;
+func bump(n) {
+	var i = 0;
+	while (i < n) {
+		atomic { counter = counter + 1; }
+		i = i + 1;
+	}
+	return 0;
+}`, cfg.detect, cfg.algo)
+			const workers, per = 6, 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					th := vm.NewThread(seed)
+					if _, err := th.Call("bump", per); err != nil {
+						t.Error(err)
+					}
+				}(int64(w))
+			}
+			wg.Wait()
+			if v, _ := vm.SharedNT("counter", 0); v != workers*per {
+				t.Fatalf("counter = %d, want %d", v, workers*per)
+			}
+		})
+	}
+}
+
+// TestAbortRetrySemantics: a transaction body whose locals are mutated
+// mid-transaction must re-execute from its entry state after an abort. The
+// bounded counter relies on it: the final value must never exceed the limit.
+func TestAbortRetrySemantics(t *testing.T) {
+	vm := build(t, `
+shared counter;
+shared limit;
+func bounded(n) {
+	var done = 0;
+	var i = 0;
+	while (i < n) {
+		atomic {
+			if (counter < limit) {
+				counter = counter + 1;
+				done = done + 1;
+			}
+		}
+		i = i + 1;
+	}
+	return done;
+}`, true, stm.SNOrec)
+	if err := vm.SetShared("limit", 0, 500); err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 6, 200 // 1200 attempts for 500 slots
+	results := make(chan int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v, err := vm.NewThread(seed).Call("bounded", per)
+			if err != nil {
+				t.Error(err)
+				results <- 0
+				return
+			}
+			results <- v
+		}(int64(w))
+	}
+	wg.Wait()
+	close(results)
+	var total int64
+	for v := range results {
+		total += v
+	}
+	c, _ := vm.SharedNT("counter", 0)
+	if c != 500 {
+		t.Fatalf("counter = %d, want exactly the limit", c)
+	}
+	if total != 500 {
+		t.Fatalf("successful bumps reported %d, want 500", total)
+	}
+}

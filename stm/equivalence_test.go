@@ -1,0 +1,113 @@
+package stm_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"semstm/stm"
+)
+
+// TestAlgorithmsAgreeSequentially runs identical randomized single-threaded
+// scripts — covering every API operation — on all nine algorithms and
+// requires bit-identical observations and final memory. Any divergence in
+// delegation, promotion, write-set merging, or expression handling shows up
+// as a mismatch against the first algorithm's trace.
+func TestAlgorithmsAgreeSequentially(t *testing.T) {
+	const (
+		vars    = 6
+		txns    = 60
+		opsPer  = 8
+		rngSeed = 12345
+	)
+	operators := []stm.Op{stm.OpEQ, stm.OpNEQ, stm.OpGT, stm.OpGTE, stm.OpLT, stm.OpLTE}
+
+	type step struct {
+		kind    int // 0 read 1 write 2 cmp 3 cmpvars 4 inc 5 cmpsum 6 cmpany
+		v, b, c int
+		op      stm.Op
+		arg     int64
+	}
+	// One fixed script for every algorithm.
+	rng := rand.New(rand.NewSource(rngSeed))
+	script := make([][]step, txns)
+	for i := range script {
+		script[i] = make([]step, opsPer)
+		for j := range script[i] {
+			script[i][j] = step{
+				kind: rng.Intn(7),
+				v:    rng.Intn(vars),
+				b:    rng.Intn(vars),
+				c:    rng.Intn(vars),
+				op:   operators[rng.Intn(len(operators))],
+				arg:  rng.Int63n(40) - 20,
+			}
+		}
+	}
+
+	run := func(algo stm.Algorithm) (trace []int64, final []int64) {
+		rt := stm.New(algo)
+		regs := stm.NewVars(vars, 0)
+		for _, tvs := range script {
+			rt.Atomically(func(tx *stm.Tx) {
+				trace = trace[:0] // aborted attempts leave no trace
+				for _, s := range tvs {
+					switch s.kind {
+					case 0:
+						trace = append(trace, tx.Read(regs[s.v]))
+					case 1:
+						tx.Write(regs[s.v], s.arg)
+					case 2:
+						trace = append(trace, b2i(tx.Cmp(regs[s.v], s.op, s.arg)))
+					case 3:
+						trace = append(trace, b2i(tx.CmpVars(regs[s.v], s.op, regs[s.b])))
+					case 4:
+						tx.Inc(regs[s.v], s.arg)
+					case 5:
+						trace = append(trace, b2i(tx.CmpSum(s.op, s.arg, regs[s.v], regs[s.b], regs[s.c])))
+					case 6:
+						trace = append(trace, b2i(tx.CmpAny(
+							stm.Cond{Var: regs[s.v], Op: s.op, Operand: s.arg},
+							stm.Cond{Var: regs[s.b], Op: s.op.Inverse(), Operand: -s.arg},
+						)))
+					}
+				}
+			})
+		}
+		final = make([]int64, vars)
+		for i, r := range regs {
+			final[i] = r.Load()
+		}
+		return append([]int64(nil), trace...), final
+	}
+
+	algos := stm.Algorithms()
+	refTrace, refFinal := run(algos[0])
+	for _, a := range algos[1:] {
+		trace, final := run(a)
+		if !reflect.DeepEqual(final, refFinal) {
+			t.Errorf("%v final memory %v, want %v (as %v)", a, final, refFinal, algos[0])
+		}
+		if !reflect.DeepEqual(trace, refTrace) {
+			t.Errorf("%v last-txn trace %v, want %v (as %v)", a, trace, refTrace, algos[0])
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestOpInverseExported sanity-checks the exported operator helpers used by
+// the equivalence script.
+func TestOpInverseExported(t *testing.T) {
+	if stm.OpGT.Inverse() != stm.OpLTE {
+		t.Fatal("inverse")
+	}
+	if !stm.OpGTE.Eval(3, 3) {
+		t.Fatal("eval")
+	}
+}

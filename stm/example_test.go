@@ -1,0 +1,110 @@
+package stm_test
+
+import (
+	"fmt"
+
+	"semstm/stm"
+)
+
+// The classic inventory pattern: check availability semantically, then
+// update with deferred increments.
+func ExampleRuntime_Atomically() {
+	rt := stm.New(stm.SNOrec)
+	stock := stm.NewVar(3)
+	sold := stm.NewVar(0)
+
+	for i := 0; i < 5; i++ {
+		rt.Atomically(func(tx *stm.Tx) {
+			if tx.GT(stock, 0) { // TM_GT: a fact, not a value
+				tx.Dec(stock, 1) // TM_DEC: no read, applied at commit
+				tx.Inc(sold, 1)
+			}
+		})
+	}
+	fmt.Println(stock.Load(), sold.Load())
+	// Output: 0 3
+}
+
+// Run returns a value computed inside the transaction.
+func ExampleRun() {
+	rt := stm.New(stm.STL2)
+	x := stm.NewVar(20)
+	y := stm.NewVar(22)
+	sum := stm.Run(rt, func(tx *stm.Tx) int64 {
+		return tx.Read(x) + tx.Read(y)
+	})
+	fmt.Println(sum)
+	// Output: 42
+}
+
+// The address–address form compares two transactional variables as one
+// semantic fact — the queue-emptiness test of the paper's Algorithm 3.
+func ExampleTx_CmpVars() {
+	rt := stm.New(stm.SNOrec)
+	head := stm.NewVar(4)
+	tail := stm.NewVar(7)
+	empty := stm.Run(rt, func(tx *stm.Tx) bool {
+		return tx.CmpVars(head, stm.OpEQ, tail)
+	})
+	fmt.Println(empty)
+	// Output: false
+}
+
+// CmpSum treats an arithmetic comparison over several variables as one
+// fact: concurrent transfers between x and y can never abort this check.
+func ExampleTx_CmpSum() {
+	rt := stm.New(stm.SNOrec)
+	x := stm.NewVar(100)
+	y := stm.NewVar(-40)
+	solvent := stm.Run(rt, func(tx *stm.Tx) bool {
+		return tx.CmpSum(stm.OpGT, 0, x, y)
+	})
+	fmt.Println(solvent)
+	// Output: true
+}
+
+// CmpAny treats a disjunction as one fact: a clause may flip as long as
+// another carries the OR (the paper's Algorithm 1, full strength).
+func ExampleTx_CmpAny() {
+	rt := stm.New(stm.SNOrec)
+	x := stm.NewVar(-5)
+	y := stm.NewVar(9)
+	ok := stm.Run(rt, func(tx *stm.Tx) bool {
+		return tx.CmpAny(
+			stm.Cond{Var: x, Op: stm.OpGT, Operand: 0},
+			stm.Cond{Var: y, Op: stm.OpGT, Operand: 0},
+		)
+	})
+	fmt.Println(ok)
+	// Output: true
+}
+
+// Restart retries the transaction from scratch — an external abort.
+func ExampleTx_Restart() {
+	rt := stm.New(stm.SNOrec)
+	turn := stm.NewVar(0)
+	attempts := 0
+	rt.Atomically(func(tx *stm.Tx) {
+		attempts++
+		if attempts < 3 {
+			tx.Restart()
+		}
+		tx.Write(turn, int64(attempts))
+	})
+	fmt.Println(attempts, turn.Load())
+	// Output: 3 3
+}
+
+// Runtimes expose the statistics behind the paper's Table 3.
+func ExampleRuntime_Stats() {
+	rt := stm.New(stm.SNOrec)
+	v := stm.NewVar(1)
+	rt.Atomically(func(tx *stm.Tx) {
+		if tx.GT(v, 0) {
+			tx.Inc(v, 1)
+		}
+	})
+	sn := rt.Stats()
+	fmt.Println(sn.Commits, sn.Compares, sn.Incs)
+	// Output: 1 1 1
+}

@@ -1,0 +1,457 @@
+// Package stm is the public API of the semantic software transactional
+// memory library, a Go reproduction of "Extending TM Primitives using Low
+// Level Semantics" (Saad, Palmieri, Hassan, Ravindran; SPAA 2016).
+//
+// The library provides the four classical TM constructs — transaction
+// boundaries plus Read and Write barriers — and the paper's TM-friendly
+// semantic extensions of Table 1: the six conditional operators (GT, GTE,
+// LT, LTE, EQ, NEQ, in both address–value and address–address form) and
+// Inc/Dec. Semantic operations record *facts* ("x > 0") instead of values,
+// so concurrent writers that do not change the fact's outcome no longer
+// abort the reader; increments defer their read to commit time.
+//
+// Four STM algorithms are available: NOrec and TL2 (the classical baselines,
+// which transparently delegate semantic calls to classical barriers) and
+// their semantic extensions S-NOrec and S-TL2 (Algorithms 6 and 7 of the
+// paper), plus a single-global-lock sanity baseline.
+//
+// Basic use:
+//
+//	rt := stm.New(stm.SNOrec)
+//	x := stm.NewVar(5)
+//	rt.Atomically(func(tx *stm.Tx) {
+//		if tx.GT(x, 0) {
+//			tx.Inc(x, -1)
+//		}
+//	})
+package stm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"semstm/internal/core"
+	"semstm/internal/htm"
+	"semstm/internal/norec"
+	"semstm/internal/ringstm"
+	"semstm/internal/sgl"
+	"semstm/internal/tl2"
+)
+
+// Var is a transactional memory cell holding one 64-bit signed word. Allocate
+// with NewVar/NewVars; access inside transactions through Tx methods.
+type Var = core.Var
+
+// Op is a semantic comparison operator.
+type Op = core.Op
+
+// The six conditional operators of the extended TM API (Table 1).
+const (
+	OpEQ  = core.OpEQ
+	OpNEQ = core.OpNEQ
+	OpGT  = core.OpGT
+	OpGTE = core.OpGTE
+	OpLT  = core.OpLT
+	OpLTE = core.OpLTE
+)
+
+// Snapshot is a point-in-time copy of a runtime's aggregate counters.
+type Snapshot = core.Snapshot
+
+// Cond is one clause of a composed condition for Tx.CmpAny: "*Var Op
+// Operand".
+type Cond = core.Cond
+
+// NewVar allocates a transactional variable with the given initial value.
+func NewVar(initial int64) *Var { return core.NewVar(initial) }
+
+// NewVars allocates n transactional variables in one contiguous block.
+func NewVars(n int, initial int64) []*Var { return core.NewVars(n, initial) }
+
+// Algorithm selects the STM algorithm backing a Runtime.
+type Algorithm int
+
+const (
+	// NOrec is the value-based baseline [PPoPP 2010]; semantic calls are
+	// delegated to classical read/write barriers.
+	NOrec Algorithm = iota
+	// SNOrec is S-NOrec, Algorithm 6 of the paper: NOrec with semantic
+	// validation, compare facts, and deferred increments.
+	SNOrec
+	// TL2 is the version-based baseline [DISC 2006]; semantic calls are
+	// delegated to classical read/write barriers.
+	TL2
+	// STL2 is S-TL2, Algorithm 7 of the paper: TL2 with a compare-set,
+	// phase-1 start-version extension, and CAS-based clock increments.
+	STL2
+	// SGL is a single-global-lock baseline (not in the paper's plots;
+	// used for testing and sanity comparisons).
+	SGL
+	// HTM is a simulated best-effort hardware TM with a single-global-lock
+	// fallback (capacity limits, spurious aborts, lock subscription) — the
+	// hybrid-TM substrate of the paper's introduction.
+	HTM
+	// SHTM applies the semantic primitives to the simulated hardware path
+	// (the paper's stated future work): facts and deferred increments
+	// shrink the tracked set, saving capacity aborts as well as conflicts.
+	SHTM
+	// Ring is RingSTM [SPAA 2008], the signature-based validation family:
+	// commits publish Bloom-filter write signatures on a global ring and
+	// readers abort on any signature intersection.
+	Ring
+	// SRing is S-RingSTM: the paper's methodology applied to signature
+	// validation — an intersection triggers semantic re-validation of the
+	// recorded facts instead of an unconditional abort, so Bloom false
+	// positives and benign value changes stop aborting readers.
+	SRing
+	numAlgorithms
+)
+
+// Semantic reports whether the algorithm executes the semantic primitives
+// natively (true) or delegates them to classical barriers (false).
+func (a Algorithm) Semantic() bool {
+	return a == SNOrec || a == STL2 || a == SHTM || a == SRing
+}
+
+// String returns the conventional name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case NOrec:
+		return "NOrec"
+	case SNOrec:
+		return "S-NOrec"
+	case TL2:
+		return "TL2"
+	case STL2:
+		return "S-TL2"
+	case SGL:
+		return "SGL"
+	case HTM:
+		return "HTM"
+	case SHTM:
+		return "S-HTM"
+	case Ring:
+		return "RingSTM"
+	case SRing:
+		return "S-RingSTM"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists every selectable algorithm, in display order.
+func Algorithms() []Algorithm {
+	return []Algorithm{NOrec, SNOrec, TL2, STL2, Ring, SRing, SGL, HTM, SHTM}
+}
+
+// Runtime is an STM instance: one algorithm, its global metadata (sequence
+// lock, version clock, orec table), and aggregate statistics. Independent
+// Runtimes do not synchronize with each other, so a Var must only ever be
+// accessed through a single Runtime at a time.
+type Runtime struct {
+	algo       Algorithm
+	stats      core.Stats
+	norecG     *norec.Global
+	tl2G       *tl2.Global
+	sglG       *sgl.Global
+	htmG       *htm.Global
+	ringG      *ringstm.Global
+	txPool     sync.Pool
+	yieldEvery int
+
+	// Ablation and tuning knobs, set before the runtime is shared.
+	dedupReads  bool
+	noExtend    bool
+	backoff     BackoffPolicy
+	htmCapacity int
+	htmRetries  int
+	htmSpurious float64
+}
+
+// New creates a runtime for the given algorithm.
+func New(algo Algorithm) *Runtime {
+	if algo < 0 || algo >= numAlgorithms {
+		panic(fmt.Sprintf("stm: unknown algorithm %d", int(algo)))
+	}
+	rt := &Runtime{
+		algo:        algo,
+		htmCapacity: htm.DefaultCapacity,
+		htmRetries:  htm.DefaultMaxHWRetries,
+		htmSpurious: htm.DefaultSpuriousPct,
+	}
+	switch algo {
+	case NOrec, SNOrec:
+		rt.norecG = norec.NewGlobal()
+	case TL2, STL2:
+		rt.tl2G = tl2.NewGlobal()
+	case SGL:
+		rt.sglG = sgl.NewGlobal()
+	case HTM, SHTM:
+		rt.htmG = htm.NewGlobal()
+	case Ring, SRing:
+		rt.ringG = ringstm.NewGlobal()
+	}
+	rt.txPool.New = func() any { return rt.newTx() }
+	return rt
+}
+
+// newTx builds a fresh transaction descriptor for this runtime's algorithm.
+func (rt *Runtime) newTx() *Tx {
+	tx := &Tx{rt: rt, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	switch rt.algo {
+	case NOrec, SNOrec:
+		impl := norec.NewTx(rt.norecG, rt.algo == SNOrec)
+		impl.SetDedupReads(rt.dedupReads)
+		tx.impl = impl
+	case TL2, STL2:
+		impl := tl2.NewTx(rt.tl2G, rt.algo == STL2)
+		impl.SetNoExtend(rt.noExtend)
+		tx.impl = impl
+	case SGL:
+		tx.impl = sgl.NewTx(rt.sglG)
+	case HTM, SHTM:
+		impl := htm.NewTx(rt.htmG, rt.algo == SHTM, time.Now().UnixNano())
+		impl.Capacity = rt.htmCapacity
+		impl.MaxHWRetries = rt.htmRetries
+		impl.SpuriousPct = rt.htmSpurious
+		tx.impl = impl
+	case Ring, SRing:
+		tx.impl = ringstm.NewTx(rt.ringG, rt.algo == SRing)
+	}
+	return tx
+}
+
+// Algorithm reports which algorithm backs the runtime.
+func (rt *Runtime) Algorithm() Algorithm { return rt.algo }
+
+// SetYieldEvery makes every transaction yield the processor after each n
+// transactional operations (0 disables). On machines with few cores,
+// goroutines rarely preempt mid-transaction, which hides the conflict
+// dynamics a multicore exhibits; the benchmark harness enables this to
+// simulate concurrent interleaving (see DESIGN.md). It must be set before
+// the runtime is shared between goroutines.
+func (rt *Runtime) SetYieldEvery(n int) { rt.yieldEvery = n }
+
+// SetReadDedup enables read-after-read de-duplication in the NOrec family —
+// the trade-off Section 4.1 of the paper discusses (the scan cost versus
+// redundant read-set entries). Off by default, matching the paper.
+func (rt *Runtime) SetReadDedup(on bool) { rt.dedupReads = on }
+
+// SetNoExtend disables S-TL2's phase-1 snapshot extension (an ablation of
+// the optimization of Algorithm 7 lines 19-25). Off by default.
+func (rt *Runtime) SetNoExtend(on bool) { rt.noExtend = on }
+
+// SetBackoff selects the contention-management policy applied between
+// attempts.
+func (rt *Runtime) SetBackoff(p BackoffPolicy) { rt.backoff = p }
+
+// ConfigureHTM tunes the simulated hardware: tracked-location capacity,
+// hardware retries before fallback, and spurious-abort percentage. It only
+// affects the HTM and S-HTM algorithms.
+func (rt *Runtime) ConfigureHTM(capacity, retries int, spuriousPct float64) {
+	rt.htmCapacity = capacity
+	rt.htmRetries = retries
+	rt.htmSpurious = spuriousPct
+}
+
+// HTMStats reports (fallbacks, hardwareAborts) for HTM runtimes and zeros
+// otherwise.
+func (rt *Runtime) HTMStats() (fallbacks, hwAborts uint64) {
+	if rt.htmG == nil {
+		return 0, 0
+	}
+	return rt.htmG.Fallbacks(), rt.htmG.HWAborts()
+}
+
+// Stats returns a snapshot of the aggregate counters (commits, aborts, and
+// per-category operation counts — the raw material of Table 3).
+func (rt *Runtime) Stats() Snapshot { return rt.stats.Snapshot() }
+
+// Atomically executes fn as one transaction, retrying on conflict until it
+// commits. The function may run several times; it must confine its side
+// effects to transactional variables (and idempotent local state). A panic
+// other than the internal abort signal propagates to the caller after the
+// attempt is rolled back.
+func (rt *Runtime) Atomically(fn func(tx *Tx)) {
+	tx := rt.txPool.Get().(*Tx)
+	defer rt.txPool.Put(tx)
+	if e, ok := tx.impl.(interface{ NewEpoch() }); ok {
+		e.NewEpoch()
+	}
+	for attempt := 0; ; attempt++ {
+		if rt.tryOnce(tx, fn) {
+			return
+		}
+		tx.backoff(attempt)
+	}
+}
+
+// tryOnce runs a single attempt, returning true on commit and false on abort.
+func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			tx.impl.Cleanup()
+			rt.stats.Merge(tx.impl.AttemptStats(), false)
+			if !core.IsAbort(r) {
+				panic(r)
+			}
+		}
+	}()
+	tx.impl.Start()
+	fn(tx)
+	tx.impl.Commit()
+	rt.stats.Merge(tx.impl.AttemptStats(), true)
+	return true
+}
+
+// Run executes fn transactionally and returns its result, a convenience for
+// read-mostly transactions that produce a value.
+func Run[T any](rt *Runtime, fn func(tx *Tx) T) T {
+	var out T
+	rt.Atomically(func(tx *Tx) { out = fn(tx) })
+	return out
+}
+
+// Tx is a live transaction handle, valid only inside the function passed to
+// Atomically, and only on the goroutine that received it.
+type Tx struct {
+	rt   *Runtime
+	impl core.TxImpl
+	rng  *rand.Rand
+	ops  int
+}
+
+// BackoffPolicy selects how a transaction waits between attempts — the
+// contention-manager choice the TM literature studies ([Scherer & Scott,
+// PODC 2005]); the ablation benchmarks compare them.
+type BackoffPolicy int
+
+const (
+	// BackoffExp (default): a few polite yields, then randomized
+	// exponential sleeps.
+	BackoffExp BackoffPolicy = iota
+	// BackoffYield: always just yield the processor.
+	BackoffYield
+	// BackoffNone: retry immediately.
+	BackoffNone
+)
+
+// maybeYield implements the interleave simulation of SetYieldEvery.
+func (tx *Tx) maybeYield() {
+	if n := tx.rt.yieldEvery; n > 0 {
+		tx.ops++
+		if tx.ops%n == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// backoff applies the runtime's contention-management policy between
+// attempts. The default is randomized exponential backoff: polite yields for
+// the first conflicts, short randomized sleeps after that.
+func (tx *Tx) backoff(attempt int) {
+	switch tx.rt.backoff {
+	case BackoffNone:
+		return
+	case BackoffYield:
+		runtime.Gosched()
+		return
+	}
+	if attempt < 4 {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt
+	if shift > 12 {
+		shift = 12
+	}
+	max := 1 << shift // microseconds
+	time.Sleep(time.Duration(1+tx.rng.Intn(max)) * time.Microsecond)
+}
+
+// Read is the classical TM_READ barrier: it returns the transactional value
+// of v.
+func (tx *Tx) Read(v *Var) int64 { tx.maybeYield(); return tx.impl.Read(v) }
+
+// Write is the classical TM_WRITE barrier: it buffers the store of val to v.
+func (tx *Tx) Write(v *Var, val int64) { tx.maybeYield(); tx.impl.Write(v, val) }
+
+// Cmp evaluates the semantic conditional "*v op operand" (TM_GT and friends,
+// address–value form).
+func (tx *Tx) Cmp(v *Var, op Op, operand int64) bool {
+	tx.maybeYield()
+	return tx.impl.Cmp(v, op, operand)
+}
+
+// CmpVars evaluates the address–address conditional "*a op *b" (_ITM_S2R).
+func (tx *Tx) CmpVars(a *Var, op Op, b *Var) bool { tx.maybeYield(); return tx.impl.CmpVars(a, op, b) }
+
+// GT reports whether *v > operand (TM_GT).
+func (tx *Tx) GT(v *Var, operand int64) bool {
+	tx.maybeYield()
+	return tx.impl.Cmp(v, core.OpGT, operand)
+}
+
+// GTE reports whether *v >= operand (TM_GTE).
+func (tx *Tx) GTE(v *Var, operand int64) bool {
+	tx.maybeYield()
+	return tx.impl.Cmp(v, core.OpGTE, operand)
+}
+
+// LT reports whether *v < operand (TM_LT).
+func (tx *Tx) LT(v *Var, operand int64) bool {
+	tx.maybeYield()
+	return tx.impl.Cmp(v, core.OpLT, operand)
+}
+
+// LTE reports whether *v <= operand (TM_LTE).
+func (tx *Tx) LTE(v *Var, operand int64) bool {
+	tx.maybeYield()
+	return tx.impl.Cmp(v, core.OpLTE, operand)
+}
+
+// EQ reports whether *v == operand (TM_EQ).
+func (tx *Tx) EQ(v *Var, operand int64) bool {
+	tx.maybeYield()
+	return tx.impl.Cmp(v, core.OpEQ, operand)
+}
+
+// NEQ reports whether *v != operand (TM_NEQ).
+func (tx *Tx) NEQ(v *Var, operand int64) bool {
+	tx.maybeYield()
+	return tx.impl.Cmp(v, core.OpNEQ, operand)
+}
+
+// Inc adds delta (which may be negative) to *v (TM_INC / TM_DEC). The read
+// half of the update is deferred to commit time unless a later read of v in
+// the same transaction promotes it.
+func (tx *Tx) Inc(v *Var, delta int64) { tx.maybeYield(); tx.impl.Inc(v, delta) }
+
+// Dec subtracts delta from *v; Dec(v, d) is Inc(v, -d).
+func (tx *Tx) Dec(v *Var, delta int64) { tx.maybeYield(); tx.impl.Inc(v, -delta) }
+
+// CmpSum evaluates the arithmetic conditional "(*vars[0] + *vars[1] + ...)
+// op rhs". Under S-NOrec and S-HTM the whole comparison is one semantic
+// fact, so compensating changes to the addends never abort the reader (the
+// "x + y > 0" extension of the paper's technical report); other algorithms
+// delegate to classical reads.
+func (tx *Tx) CmpSum(op Op, rhs int64, vars ...*Var) bool {
+	tx.maybeYield()
+	return tx.impl.CmpSum(op, rhs, vars)
+}
+
+// CmpAny evaluates the composed condition "c1 || c2 || ...". Under S-NOrec
+// and S-HTM the disjunction is one semantic fact — a clause may flip as long
+// as the overall outcome holds (the full-strength version of the paper's
+// Algorithm 1 example); S-TL2 records each evaluated clause as its own fact.
+func (tx *Tx) CmpAny(conds ...Cond) bool {
+	tx.maybeYield()
+	return tx.impl.CmpAny(conds)
+}
+
+// Restart aborts the current attempt and re-executes the transaction from
+// the beginning (an external abort in TM terms).
+func (tx *Tx) Restart() { core.Abort() }
