@@ -6,10 +6,15 @@
 //	semstm-bench -list
 //	semstm-bench -exp fig1a [-threads 2,4,8] [-dur 500ms]
 //	semstm-bench -exp all   [-ops 4000]
+//	semstm-bench -json BENCH_PR1.json [-threads 1,4,8] [-dur 300ms]
 //
 // Each experiment prints the same series the corresponding paper panel
 // plots: throughput or execution time plus abort rates per algorithm per
-// thread count, or the Table 3 operation profile.
+// thread count, or the Table 3 operation profile. With -json, the tool
+// instead measures the committed perf baseline — {hashtable, bank} ×
+// {NOrec, S-NOrec, TL2, S-TL2} × {1, 4, 8} threads — and writes it as a
+// machine-readable BENCH_*.json report (throughput, abort rate, commit and
+// abort counts per cell) so perf PRs can diff against it.
 package main
 
 import (
@@ -25,15 +30,16 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		expID   = flag.String("exp", "", "experiment id to run, or \"all\"")
-		threads = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
-		dur     = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
-		ops     = flag.Int("ops", 0, "total operations for execution-time experiments")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		expID    = flag.String("exp", "", "experiment id to run, or \"all\"")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
+		dur      = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
+		ops      = flag.Int("ops", 0, "total operations for execution-time experiments")
+		jsonPath = flag.String("json", "", "write the micro-benchmark baseline as JSON to this path (BENCH_*.json)")
 	)
 	flag.Parse()
 
-	if *list || *expID == "" {
+	if *list || (*expID == "" && *jsonPath == "") {
 		fmt.Println("Available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Panels, e.Title)
@@ -52,6 +58,27 @@ func main() {
 				fatalf("bad -threads value %q", part)
 			}
 			cfg.Threads = append(cfg.Threads, n)
+		}
+	}
+
+	if *jsonPath != "" {
+		fmt.Printf("=== baseline -> %s ===\n", *jsonPath)
+		start := time.Now()
+		rep, err := experiments.Baseline(cfg)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		out, err := rep.MarshalIndent()
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fatalf("baseline: %v", err)
+		}
+		fmt.Printf("[%d cells at %d ms each written in %v]\n",
+			len(rep.Cells), rep.DurationMS, time.Since(start).Round(time.Millisecond))
+		if *expID == "" {
+			return
 		}
 	}
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -157,6 +159,162 @@ func TestWriteSetModel(t *testing.T) {
 	}
 }
 
+// wsRefModel is a trivially-correct write-set: a map from Var to entry plus
+// an insertion-order log, replaying the merge rules of Algorithm 6 directly.
+type wsRefModel struct {
+	entries map[*Var]*WriteEntry
+	order   []*Var
+}
+
+func newWSRefModel() *wsRefModel {
+	return &wsRefModel{entries: make(map[*Var]*WriteEntry)}
+}
+
+func (m *wsRefModel) putWrite(v *Var, val int64) {
+	if e, ok := m.entries[v]; ok {
+		e.Val, e.Kind = val, EntryWrite
+		return
+	}
+	m.entries[v] = &WriteEntry{Var: v, Val: val, Kind: EntryWrite}
+	m.order = append(m.order, v)
+}
+
+func (m *wsRefModel) putInc(v *Var, delta int64) {
+	if e, ok := m.entries[v]; ok {
+		e.Val += delta
+		return
+	}
+	m.entries[v] = &WriteEntry{Var: v, Val: delta, Kind: EntryInc}
+	m.order = append(m.order, v)
+}
+
+func (m *wsRefModel) promote(v *Var, total int64) bool {
+	e, ok := m.entries[v]
+	if !ok {
+		return false
+	}
+	e.Val, e.Kind = total, EntryWrite
+	return true
+}
+
+func (m *wsRefModel) reset() {
+	clear(m.entries)
+	m.order = m.order[:0]
+}
+
+// checkAgainst asserts the write-set matches the model exactly: same entry
+// order, kinds, and values, and identical Get outcomes for every variable.
+func (m *wsRefModel) checkAgainst(t *testing.T, ws *WriteSet, vars []*Var) {
+	t.Helper()
+	if ws.Len() != len(m.order) {
+		t.Fatalf("Len = %d, model has %d", ws.Len(), len(m.order))
+	}
+	for i, e := range ws.Entries() {
+		want := m.entries[m.order[i]]
+		if e.Var != want.Var || e.Val != want.Val || e.Kind != want.Kind {
+			t.Fatalf("entry %d = {%v %d %d}, model {%v %d %d}",
+				i, e.Var.ID(), e.Val, e.Kind, want.Var.ID(), want.Val, want.Kind)
+		}
+	}
+	for _, v := range vars {
+		got := ws.Get(v)
+		want, ok := m.entries[v]
+		if !ok {
+			if got != nil {
+				t.Fatalf("Get(%d) = %+v, model says absent", v.ID(), got)
+			}
+			continue
+		}
+		if got == nil || got.Val != want.Val || got.Kind != want.Kind {
+			t.Fatalf("Get(%d) = %+v, model %+v", v.ID(), got, want)
+		}
+	}
+}
+
+// applyWSScript replays one opcode on both the write-set and the model.
+// Opcodes: 0 write, 1 inc, 2 promote (only when present), 3 reset (rare).
+func applyWSScript(t *testing.T, ws *WriteSet, m *wsRefModel, vars []*Var, op, varIdx uint8, arg int64) {
+	t.Helper()
+	v := vars[int(varIdx)%len(vars)]
+	switch op % 4 {
+	case 0:
+		ws.PutWrite(v, arg)
+		m.putWrite(v, arg)
+	case 1:
+		ws.PutInc(v, arg)
+		m.putInc(v, arg)
+	case 2:
+		if m.promote(v, arg) {
+			ws.Promote(v, arg)
+		}
+	case 3:
+		// Reset rarely, so sequences still grow past the small-set bound
+		// and through table resizes.
+		if varIdx%16 == 0 {
+			ws.Reset()
+			m.reset()
+		}
+	}
+}
+
+// TestWriteSetReferenceModel drives randomized write/inc/promote/reset
+// sequences against the map-based reference model. 48 variables over long
+// sequences push the set through the small-set scan, the open-addressed
+// table build, and at least one probe-table resize, locking the public
+// WriteSet behavior (PutWrite/PutInc/Promote/Get/Entries ordering) to the
+// pre-overhaul semantics.
+func TestWriteSetReferenceModel(t *testing.T) {
+	type opcode struct {
+		Op, VarIdx uint8
+		Arg        int64
+	}
+	vars := NewVars(48, 0)
+	f := func(ops []opcode) bool {
+		ws := NewWriteSet()
+		m := newWSRefModel()
+		for _, o := range ops {
+			applyWSScript(t, ws, m, vars, o.Op, o.VarIdx, o.Arg)
+		}
+		m.checkAgainst(t, ws, vars)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One deterministic long sequence reusing a single set across resets, the
+	// pooled-descriptor lifecycle (table persists cleared between attempts).
+	rng := rand.New(rand.NewSource(7))
+	ws := NewWriteSet()
+	m := newWSRefModel()
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 200; i++ {
+			applyWSScript(t, ws, m, vars, uint8(rng.Intn(3)), uint8(rng.Intn(256)), rng.Int63n(100)-50)
+		}
+		m.checkAgainst(t, ws, vars)
+		ws.Reset()
+		m.reset()
+		m.checkAgainst(t, ws, vars)
+	}
+}
+
+// FuzzWriteSetModel is the fuzz-driven variant of the reference-model check:
+// the input bytes are decoded as (op, var, arg) triples and replayed on both
+// representations.
+func FuzzWriteSetModel(f *testing.F) {
+	f.Add([]byte{0, 1, 5, 1, 1, 3, 2, 1, 9})
+	f.Add(bytes.Repeat([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 24))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		vars := NewVars(32, 0)
+		ws := NewWriteSet()
+		m := newWSRefModel()
+		for i := 0; i+2 < len(script); i += 3 {
+			applyWSScript(t, ws, m, vars, script[i], script[i+1], int64(int8(script[i+2])))
+		}
+		m.checkAgainst(t, ws, vars)
+	})
+}
+
 func TestSemSetOutcomeEncoding(t *testing.T) {
 	v := NewVar(10)
 	s := NewSemSet()
@@ -214,6 +372,71 @@ func TestSemSetReset(t *testing.T) {
 	}
 	if !s.HoldsNow() {
 		t.Fatal("empty set trivially holds")
+	}
+}
+
+// TestSemSetHasEQIndexed locks the duplicate index to a naive scan: random
+// mixes of plain EQ facts, outcome facts, and two-address facts, probed with
+// both present and absent pairs, across Reset reuse of one set.
+func TestSemSetHasEQIndexed(t *testing.T) {
+	vars := NewVars(16, 0)
+	naive := func(s *SemSet, v *Var, val int64) bool {
+		for _, e := range s.Entries() {
+			if e.Var == v && e.Op == OpEQ && e.OperandVar == nil && e.Operand == val {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(42))
+	s := NewSemSet()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 300; i++ {
+			v := vars[rng.Intn(len(vars))]
+			val := rng.Int63n(8)
+			switch rng.Intn(4) {
+			case 0:
+				s.Append(v, OpEQ, val)
+			case 1:
+				s.AppendOutcome(v, OpGT, val, rng.Intn(2) == 0)
+			case 2:
+				s.AppendOutcomeVar(v, OpNEQ, vars[rng.Intn(len(vars))], true)
+			case 3:
+				// probe only
+			}
+			pv, pval := vars[rng.Intn(len(vars))], rng.Int63n(8)
+			if got, want := s.HasEQ(pv, pval), naive(s, pv, pval); got != want {
+				t.Fatalf("round %d op %d: HasEQ(%d,%d) = %v, naive %v",
+					round, i, pv.ID(), pval, got, want)
+			}
+		}
+		s.Reset()
+		if s.HasEQ(vars[0], 0) {
+			t.Fatal("HasEQ must be false after Reset")
+		}
+	}
+}
+
+// TestWriteSetMayContain: misses must be definitive, hits conservative.
+func TestWriteSetMayContain(t *testing.T) {
+	ws := NewWriteSet()
+	vars := NewVars(32, 0)
+	for i, v := range vars[:16] {
+		ws.PutWrite(v, int64(i))
+		if !ws.MayContain(v) {
+			t.Fatalf("MayContain(%d) false for buffered variable", v.ID())
+		}
+	}
+	for _, v := range vars[16:] {
+		if ws.Get(v) != nil {
+			t.Fatalf("Get(%d) hit for absent variable", v.ID())
+		}
+	}
+	ws.Reset()
+	for _, v := range vars {
+		if ws.MayContain(v) {
+			t.Fatalf("MayContain(%d) true on empty set", v.ID())
+		}
 	}
 }
 

@@ -4,8 +4,8 @@ import "sync/atomic"
 
 // TxStats accumulates per-attempt operation counts. A transaction attempt
 // mutates its TxStats locally (no synchronization) and the runtime folds the
-// numbers into the shared Stats on commit or abort. The operation categories
-// are exactly those of Table 3 of the paper.
+// numbers into a StatsShard on commit or abort. The operation categories are
+// exactly those of Table 3 of the paper.
 type TxStats struct {
 	Reads    uint64 // classical transactional reads
 	Writes   uint64 // classical transactional writes
@@ -17,45 +17,87 @@ type TxStats struct {
 // Reset zeroes the per-attempt counters.
 func (ts *TxStats) Reset() { *ts = TxStats{} }
 
-// pad keeps hot counters on separate cache lines.
-type pad [56]byte
+// Counter indices of the aggregate layout: commits and aborts first, then
+// the Table 3 operation categories in TxStats order.
+const (
+	cCommits = iota
+	cAborts
+	cReads
+	cWrites
+	cCompares
+	cIncs
+	cPromotes
+	numCounters
+)
 
-// Stats aggregates runtime-wide counters across all threads.
-type Stats struct {
-	Commits  atomic.Uint64
-	_        pad
-	Aborts   atomic.Uint64
-	_        pad
-	Reads    atomic.Uint64
-	Writes   atomic.Uint64
-	Compares atomic.Uint64
-	Incs     atomic.Uint64
-	Promotes atomic.Uint64
+// paddedCounter is one aggregate counter alone on its cache line. Every
+// counter is padded uniformly: before sharding, Reads/Writes/Compares/Incs/
+// Promotes shared cache lines (only Commits/Aborts were padded), so two
+// threads folding different categories still collided.
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
 }
 
-// Merge folds one attempt's counters into the aggregate.
-func (s *Stats) Merge(ts *TxStats, committed bool) {
+// StatsShard is one worker's slice of the aggregate counters. Each pooled
+// transaction descriptor owns a shard, so in steady state a shard's cache
+// lines are written by a single thread and the atomic adds are uncontended —
+// this is the fast path; the atomics only arbitrate the rare descriptor
+// hand-off through the pool and the Snapshot fold.
+type StatsShard struct {
+	c [numCounters]paddedCounter
+}
+
+// Merge folds one attempt's counters into the shard.
+func (sh *StatsShard) Merge(ts *TxStats, committed bool) {
 	if committed {
-		s.Commits.Add(1)
+		sh.c[cCommits].n.Add(1)
 	} else {
-		s.Aborts.Add(1)
+		sh.c[cAborts].n.Add(1)
 	}
 	if ts.Reads != 0 {
-		s.Reads.Add(ts.Reads)
+		sh.c[cReads].n.Add(ts.Reads)
 	}
 	if ts.Writes != 0 {
-		s.Writes.Add(ts.Writes)
+		sh.c[cWrites].n.Add(ts.Writes)
 	}
 	if ts.Compares != 0 {
-		s.Compares.Add(ts.Compares)
+		sh.c[cCompares].n.Add(ts.Compares)
 	}
 	if ts.Incs != 0 {
-		s.Incs.Add(ts.Incs)
+		sh.c[cIncs].n.Add(ts.Incs)
 	}
 	if ts.Promotes != 0 {
-		s.Promotes.Add(ts.Promotes)
+		sh.c[cPromotes].n.Add(ts.Promotes)
 	}
 }
+
+// numShards bounds the shard pool of one Stats. Registrations beyond the
+// bound wrap around and share (still correct, still mostly uncontended up to
+// numShards concurrent workers); the bound keeps the zero-value Stats a
+// fixed-size, leak-free structure.
+const numShards = 64
+
+// Stats aggregates runtime-wide counters across all threads as a fixed pool
+// of cache-line-padded shards. The zero value is ready to use. Workers
+// register a shard once (Runtime does this per pooled transaction
+// descriptor) and fold into it on every commit/abort; Snapshot folds the
+// shards, so the commit path never touches a shared cache line.
+type Stats struct {
+	next   atomic.Uint64
+	shards [numShards]StatsShard
+}
+
+// Register hands out the next shard round-robin. Shards may be shared when
+// more than numShards workers register; Merge remains correct either way.
+func (s *Stats) Register() *StatsShard {
+	return &s.shards[(s.next.Add(1)-1)%numShards]
+}
+
+// Merge folds one attempt's counters into shard 0 — the compatibility slow
+// path for callers without a registered shard (tests, one-shot tools). Hot
+// paths use StatsShard.Merge on a registered shard instead.
+func (s *Stats) Merge(ts *TxStats, committed bool) { s.shards[0].Merge(ts, committed) }
 
 // Snapshot is a plain-value copy of the aggregate counters.
 type Snapshot struct {
@@ -63,17 +105,24 @@ type Snapshot struct {
 	Reads, Writes, Compares, Incs, Promotes uint64
 }
 
-// Snapshot reads all counters. It is not atomic across counters; callers
-// take snapshots at quiescent points or accept small skew.
+// Snapshot folds all shards into one plain-value copy. It is not atomic
+// across counters; callers take snapshots at quiescent points or accept
+// small skew.
 func (s *Stats) Snapshot() Snapshot {
+	var t [numCounters]uint64
+	for i := range s.shards {
+		for c := range t {
+			t[c] += s.shards[i].c[c].n.Load()
+		}
+	}
 	return Snapshot{
-		Commits:  s.Commits.Load(),
-		Aborts:   s.Aborts.Load(),
-		Reads:    s.Reads.Load(),
-		Writes:   s.Writes.Load(),
-		Compares: s.Compares.Load(),
-		Incs:     s.Incs.Load(),
-		Promotes: s.Promotes.Load(),
+		Commits:  t[cCommits],
+		Aborts:   t[cAborts],
+		Reads:    t[cReads],
+		Writes:   t[cWrites],
+		Compares: t[cCompares],
+		Incs:     t[cIncs],
+		Promotes: t[cPromotes],
 	}
 }
 

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsShardsFoldIntoSnapshot: counters folded through registered shards
+// by concurrent workers must sum exactly in Snapshot, together with the
+// compatibility Merge path.
+func TestStatsShardsFoldIntoSnapshot(t *testing.T) {
+	var s Stats
+	const workers = 7 // not a divisor of numShards: exercises round-robin
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sh := s.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ts := TxStats{Reads: 2, Writes: 1, Incs: 3}
+				sh.Merge(&ts, i%5 != 0)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Merge(&TxStats{Compares: 9}, true) // slow-path fallback
+
+	sn := s.Snapshot()
+	total := uint64(workers * perWorker)
+	if sn.Commits+sn.Aborts != total+1 {
+		t.Fatalf("commits+aborts = %d, want %d", sn.Commits+sn.Aborts, total+1)
+	}
+	if sn.Aborts != total/5 {
+		t.Fatalf("aborts = %d, want %d", sn.Aborts, total/5)
+	}
+	if sn.Reads != 2*total || sn.Writes != total || sn.Incs != 3*total || sn.Compares != 9 {
+		t.Fatalf("op counters wrong: %+v", sn)
+	}
+}
+
+// TestStatsRegisterWraps: registrations beyond the shard pool share shards
+// rather than failing or allocating.
+func TestStatsRegisterWraps(t *testing.T) {
+	var s Stats
+	first := s.Register()
+	for i := 1; i < numShards; i++ {
+		s.Register()
+	}
+	if s.Register() != first {
+		t.Fatal("registration numShards+1 must wrap to the first shard")
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"time"
+
+	"semstm/internal/apps"
+	"semstm/internal/harness"
+	"semstm/stm"
+)
+
+// BaselineCell is one (workload, algorithm, threads) measurement of the
+// committed perf baseline (the BENCH_*.json convention): enough to compare
+// throughput and abort-rate trajectories across perf PRs.
+type BaselineCell struct {
+	Workload     string  `json:"workload"`
+	Algorithm    string  `json:"algorithm"`
+	Threads      int     `json:"threads"`
+	ThroughputK  float64 `json:"throughput_ktx_per_sec"`
+	AbortRatePct float64 `json:"abort_rate_pct"`
+	Commits      uint64  `json:"commits"`
+	Aborts       uint64  `json:"aborts"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+}
+
+// BaselineReport is the top-level schema of a BENCH_*.json file.
+type BaselineReport struct {
+	Schema     string         `json:"schema"`
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	DurationMS int64          `json:"duration_ms_per_cell"`
+	YieldEvery int            `json:"yield_every"`
+	Cells      []BaselineCell `json:"cells"`
+}
+
+// baselineThreads is the committed sweep: single-threaded barrier cost plus
+// two contended points.
+var baselineThreads = []int{1, 4, 8}
+
+// Baseline measures the micro-benchmark grid of the BENCH_*.json baseline:
+// {hashtable, bank} × {NOrec, S-NOrec, TL2, S-TL2} × {1, 4, 8} threads,
+// each cell timed for cfg.Duration (default 300ms).
+func Baseline(cfg Config) (BaselineReport, error) {
+	rep := BaselineReport{
+		Schema:     "semstm-bench-baseline/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DurationMS: cfg.duration().Milliseconds(),
+		YieldEvery: cfg.yieldEvery(),
+	}
+	workloads := []struct {
+		name  string
+		build harness.Builder
+	}{
+		{"hashtable", func(rt *stm.Runtime) harness.Workload { return apps.NewHashtable(rt, 2048) }},
+		{"bank", func(rt *stm.Runtime) harness.Workload { return apps.NewBank(rt, 1024, 1000) }},
+	}
+	for _, wl := range workloads {
+		for _, algo := range rstmAlgos {
+			for _, th := range cfg.threads(baselineThreads) {
+				rt := stm.New(algo)
+				rt.SetYieldEvery(cfg.yieldEvery())
+				w := wl.build(rt)
+				res, err := harness.RunTimed(rt, w, th, cfg.duration())
+				if err != nil {
+					return rep, err
+				}
+				rep.Cells = append(rep.Cells, BaselineCell{
+					Workload:     wl.name,
+					Algorithm:    algo.String(),
+					Threads:      th,
+					ThroughputK:  res.ThroughputKTx(),
+					AbortRatePct: res.AbortPct(),
+					Commits:      res.Stats.Commits,
+					Aborts:       res.Stats.Aborts,
+					ElapsedSec:   res.Elapsed.Seconds(),
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// MarshalIndent renders the report in the committed BENCH_*.json layout.
+func (r BaselineReport) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -174,10 +174,12 @@ func (tx *Tx) CmpVars(a *core.Var, op core.Op, b *core.Var) bool {
 		operand := tx.Read(b)
 		return op.Eval(tx.Read(a), operand)
 	}
-	if tx.writes.Get(a) != nil || tx.writes.Get(b) != nil {
+	// One indexed lookup per operand: the write-set's Bloom signature makes
+	// the common both-clean case two signature tests with no probing at all.
+	if eb := tx.writes.Get(b); eb != nil || tx.writes.Get(a) != nil {
 		var operand int64
-		if e := tx.writes.Get(b); e != nil {
-			operand = tx.raw(b, e)
+		if eb != nil {
+			operand = tx.raw(b, eb)
 		} else {
 			tx.stats.Reads++
 			operand = tx.readValid(b)

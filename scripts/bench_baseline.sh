@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# bench_baseline.sh — reproducible perf-baseline gate for this repo.
+#
+# Runs, in order, failing fast on the first error:
+#   1. tier-1: go build ./... && go test ./...
+#   2. go vet ./...
+#   3. a short JSON micro-benchmark baseline via `semstm-bench -json`
+#      ({hashtable, bank} x {NOrec, S-NOrec, TL2, S-TL2} x {1,4,8} threads)
+#
+# Output path defaults to BENCH_baseline.json; pass a path to override,
+# e.g. `scripts/bench_baseline.sh BENCH_PR1.json` to refresh the committed
+# PR baseline. Per-cell duration defaults to 300ms; override with
+# BENCH_DUR (e.g. BENCH_DUR=1s for a less noisy run).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
+DUR="${BENCH_DUR:-300ms}"
+
+echo "== tier-1: go build ./... =="
+go build ./...
+
+echo "== tier-1: go test ./... =="
+go test ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== baseline: semstm-bench -json $OUT (-dur $DUR) =="
+go run ./cmd/semstm-bench -json "$OUT" -dur "$DUR"
+
+echo "== ok: baseline written to $OUT =="

@@ -1,0 +1,209 @@
+package stm_test
+
+// Barrier microbenchmarks: per-operation cost of the hot transactional
+// barriers, single-threaded, no contention. These isolate the instruction
+// cost the write-set representation and the stats path add to every Read /
+// Write / Cmp / Inc, which is the overhead the paper's "semantic barriers
+// must stay cheap" argument depends on.
+//
+// The cases mirror the three shapes a read barrier can take:
+//
+//   - ReadEmptyWS:  read with an empty write-set (the common read-only case);
+//   - ReadMissWS:   read with a non-empty write-set that does NOT contain the
+//     variable (the dominant mixed-transaction case — a Bloom signature
+//     should answer it without any lookup);
+//   - ReadHitWS:    read-after-write on a buffered variable;
+//   - WriteInsert:  first write to each variable (write-set insert);
+//   - WriteUpdate:  repeated writes to one variable (write-set update);
+//   - IncThenReadPromote: inc followed by read of the same variable
+//     (the Algorithm 6 promotion path).
+//
+// Run with:
+//
+//	go test ./stm -bench=BenchmarkBarrier -benchtime=2s
+
+import (
+	"testing"
+
+	"semstm/stm"
+)
+
+// barrierAlgos are the algorithms whose barrier costs the paper compares.
+var barrierAlgos = []stm.Algorithm{stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2}
+
+func benchBarrier(b *testing.B, fn func(b *testing.B, rt *stm.Runtime)) {
+	for _, a := range barrierAlgos {
+		b.Run(a.String(), func(b *testing.B) {
+			rt := stm.New(a)
+			fn(b, rt)
+		})
+	}
+}
+
+// BenchmarkBarrierReadEmptyWS measures the classical read barrier when the
+// write-set is empty: 16 reads per transaction over disjoint variables.
+func BenchmarkBarrierReadEmptyWS(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		vars := stm.NewVars(16, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for _, v := range vars {
+					sink += tx.Read(v)
+				}
+			})
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBarrierReadMissWS measures the read barrier when the write-set is
+// non-empty but does not contain the variable being read: 4 writes followed
+// by 16 reads of other variables. This is the path the Bloom signature
+// accelerates (the acceptance target of the hot-path overhaul).
+func BenchmarkBarrierReadMissWS(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		wvars := stm.NewVars(4, 0)
+		rvars := stm.NewVars(16, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for j, v := range wvars {
+					tx.Write(v, int64(j))
+				}
+				for _, v := range rvars {
+					sink += tx.Read(v)
+				}
+			})
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBarrierReadMissWSLarge is ReadMissWS with a 24-entry write-set,
+// exercising the large-set index (beyond the small-set linear scan).
+func BenchmarkBarrierReadMissWSLarge(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		wvars := stm.NewVars(24, 0)
+		rvars := stm.NewVars(16, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for j, v := range wvars {
+					tx.Write(v, int64(j))
+				}
+				for _, v := range rvars {
+					sink += tx.Read(v)
+				}
+			})
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBarrierReadHitWS measures the read-after-write path: 8 writes,
+// then 8 reads of the same variables.
+func BenchmarkBarrierReadHitWS(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		vars := stm.NewVars(8, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for j, v := range vars {
+					tx.Write(v, int64(j))
+				}
+				for _, v := range vars {
+					sink += tx.Read(v)
+				}
+			})
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBarrierWriteInsert measures write-set inserts: 16 first writes per
+// transaction.
+func BenchmarkBarrierWriteInsert(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		vars := stm.NewVars(16, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for j, v := range vars {
+					tx.Write(v, int64(j))
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkBarrierWriteUpdate measures write-set updates: one insert then 15
+// overwrites of the same variable.
+func BenchmarkBarrierWriteUpdate(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		v := stm.NewVar(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for j := 0; j < 16; j++ {
+					tx.Write(v, int64(j))
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkBarrierIncThenReadPromote measures the promotion path of
+// Algorithm 6 lines 17–23: inc then read of the same variable.
+func BenchmarkBarrierIncThenReadPromote(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		vars := stm.NewVars(8, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for _, v := range vars {
+					tx.Inc(v, 1)
+					sink += tx.Read(v)
+				}
+			})
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBarrierCmpMissWS measures the semantic compare barrier against a
+// non-empty write-set that misses — the S-NOrec/S-TL2 analogue of ReadMissWS.
+func BenchmarkBarrierCmpMissWS(b *testing.B) {
+	benchBarrier(b, func(b *testing.B, rt *stm.Runtime) {
+		wvars := stm.NewVars(4, 0)
+		rvars := stm.NewVars(16, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for j, v := range wvars {
+					tx.Write(v, int64(j))
+				}
+				for _, v := range rvars {
+					if tx.GT(v, 0) {
+						sink++
+					}
+				}
+			})
+		}
+		_ = sink
+	})
+}

@@ -3,6 +3,7 @@ package stm_test
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"semstm/stm"
@@ -91,6 +92,126 @@ func TestAlgorithmsAgreeSequentially(t *testing.T) {
 		if !reflect.DeepEqual(trace, refTrace) {
 			t.Errorf("%v last-txn trace %v, want %v (as %v)", a, trace, refTrace, algos[0])
 		}
+	}
+}
+
+// TestAlgorithmsAgreeRAWHeavy stresses the promotion semantics of
+// Algorithm 6 lines 17–23 under the signature-indexed write-set: every
+// transaction chains inc → read → write → inc (plus cmp probes) on the SAME
+// variables, so nearly every barrier resolves against a non-empty write-set
+// — entry kinds flip Inc→Write via promotion, deltas accumulate over written
+// values, and reads must observe the merged entry bit-for-bit identically on
+// all nine algorithms.
+func TestAlgorithmsAgreeRAWHeavy(t *testing.T) {
+	const (
+		vars    = 8
+		txns    = 80
+		rngSeed = 424242
+	)
+	rng := rand.New(rand.NewSource(rngSeed))
+	type rawTxn struct {
+		v1, v2 int
+		d1, d2 int64
+		w      int64
+		probe  int64
+	}
+	script := make([]rawTxn, txns)
+	for i := range script {
+		script[i] = rawTxn{
+			v1:    rng.Intn(vars),
+			v2:    rng.Intn(vars),
+			d1:    rng.Int63n(20) - 10,
+			d2:    rng.Int63n(20) - 10,
+			w:     rng.Int63n(100) - 50,
+			probe: rng.Int63n(40) - 20,
+		}
+	}
+
+	run := func(algo stm.Algorithm) (trace []int64, final []int64) {
+		rt := stm.New(algo)
+		regs := stm.NewVars(vars, 5)
+		for _, s := range script {
+			a, b := regs[s.v1], regs[s.v2]
+			rt.Atomically(func(tx *stm.Tx) {
+				trace = trace[:0]
+				tx.Inc(a, s.d1)                   // fresh EntryInc
+				trace = append(trace, tx.Read(a)) // promote: Inc → Write
+				tx.Write(a, s.w)                  // overwrite promoted entry
+				tx.Inc(a, s.d2)                   // accumulate over EntryWrite
+				trace = append(trace, tx.Read(a)) // plain RAW hit
+				tx.Inc(b, s.d1)
+				trace = append(trace, b2i(tx.GT(b, s.probe)))           // cmp promotes b
+				trace = append(trace, b2i(tx.CmpVars(a, stm.OpLTE, b))) // both buffered
+				tx.Inc(b, -s.d1)
+				trace = append(trace, tx.Read(b))
+			})
+		}
+		final = make([]int64, vars)
+		for i, r := range regs {
+			final[i] = r.Load()
+		}
+		return append([]int64(nil), trace...), final
+	}
+
+	algos := stm.Algorithms()
+	refTrace, refFinal := run(algos[0])
+	for _, a := range algos[1:] {
+		trace, final := run(a)
+		if !reflect.DeepEqual(final, refFinal) {
+			t.Errorf("%v final memory %v, want %v (as %v)", a, final, refFinal, algos[0])
+		}
+		if !reflect.DeepEqual(trace, refTrace) {
+			t.Errorf("%v last-txn trace %v, want %v (as %v)", a, trace, refTrace, algos[0])
+		}
+	}
+}
+
+// TestRAWHeavyConcurrentInvariant runs the inc→read→write→inc chain from
+// many goroutines on every algorithm and checks a closed-form invariant:
+// each committed transaction leaves its variable's value unchanged (the
+// transaction adds d, reads, restores the read value minus d... net zero),
+// so the final memory must equal the initial state no matter how attempts
+// interleave or abort.
+func TestRAWHeavyConcurrentInvariant(t *testing.T) {
+	const (
+		vars    = 4
+		workers = 4
+		perG    = 150
+		initial = 1000
+	)
+	for _, algo := range stm.Algorithms() {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := stm.New(algo)
+			rt.SetYieldEvery(2)
+			regs := stm.NewVars(vars, initial)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < perG; i++ {
+						v := regs[rng.Intn(vars)]
+						d := rng.Int63n(50) + 1
+						rt.Atomically(func(tx *stm.Tx) {
+							tx.Inc(v, d)       // pending increment
+							cur := tx.Read(v)  // promotes: cur = mem + d
+							tx.Write(v, cur-d) // restore original
+							tx.Inc(v, 0)       // accumulate on the write
+						})
+					}
+				}(int64(w) + 1)
+			}
+			wg.Wait()
+			for i, r := range regs {
+				if got := r.Load(); got != initial {
+					t.Errorf("var %d = %d, want %d (promotion lost an update)", i, got, initial)
+				}
+			}
+			if sn := rt.Stats(); sn.Commits != workers*perG {
+				t.Errorf("commits = %d, want %d", sn.Commits, workers*perG)
+			}
+		})
 	}
 }
 

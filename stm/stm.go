@@ -199,8 +199,15 @@ func New(algo Algorithm) *Runtime {
 }
 
 // newTx builds a fresh transaction descriptor for this runtime's algorithm.
+// Each descriptor registers its own stats shard: descriptors are owned by
+// one goroutine at a time (sync.Pool), so commit/abort folding stays on
+// thread-private cache lines instead of contending on global counters.
 func (rt *Runtime) newTx() *Tx {
-	tx := &Tx{rt: rt, rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
+	tx := &Tx{
+		rt:    rt,
+		shard: rt.stats.Register(),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	switch rt.algo {
 	case NOrec, SNOrec:
 		impl := norec.NewTx(rt.norecG, rt.algo == SNOrec)
@@ -294,7 +301,7 @@ func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			tx.impl.Cleanup()
-			rt.stats.Merge(tx.impl.AttemptStats(), false)
+			tx.shard.Merge(tx.impl.AttemptStats(), false)
 			if !core.IsAbort(r) {
 				panic(r)
 			}
@@ -303,7 +310,7 @@ func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
 	tx.impl.Start()
 	fn(tx)
 	tx.impl.Commit()
-	rt.stats.Merge(tx.impl.AttemptStats(), true)
+	tx.shard.Merge(tx.impl.AttemptStats(), true)
 	return true
 }
 
@@ -318,10 +325,11 @@ func Run[T any](rt *Runtime, fn func(tx *Tx) T) T {
 // Tx is a live transaction handle, valid only inside the function passed to
 // Atomically, and only on the goroutine that received it.
 type Tx struct {
-	rt   *Runtime
-	impl core.TxImpl
-	rng  *rand.Rand
-	ops  int
+	rt    *Runtime
+	impl  core.TxImpl
+	shard *core.StatsShard // this descriptor's slice of the runtime counters
+	rng   *rand.Rand
+	ops   int
 }
 
 // BackoffPolicy selects how a transaction waits between attempts — the
