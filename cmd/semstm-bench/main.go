@@ -14,7 +14,8 @@
 // instead measures the committed perf baseline — {hashtable, bank} ×
 // {NOrec, S-NOrec, TL2, S-TL2} × {1, 4, 8} threads — and writes it as a
 // machine-readable BENCH_*.json report (throughput, abort rate, commit and
-// abort counts per cell) so perf PRs can diff against it.
+// abort counts, plus the typed abort-reason breakdown and irrevocable
+// escalation count per cell) so perf and robustness PRs can diff against it.
 package main
 
 import (

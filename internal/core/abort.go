@@ -1,14 +1,82 @@
 package core
 
-// abortSignal is the sentinel carried by the panic that unwinds an aborted
-// transaction back to the runtime retry loop.
-type abortSignal struct{}
+// Reason classifies why a transaction attempt aborted. The taxonomy follows
+// the failure modes of the implemented algorithm families: value/version
+// validation failures, semantic fact flips, lock-acquisition give-ups,
+// capacity-style resource exhaustion (HTM buffers, ring wrap), spurious
+// failures (simulated hardware events and injected faults), and explicit
+// user restarts. The runtime threads the reason of every abort into the
+// aggregate statistics and into the typed errors of the bounded execution
+// APIs, so a livelocked workload can be diagnosed from counters instead of
+// guesswork.
+type Reason uint8
 
-// Abort unwinds the current transaction attempt. Algorithm code calls it when
-// validation fails; the runtime recovers the sentinel, rolls the attempt
-// back, applies contention-management backoff, and retries.
+const (
+	// ReasonUnknown is the zero reason, used by legacy Abort call sites.
+	ReasonUnknown Reason = iota
+	// ReasonValidation: classical (value- or version-based) validation of
+	// the read-set failed — some location read by the transaction changed.
+	ReasonValidation
+	// ReasonCmpFlip: a recorded semantic fact (cmp outcome, sum or OR
+	// expression) no longer holds — the semantic analogue of validation.
+	ReasonCmpFlip
+	// ReasonOrecLocked: the transaction gave up waiting for an ownership
+	// record held by another transaction (bounded-spin timeout).
+	ReasonOrecLocked
+	// ReasonCapacity: a bounded resource ran out — simulated HTM tracking
+	// capacity, or a RingSTM transaction falling off the ring.
+	ReasonCapacity
+	// ReasonSpurious: a failure with no logical conflict — the simulated
+	// HTM's spurious commit failures, or an injected FaultPlan abort.
+	ReasonSpurious
+	// ReasonExplicit: user code called Tx.Restart.
+	ReasonExplicit
+	// NumReasons bounds the enum; arrays indexed by Reason use it.
+	NumReasons
+)
+
+// String returns a short stable label for the reason (used in stats exports).
+func (r Reason) String() string {
+	switch r {
+	case ReasonUnknown:
+		return "unknown"
+	case ReasonValidation:
+		return "validation"
+	case ReasonCmpFlip:
+		return "cmp-flip"
+	case ReasonOrecLocked:
+		return "orec-locked"
+	case ReasonCapacity:
+		return "capacity"
+	case ReasonSpurious:
+		return "spurious"
+	case ReasonExplicit:
+		return "explicit"
+	default:
+		return "invalid"
+	}
+}
+
+// abortSignal is the sentinel carried by the panic that unwinds an aborted
+// transaction back to the runtime retry loop; it records why the attempt
+// died.
+type abortSignal struct {
+	reason Reason
+}
+
+// Abort unwinds the current transaction attempt with ReasonUnknown. Algorithm
+// code should prefer AbortWith; Abort remains for call sites (and tests)
+// where the cause carries no information.
 func Abort() {
 	panic(abortSignal{})
+}
+
+// AbortWith unwinds the current transaction attempt, recording why. The
+// runtime recovers the sentinel, rolls the attempt back, folds the reason
+// into the per-reason abort counters, applies contention-management backoff,
+// and retries (or returns a typed error from the bounded APIs).
+func AbortWith(reason Reason) {
+	panic(abortSignal{reason: reason})
 }
 
 // IsAbort reports whether a recovered panic value is the transaction-abort
@@ -17,4 +85,11 @@ func Abort() {
 func IsAbort(r any) bool {
 	_, ok := r.(abortSignal)
 	return ok
+}
+
+// ReasonOf extracts the abort reason from a recovered panic value; ok is
+// false when the value is not the abort sentinel.
+func ReasonOf(r any) (reason Reason, ok bool) {
+	s, ok := r.(abortSignal)
+	return s.reason, ok
 }

@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+// TestAbortReasonRoundTrip verifies AbortWith carries the reason through the
+// panic sentinel and ReasonOf recovers it.
+func TestAbortReasonRoundTrip(t *testing.T) {
+	for r := Reason(0); r < NumReasons; r++ {
+		func() {
+			defer func() {
+				v := recover()
+				if !IsAbort(v) {
+					t.Fatalf("AbortWith(%v) did not raise the abort sentinel", r)
+				}
+				got, ok := ReasonOf(v)
+				if !ok || got != r {
+					t.Fatalf("ReasonOf = (%v, %v), want (%v, true)", got, ok, r)
+				}
+			}()
+			AbortWith(r)
+		}()
+	}
+}
+
+// TestReasonOfForeignPanic verifies non-sentinel values are not mistaken for
+// aborts.
+func TestReasonOfForeignPanic(t *testing.T) {
+	if _, ok := ReasonOf("boom"); ok {
+		t.Fatal("ReasonOf accepted a foreign panic value")
+	}
+	if IsAbort(42) {
+		t.Fatal("IsAbort accepted a foreign panic value")
+	}
+}
+
+// TestReasonStrings verifies every reason has a distinct stable label.
+func TestReasonStrings(t *testing.T) {
+	seen := map[string]Reason{}
+	for r := Reason(0); r < NumReasons; r++ {
+		s := r.String()
+		if s == "" || s == "invalid" {
+			t.Fatalf("reason %d has no label", r)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("reasons %d and %d share label %q", prev, r, s)
+		}
+		seen[s] = r
+	}
+}
+
+// TestStatsReasonCounters verifies per-reason counts flow into Snapshot and
+// its map view, and survive Sub.
+func TestStatsReasonCounters(t *testing.T) {
+	var st Stats
+	sh := st.Register()
+	sh.CountAbortReason(ReasonValidation)
+	sh.CountAbortReason(ReasonValidation)
+	sh.CountAbortReason(ReasonSpurious)
+	sh.CountEscalation()
+	sn := st.Snapshot()
+	if sn.AbortReasons[ReasonValidation] != 2 || sn.AbortReasons[ReasonSpurious] != 1 {
+		t.Fatalf("reason counters wrong: %v", sn.AbortReasons)
+	}
+	if sn.Escalations != 1 {
+		t.Fatalf("Escalations = %d, want 1", sn.Escalations)
+	}
+	m := sn.ReasonCounts()
+	if m["validation"] != 2 || m["spurious"] != 1 || len(m) != 2 {
+		t.Fatalf("ReasonCounts = %v", m)
+	}
+	sh.CountAbortReason(ReasonCmpFlip)
+	d := st.Snapshot().Sub(sn)
+	if d.AbortReasons[ReasonCmpFlip] != 1 || d.AbortReasons[ReasonValidation] != 0 {
+		t.Fatalf("Sub lost reason counters: %v", d.AbortReasons)
+	}
+}

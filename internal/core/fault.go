@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// FaultSite identifies an instrumentation point inside the algorithm
+// backends where a FaultPlan may inject a fault. Every backend consults the
+// plan (when one is armed) at its Start, Read, Cmp, and Commit paths, plus
+// inside its validation routines via ValidationFail.
+type FaultSite uint8
+
+const (
+	// SiteStart is the beginning of an attempt.
+	SiteStart FaultSite = iota
+	// SiteRead is the classical read barrier.
+	SiteRead
+	// SiteCmp is the semantic compare barrier.
+	SiteCmp
+	// SiteCommit is the commit path, before publication.
+	SiteCommit
+	// NumFaultSites bounds the enum.
+	NumFaultSites
+)
+
+// FaultPlan deterministically injects faults into the algorithm backends: at
+// each instrumented site it may raise a spurious abort, force a validation
+// failure, or stretch the commit window with a delay. All decisions derive
+// from one seed through a counter-keyed splitmix64 stream, so a
+// single-threaded run replays identically and a concurrent run is
+// statistically reproducible. The zero probability everywhere means the plan
+// never fires; a nil *FaultPlan (the default — backends keep a nil pointer
+// and branch around the call) costs exactly one pointer test per barrier.
+//
+// Configure before the runtime is shared:
+//
+//	plan := core.NewFaultPlan(42).
+//		WithSpurious(core.SiteRead, 10).
+//		WithValidationFail(5).
+//		WithCommitDelay(20, 50*time.Microsecond)
+//
+// FaultPlan methods are safe for concurrent use.
+type FaultPlan struct {
+	seed     uint64
+	ctr      atomic.Uint64
+	spurious [NumFaultSites]uint64 // 32-bit thresholds: P(hit) = t / 2^32
+	valFail  uint64
+	delayHit uint64
+	delay    time.Duration
+}
+
+// NewFaultPlan returns an inert plan (no injection anywhere) rooted at seed.
+func NewFaultPlan(seed uint64) *FaultPlan {
+	return &FaultPlan{seed: seed}
+}
+
+// threshold converts a percentage into a 32-bit comparison threshold.
+func threshold(pct float64) uint64 {
+	if pct <= 0 {
+		return 0
+	}
+	if pct >= 100 {
+		return 1 << 32
+	}
+	return uint64(pct / 100 * (1 << 32))
+}
+
+// WithSpurious arms spurious-abort injection at the given site with the
+// given probability (percent). Returns the plan for chaining.
+func (p *FaultPlan) WithSpurious(site FaultSite, pct float64) *FaultPlan {
+	p.spurious[site] = threshold(pct)
+	return p
+}
+
+// WithValidationFail arms forced validation failures: each backend
+// validation pass fails outright with the given probability (percent),
+// exercising the abort-with-rollback path with read/compare sets and — at
+// commit time — acquired locks in place.
+func (p *FaultPlan) WithValidationFail(pct float64) *FaultPlan {
+	p.valFail = threshold(pct)
+	return p
+}
+
+// WithCommitDelay arms commit-window stretching: with the given probability
+// (percent) the committing transaction sleeps for d at its serialization
+// point, widening the race windows concurrent transactions validate against.
+func (p *FaultPlan) WithCommitDelay(pct float64, d time.Duration) *FaultPlan {
+	p.delayHit = threshold(pct)
+	p.delay = d
+	return p
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll draws the next 32-bit variate of the seeded stream and compares it to
+// the threshold t; the site is folded in so identical thresholds at
+// different sites fire on decorrelated sub-streams.
+func (p *FaultPlan) roll(site FaultSite, t uint64) bool {
+	if t == 0 {
+		return false
+	}
+	x := splitmix64(p.seed + p.ctr.Add(1)*0x9E3779B97F4A7C15 + uint64(site)<<56)
+	return x&0xFFFFFFFF < t
+}
+
+// Step is the per-site injection hook. If the spurious stream fires for this
+// site, the attempt unwinds via AbortWith(ReasonSpurious). Callers hold no
+// resources the runtime's Cleanup cannot release.
+func (p *FaultPlan) Step(site FaultSite) {
+	if p.SpuriousHit(site) {
+		AbortWith(ReasonSpurious)
+	}
+}
+
+// SpuriousHit reports whether the spurious stream fires for site without
+// unwinding, for backends that fold injected faults into their own failure
+// accounting (the HTM simulation counts them as hardware failures so its
+// lock fallback still engages).
+func (p *FaultPlan) SpuriousHit(site FaultSite) bool {
+	return p.roll(site, p.spurious[site])
+}
+
+// ValidationFail reports whether this validation pass must be treated as
+// failed. Backends call it at the head of their read-set/compare-set
+// validators and abort with the reason that a genuine failure of that
+// validator would carry.
+func (p *FaultPlan) ValidationFail() bool {
+	return p.roll(NumFaultSites, p.valFail)
+}
+
+// CommitDelay stalls the caller at its commit serialization point when the
+// delay stream fires.
+func (p *FaultPlan) CommitDelay() {
+	if p.roll(NumFaultSites+1, p.delayHit) {
+		time.Sleep(p.delay)
+	}
+}

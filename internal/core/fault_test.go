@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFaultPlanInert verifies a zero-configured plan never fires and a nil
+// receiver is never consulted by backends (they branch on the pointer, so
+// there is nothing to test beyond the armed-threshold semantics here).
+func TestFaultPlanInert(t *testing.T) {
+	p := NewFaultPlan(1)
+	for i := 0; i < 10000; i++ {
+		for s := FaultSite(0); s < NumFaultSites; s++ {
+			if p.SpuriousHit(s) {
+				t.Fatalf("inert plan fired spurious at site %d", s)
+			}
+		}
+		if p.ValidationFail() {
+			t.Fatal("inert plan forced a validation failure")
+		}
+	}
+}
+
+// TestFaultPlanDeterministic verifies two plans with the same seed replay the
+// same decision stream, and a different seed diverges.
+func TestFaultPlanDeterministic(t *testing.T) {
+	draw := func(seed uint64) []bool {
+		p := NewFaultPlan(seed).WithSpurious(SiteRead, 30).WithValidationFail(10)
+		out := make([]bool, 0, 2000)
+		for i := 0; i < 1000; i++ {
+			out = append(out, p.SpuriousHit(SiteRead), p.ValidationFail())
+		}
+		return out
+	}
+	a, b, c := draw(42), draw(42), draw(43)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestFaultPlanRates verifies the fixed-point thresholds hit approximately
+// their configured probabilities.
+func TestFaultPlanRates(t *testing.T) {
+	const n = 200000
+	for _, pct := range []float64{1, 10, 50, 90} {
+		p := NewFaultPlan(7).WithSpurious(SiteCommit, pct)
+		hits := 0
+		for i := 0; i < n; i++ {
+			if p.SpuriousHit(SiteCommit) {
+				hits++
+			}
+		}
+		got := float64(hits) / n * 100
+		if got < pct-2 || got > pct+2 {
+			t.Errorf("pct=%v: observed %.2f%% hits", pct, got)
+		}
+	}
+}
+
+// TestFaultPlanSiteDecorrelation verifies identical thresholds at different
+// sites draw from different sub-streams.
+func TestFaultPlanSiteDecorrelation(t *testing.T) {
+	mk := func() *FaultPlan {
+		return NewFaultPlan(99).WithSpurious(SiteStart, 50).WithSpurious(SiteCommit, 50)
+	}
+	a, b := mk(), mk()
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.SpuriousHit(SiteStart) == b.SpuriousHit(SiteCommit) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("sites share a decision stream")
+	}
+}
+
+// TestFaultPlanStep verifies Step unwinds with ReasonSpurious when armed at
+// 100% and is a no-op at 0%.
+func TestFaultPlanStep(t *testing.T) {
+	NewFaultPlan(3).Step(SiteStart) // inert: must not panic
+
+	p := NewFaultPlan(3).WithSpurious(SiteStart, 100)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("armed Step did not abort")
+			}
+			if !IsAbort(r) {
+				panic(r)
+			}
+			if reason, ok := ReasonOf(r); !ok || reason != ReasonSpurious {
+				t.Fatalf("Step aborted with reason %v", reason)
+			}
+		}()
+		p.Step(SiteStart)
+	}()
+}
+
+// TestFaultPlanCommitDelay verifies the delay stream stalls the caller when
+// armed at 100%.
+func TestFaultPlanCommitDelay(t *testing.T) {
+	p := NewFaultPlan(5).WithCommitDelay(100, 2*time.Millisecond)
+	start := time.Now()
+	p.CommitDelay()
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("armed CommitDelay returned after %v", d)
+	}
+}

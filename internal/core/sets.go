@@ -227,10 +227,22 @@ func (ws *WriteSet) Entries() []WriteEntry { return ws.entries }
 // (_ITM_S2R) and validation re-reads both sides.
 type SemEntry struct {
 	Var        *Var
-	Op         Op
+	Op         Op // may carry semFlag; mask before evaluating
 	Operand    int64
 	OperandVar *Var
 }
+
+// semFlag marks an entry recorded by a semantic conditional, as opposed to a
+// plain read's EQ pin — BrokenReason uses it to classify a failed validation
+// as a cmp-flip rather than a read-set invalidation. The flag rides in the
+// high bit of the Op byte instead of its own bool field: SemEntry has
+// exactly four fields, the compiler's limit for SSA-decomposing a struct,
+// and a fifth field would turn every read-set append from four register
+// stores into a stack build plus memmove (~50% slower read barrier).
+const semFlag Op = 0x80
+
+// Semantic reports whether the entry was recorded by a semantic conditional.
+func (e *SemEntry) Semantic() bool { return e.Op&semFlag != 0 }
 
 // Holds re-evaluates the fact against current memory.
 func (e *SemEntry) Holds() bool {
@@ -238,7 +250,7 @@ func (e *SemEntry) Holds() bool {
 	if e.OperandVar != nil {
 		operand = e.OperandVar.Load()
 	}
-	return e.Op.Eval(e.Var.Load(), operand)
+	return (e.Op &^ semFlag).Eval(e.Var.Load(), operand)
 }
 
 // SemSet is an append-only log of semantic facts with an in-place validator.
@@ -299,7 +311,7 @@ func (s *SemSet) AppendOutcome(v *Var, op Op, operand int64, result bool) {
 	if !result {
 		op = op.Inverse()
 	}
-	s.entries = append(s.entries, SemEntry{Var: v, Op: op, Operand: operand})
+	s.entries = append(s.entries, SemEntry{Var: v, Op: op | semFlag, Operand: operand})
 }
 
 // AppendOutcomeVar records an address–address comparison "*a op *b" whose
@@ -308,7 +320,7 @@ func (s *SemSet) AppendOutcomeVar(a *Var, op Op, b *Var, result bool) {
 	if !result {
 		op = op.Inverse()
 	}
-	s.entries = append(s.entries, SemEntry{Var: a, Op: op, OperandVar: b})
+	s.entries = append(s.entries, SemEntry{Var: a, Op: op | semFlag, OperandVar: b})
 }
 
 // Entries exposes the recorded facts. Callers must not mutate the slice.
@@ -390,4 +402,20 @@ func (s *SemSet) HoldsNow() bool {
 		}
 	}
 	return true
+}
+
+// BrokenReason re-validates like HoldsNow and, on failure, classifies the
+// first broken entry: ReasonValidation for a plain read's EQ pin,
+// ReasonCmpFlip for a recorded semantic fact. ok is true when every fact
+// still holds (reason is then meaningless).
+func (s *SemSet) BrokenReason() (ok bool, reason Reason) {
+	for i := range s.entries {
+		if !s.entries[i].Holds() {
+			if s.entries[i].Semantic() {
+				return false, ReasonCmpFlip
+			}
+			return false, ReasonValidation
+		}
+	}
+	return true, ReasonUnknown
 }

@@ -321,11 +321,14 @@ func TestSemSetOutcomeEncoding(t *testing.T) {
 	s.AppendOutcome(v, OpGT, 5, true)   // observed true: store as-is
 	s.AppendOutcome(v, OpGT, 50, false) // observed false: store inverse
 	e := s.Entries()
-	if e[0].Op != OpGT {
-		t.Fatalf("true outcome stored as %s", e[0].Op)
+	if !e[0].Semantic() || !e[1].Semantic() {
+		t.Fatal("outcome facts not marked semantic")
 	}
-	if e[1].Op != OpLTE {
-		t.Fatalf("false outcome stored as %s, want <=", e[1].Op)
+	if op := e[0].Op &^ semFlag; op != OpGT {
+		t.Fatalf("true outcome stored as %s", op)
+	}
+	if op := e[1].Op &^ semFlag; op != OpLTE {
+		t.Fatalf("false outcome stored as %s, want <=", op)
 	}
 	if !s.HoldsNow() {
 		t.Fatal("facts should hold against unchanged memory")

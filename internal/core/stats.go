@@ -18,7 +18,8 @@ type TxStats struct {
 func (ts *TxStats) Reset() { *ts = TxStats{} }
 
 // Counter indices of the aggregate layout: commits and aborts first, then
-// the Table 3 operation categories in TxStats order.
+// the Table 3 operation categories in TxStats order, then the robustness
+// counters (irrevocable escalations and per-reason abort counts).
 const (
 	cCommits = iota
 	cAborts
@@ -27,7 +28,9 @@ const (
 	cCompares
 	cIncs
 	cPromotes
-	numCounters
+	cEscalations
+	cReasonBase
+	numCounters = cReasonBase + int(NumReasons)
 )
 
 // paddedCounter is one aggregate counter alone on its cache line. Every
@@ -72,6 +75,19 @@ func (sh *StatsShard) Merge(ts *TxStats, committed bool) {
 	}
 }
 
+// CountAbortReason folds one abort's reason into the per-reason counters
+// (the aborted attempt itself is counted by Merge).
+func (sh *StatsShard) CountAbortReason(r Reason) {
+	if r < NumReasons {
+		sh.c[cReasonBase+int(r)].n.Add(1)
+	}
+}
+
+// CountEscalation records one starvation escalation to irrevocable mode.
+func (sh *StatsShard) CountEscalation() {
+	sh.c[cEscalations].n.Add(1)
+}
+
 // numShards bounds the shard pool of one Stats. Registrations beyond the
 // bound wrap around and share (still correct, still mostly uncontended up to
 // numShards concurrent workers); the bound keeps the zero-value Stats a
@@ -103,6 +119,27 @@ func (s *Stats) Merge(ts *TxStats, committed bool) { s.shards[0].Merge(ts, commi
 type Snapshot struct {
 	Commits, Aborts                         uint64
 	Reads, Writes, Compares, Incs, Promotes uint64
+	// Escalations counts transactions that, after repeated aborts, completed
+	// in the irrevocable serializing mode (the starvation escape hatch).
+	Escalations uint64
+	// AbortReasons breaks Aborts down by Reason (index with a core Reason
+	// value; Reason.String names the buckets).
+	AbortReasons [NumReasons]uint64
+}
+
+// ReasonCounts returns the non-zero abort-reason buckets keyed by their
+// stable string labels, the form the JSON benchmark reports embed.
+func (sn Snapshot) ReasonCounts() map[string]uint64 {
+	var out map[string]uint64
+	for r := Reason(0); r < NumReasons; r++ {
+		if n := sn.AbortReasons[r]; n != 0 {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[r.String()] = n
+		}
+	}
+	return out
 }
 
 // Snapshot folds all shards into one plain-value copy. It is not atomic
@@ -115,15 +152,18 @@ func (s *Stats) Snapshot() Snapshot {
 			t[c] += s.shards[i].c[c].n.Load()
 		}
 	}
-	return Snapshot{
-		Commits:  t[cCommits],
-		Aborts:   t[cAborts],
-		Reads:    t[cReads],
-		Writes:   t[cWrites],
-		Compares: t[cCompares],
-		Incs:     t[cIncs],
-		Promotes: t[cPromotes],
+	sn := Snapshot{
+		Commits:     t[cCommits],
+		Aborts:      t[cAborts],
+		Reads:       t[cReads],
+		Writes:      t[cWrites],
+		Compares:    t[cCompares],
+		Incs:        t[cIncs],
+		Promotes:    t[cPromotes],
+		Escalations: t[cEscalations],
 	}
+	copy(sn.AbortReasons[:], t[cReasonBase:])
+	return sn
 }
 
 // AbortRate returns aborts / (commits + aborts) as a percentage, the metric
@@ -139,13 +179,18 @@ func (sn Snapshot) AbortRate() float64 {
 // Sub returns the difference sn - old, counter by counter, used to scope
 // measurements to a benchmark interval.
 func (sn Snapshot) Sub(old Snapshot) Snapshot {
-	return Snapshot{
-		Commits:  sn.Commits - old.Commits,
-		Aborts:   sn.Aborts - old.Aborts,
-		Reads:    sn.Reads - old.Reads,
-		Writes:   sn.Writes - old.Writes,
-		Compares: sn.Compares - old.Compares,
-		Incs:     sn.Incs - old.Incs,
-		Promotes: sn.Promotes - old.Promotes,
+	d := Snapshot{
+		Commits:     sn.Commits - old.Commits,
+		Aborts:      sn.Aborts - old.Aborts,
+		Reads:       sn.Reads - old.Reads,
+		Writes:      sn.Writes - old.Writes,
+		Compares:    sn.Compares - old.Compares,
+		Incs:        sn.Incs - old.Incs,
+		Promotes:    sn.Promotes - old.Promotes,
+		Escalations: sn.Escalations - old.Escalations,
 	}
+	for i := range d.AbortReasons {
+		d.AbortReasons[i] = sn.AbortReasons[i] - old.AbortReasons[i]
+	}
+	return d
 }

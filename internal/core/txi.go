@@ -57,4 +57,10 @@ type TxImpl interface {
 
 	// AttemptStats exposes the per-attempt operation counters.
 	AttemptStats() *TxStats
+
+	// SetFaultPlan arms (non-nil) or disarms (nil) deterministic fault
+	// injection on this descriptor's Start/Read/Cmp/Commit and validation
+	// paths. The runtime disarms the plan while a transaction runs in the
+	// irrevocable escalation mode, which must not abort.
+	SetFaultPlan(*FaultPlan)
 }

@@ -22,6 +22,13 @@ type BaselineCell struct {
 	Commits      uint64  `json:"commits"`
 	Aborts       uint64  `json:"aborts"`
 	ElapsedSec   float64 `json:"elapsed_sec"`
+	// Escalations counts starvation escalations to the irrevocable
+	// serializing mode (zero on healthy runs; omitted when zero).
+	Escalations uint64 `json:"escalations,omitempty"`
+	// AbortReasons breaks Aborts down by typed reason (validation,
+	// cmp-flip, orec-locked, capacity, spurious, explicit); only non-zero
+	// buckets are emitted.
+	AbortReasons map[string]uint64 `json:"abort_reasons,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -44,7 +51,7 @@ var baselineThreads = []int{1, 4, 8}
 // each cell timed for cfg.Duration (default 300ms).
 func Baseline(cfg Config) (BaselineReport, error) {
 	rep := BaselineReport{
-		Schema:     "semstm-bench-baseline/v1",
+		Schema:     "semstm-bench-baseline/v2",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -77,6 +84,8 @@ func Baseline(cfg Config) (BaselineReport, error) {
 					Commits:      res.Stats.Commits,
 					Aborts:       res.Stats.Aborts,
 					ElapsedSec:   res.Elapsed.Seconds(),
+					Escalations:  res.Stats.Escalations,
+					AbortReasons: res.Stats.ReasonCounts(),
 				})
 			}
 		}

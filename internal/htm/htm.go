@@ -21,6 +21,7 @@
 package htm
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync/atomic"
@@ -57,6 +58,15 @@ func (g *Global) Fallbacks() uint64 { return g.fallbacks.Load() }
 // or spurious).
 func (g *Global) HWAborts() uint64 { return g.hwAborts.Load() }
 
+// Quiescent verifies the fallback/sequence lock is not leaked: at a
+// quiescent point it must be even (no irrevocable transaction running).
+func (g *Global) Quiescent() error {
+	if s := g.seq.Load(); s&1 != 0 {
+		return fmt.Errorf("htm: fallback lock leaked (seq=%d)", s)
+	}
+	return nil
+}
+
 // Tx is one hybrid transaction descriptor.
 type Tx struct {
 	g        *Global
@@ -69,6 +79,7 @@ type Tx struct {
 	SpuriousPct  float64
 
 	snapshot    uint64
+	fp          *core.FaultPlan // nil unless fault injection is armed
 	reads       *core.SemSet
 	exprs       *core.ExprSet
 	writes      *core.WriteSet
@@ -118,6 +129,7 @@ func (tx *Tx) Start() {
 		return
 	}
 	tx.irrevocable = false
+	tx.inject(core.SiteStart)
 	for {
 		s := tx.g.seq.Load()
 		if s&1 == 0 {
@@ -128,18 +140,30 @@ func (tx *Tx) Start() {
 	}
 }
 
+// SetFaultPlan arms or disarms deterministic fault injection.
+func (tx *Tx) SetFaultPlan(p *core.FaultPlan) { tx.fp = p }
+
+// inject fires the fault plan at site on the hardware path only; injected
+// faults count as hardware failures, so MaxHWRetries of them still drive the
+// transaction into the irrevocable lock fallback.
+func (tx *Tx) inject(site core.FaultSite) {
+	if tx.fp != nil && !tx.irrevocable && tx.fp.SpuriousHit(site) {
+		tx.abortHW(core.ReasonSpurious)
+	}
+}
+
 // abortHW records a hardware failure and unwinds the attempt.
-func (tx *Tx) abortHW() {
+func (tx *Tx) abortHW(reason core.Reason) {
 	tx.hwFailures++
 	tx.g.hwAborts.Add(1)
-	core.Abort()
+	core.AbortWith(reason)
 }
 
 // checkCapacity aborts the hardware attempt when the tracked set exceeds
 // the simulated hardware buffers.
 func (tx *Tx) checkCapacity() {
 	if tx.reads.Len()+tx.exprs.Len()+tx.writes.Len() > tx.Capacity {
-		tx.abortHW()
+		tx.abortHW(core.ReasonCapacity)
 	}
 }
 
@@ -150,8 +174,14 @@ func (tx *Tx) validate() uint64 {
 			runtime.Gosched()
 			continue
 		}
-		if !tx.reads.HoldsNow() || !tx.exprs.HoldsNow() {
-			tx.abortHW()
+		if tx.fp != nil && tx.fp.ValidationFail() {
+			tx.abortHW(core.ReasonValidation)
+		}
+		if ok, why := tx.reads.BrokenReason(); !ok {
+			tx.abortHW(why)
+		}
+		if !tx.exprs.HoldsNow() {
+			tx.abortHW(core.ReasonCmpFlip)
 		}
 		if time == tx.g.seq.Load() {
 			return time
@@ -184,6 +214,7 @@ func (tx *Tx) Read(v *core.Var) int64 {
 	if tx.irrevocable {
 		return v.Load()
 	}
+	tx.inject(core.SiteRead)
 	if e := tx.writes.Get(v); e != nil {
 		return tx.raw(v, e)
 	}
@@ -214,6 +245,7 @@ func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
 	if tx.irrevocable {
 		return op.Eval(v.Load(), operand)
 	}
+	tx.inject(core.SiteCmp)
 	if e := tx.writes.Get(v); e != nil {
 		return op.Eval(tx.raw(v, e), operand)
 	}
@@ -369,14 +401,18 @@ func (tx *Tx) Commit() {
 		tx.irrevocable = false
 		return
 	}
+	tx.inject(core.SiteCommit)
 	if tx.SpuriousPct > 0 && tx.rng.Float64()*100 < tx.SpuriousPct {
-		tx.abortHW()
+		tx.abortHW(core.ReasonSpurious)
 	}
 	if tx.writes.Len() == 0 {
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		tx.snapshot = tx.validate()
+	}
+	if tx.fp != nil {
+		tx.fp.CommitDelay() // stretch the commit window under the lock
 	}
 	for _, e := range tx.writes.Entries() {
 		if e.Kind == core.EntryInc {

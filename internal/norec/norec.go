@@ -14,6 +14,7 @@
 package norec
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
@@ -32,6 +33,16 @@ func NewGlobal() *Global { return &Global{} }
 // Sequence exposes the current value of the sequence lock (tests only).
 func (g *Global) Sequence() uint64 { return g.seq.Load() }
 
+// Quiescent verifies no commit lock is leaked: at a quiescent point (no
+// transaction in flight) the sequence lock must be even. The chaos harness
+// calls it after injected aborts and user panics.
+func (g *Global) Quiescent() error {
+	if s := g.seq.Load(); s&1 != 0 {
+		return fmt.Errorf("norec: sequence lock leaked (seq=%d)", s)
+	}
+	return nil
+}
+
 // Tx is one NOrec transaction descriptor, reused across attempts.
 type Tx struct {
 	g        *Global
@@ -41,6 +52,7 @@ type Tx struct {
 	reads    *core.SemSet
 	exprs    *core.ExprSet // complex-expression facts (extension)
 	writes   *core.WriteSet
+	fp       *core.FaultPlan // nil unless fault injection is armed
 	stats    core.TxStats
 }
 
@@ -64,6 +76,9 @@ func (tx *Tx) Start() {
 	tx.exprs.Reset()
 	tx.writes.Reset()
 	tx.stats.Reset()
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteStart)
+	}
 	for {
 		s := tx.g.seq.Load()
 		if s&1 == 0 {
@@ -73,6 +88,9 @@ func (tx *Tx) Start() {
 		runtime.Gosched()
 	}
 }
+
+// SetFaultPlan arms or disarms deterministic fault injection.
+func (tx *Tx) SetFaultPlan(p *core.FaultPlan) { tx.fp = p }
 
 // validate re-checks the whole read-set against current memory (Algorithm 6
 // lines 1–9). It spins while a writer holds the sequence lock, performs the
@@ -86,8 +104,14 @@ func (tx *Tx) validate() uint64 {
 			runtime.Gosched()
 			continue
 		}
-		if !tx.reads.HoldsNow() || !tx.exprs.HoldsNow() {
-			core.Abort()
+		if tx.fp != nil && tx.fp.ValidationFail() {
+			core.AbortWith(core.ReasonValidation)
+		}
+		if ok, why := tx.reads.BrokenReason(); !ok {
+			core.AbortWith(why)
+		}
+		if !tx.exprs.HoldsNow() {
+			core.AbortWith(core.ReasonCmpFlip)
 		}
 		if time == tx.g.seq.Load() {
 			return time
@@ -124,6 +148,9 @@ func (tx *Tx) raw(v *core.Var, e *core.WriteEntry) int64 {
 // Read implements the classical TM_READ barrier (Algorithm 6 lines 37–43).
 func (tx *Tx) Read(v *core.Var) int64 {
 	tx.stats.Reads++
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteRead)
+	}
 	if e := tx.writes.Get(v); e != nil {
 		return tx.raw(v, e)
 	}
@@ -154,6 +181,9 @@ func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
 		return op.Eval(tx.Read(v), operand)
 	}
 	tx.stats.Compares++
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCmp)
+	}
 	if e := tx.writes.Get(v); e != nil {
 		return op.Eval(tx.raw(v, e), operand)
 	}
@@ -301,11 +331,17 @@ func (tx *Tx) Inc(v *core.Var, delta int64) {
 // failure), apply the write-set — increments read memory here, safely, since
 // commit phases are serial — and release the lock two ticks later.
 func (tx *Tx) Commit() {
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCommit)
+	}
 	if tx.writes.Len() == 0 {
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
 		tx.snapshot = tx.validate()
+	}
+	if tx.fp != nil {
+		tx.fp.CommitDelay() // stretch the commit window under the lock
 	}
 	for _, e := range tx.writes.Entries() {
 		if e.Kind == core.EntryInc {

@@ -1,6 +1,7 @@
 package ringstm
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 
@@ -41,6 +42,21 @@ func NewGlobal() *Global { return &Global{} }
 // Head exposes the commit count (tests only).
 func (g *Global) Head() uint64 { return g.head.Load() }
 
+// Quiescent verifies the newest commit record is fully written back: an
+// abort or user panic must never leave a claimed ring slot incomplete, or
+// every later transaction would spin on it forever.
+func (g *Global) Quiescent() error {
+	h := g.head.Load()
+	if h == 0 {
+		return nil
+	}
+	e := &g.ring[h%ringSize]
+	if e.ts.Load() != h || e.status.Load() != statusComplete {
+		return fmt.Errorf("ringstm: newest ring entry %d not complete", h)
+	}
+	return nil
+}
+
 // Tx is one RingSTM / S-RingSTM transaction descriptor.
 type Tx struct {
 	g        *Global
@@ -51,6 +67,7 @@ type Tx struct {
 	reads    *core.SemSet  // semantic facts (values for re-validation)
 	exprs    *core.ExprSet // expression facts (extension)
 	writes   *core.WriteSet
+	fp       *core.FaultPlan // nil unless fault injection is armed
 	stats    core.TxStats
 }
 
@@ -76,6 +93,9 @@ func (tx *Tx) Start() {
 	tx.exprs.Reset()
 	tx.writes.Reset()
 	tx.stats.Reset()
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteStart)
+	}
 	for {
 		h := tx.g.head.Load()
 		if h == 0 || published(&tx.g.ring[h%ringSize], h) {
@@ -85,6 +105,9 @@ func (tx *Tx) Start() {
 		runtime.Gosched()
 	}
 }
+
+// SetFaultPlan arms or disarms deterministic fault injection.
+func (tx *Tx) SetFaultPlan(p *core.FaultPlan) { tx.fp = p }
 
 // published reports whether commit i's entry is fully written back.
 func published(e *entry, i uint64) bool {
@@ -111,7 +134,10 @@ func (tx *Tx) validateTo() uint64 {
 			return h
 		}
 		if h-tx.start >= ringSize {
-			core.Abort() // fell off the ring
+			core.AbortWith(core.ReasonCapacity) // fell off the ring
+		}
+		if tx.fp != nil && tx.fp.ValidationFail() {
+			core.AbortWith(core.ReasonValidation)
 		}
 		for i := tx.start + 1; i <= h; i++ {
 			e := &tx.g.ring[i%ringSize]
@@ -120,31 +146,34 @@ func (tx *Tx) validateTo() uint64 {
 				runtime.Gosched()
 			}
 			if e.ts.Load() != i {
-				core.Abort() // slot already reused: too far behind
+				core.AbortWith(core.ReasonCapacity) // slot already reused: too far behind
 			}
 			// Advancing the consistent point past commit i requires its
 			// write-back to have landed: otherwise a later first read of a
 			// variable i wrote could still observe the pre-i value.
 			tx.waitComplete(i)
 			if e.ts.Load() != i {
-				core.Abort() // slot reused while waiting
+				core.AbortWith(core.ReasonCapacity) // slot reused while waiting
 			}
 			disjoint := tx.rf.empty() || !e.wf.intersects(&tx.rf)
 			// A reusing writer flips status to writing before touching the
 			// filter words, so this recheck certifies the filter we just
 			// read was stable.
 			if e.ts.Load() != i || e.status.Load() != statusComplete {
-				core.Abort()
+				core.AbortWith(core.ReasonCapacity)
 			}
 			if disjoint {
 				continue // disjoint: reads unaffected
 			}
 			if !tx.semantic {
-				core.Abort() // classic RingSTM: signature hit = conflict
+				core.AbortWith(core.ReasonValidation) // classic RingSTM: signature hit = conflict
 			}
 			// S-RingSTM: re-validate the facts by value.
-			if !tx.reads.HoldsNow() || !tx.exprs.HoldsNow() {
-				core.Abort()
+			if ok, why := tx.reads.BrokenReason(); !ok {
+				core.AbortWith(why)
+			}
+			if !tx.exprs.HoldsNow() {
+				core.AbortWith(core.ReasonCmpFlip)
 			}
 		}
 		tx.start = h
@@ -178,6 +207,9 @@ func (tx *Tx) raw(v *core.Var, e *core.WriteEntry) int64 {
 // and the base build never consults them).
 func (tx *Tx) Read(v *core.Var) int64 {
 	tx.stats.Reads++
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteRead)
+	}
 	if e := tx.writes.Get(v); e != nil {
 		return tx.raw(v, e)
 	}
@@ -204,6 +236,9 @@ func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
 		return op.Eval(tx.Read(v), operand)
 	}
 	tx.stats.Compares++
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCmp)
+	}
 	if e := tx.writes.Get(v); e != nil {
 		return op.Eval(tx.raw(v, e), operand)
 	}
@@ -346,6 +381,9 @@ func (tx *Tx) Inc(v *core.Var, delta int64) {
 // back, and mark the entry complete. Write-backs are serialized: a writer
 // waits for the previous entry to complete before claiming the next slot.
 func (tx *Tx) Commit() {
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCommit)
+	}
 	if tx.writes.Len() == 0 {
 		return
 	}
@@ -366,6 +404,9 @@ func (tx *Tx) Commit() {
 		slot.status.Store(statusWriting)
 		slot.wf = tx.wf
 		slot.ts.Store(h + 1) // publish: readers may now see the filter
+		if tx.fp != nil {
+			tx.fp.CommitDelay() // stretch the publish-to-complete window
+		}
 		for _, e := range tx.writes.Entries() {
 			if e.Kind == core.EntryInc {
 				e.Var.StoreNT(e.Var.Load() + e.Val)

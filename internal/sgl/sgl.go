@@ -6,6 +6,7 @@
 package sgl
 
 import (
+	"fmt"
 	"sync"
 
 	"semstm/internal/core"
@@ -19,9 +20,20 @@ type Global struct {
 // NewGlobal returns a fresh runtime state.
 func NewGlobal() *Global { return &Global{} }
 
+// Quiescent verifies the global lock is free (no leak through aborts,
+// injected faults, or user panics).
+func (g *Global) Quiescent() error {
+	if !g.mu.TryLock() {
+		return fmt.Errorf("sgl: global lock leaked")
+	}
+	g.mu.Unlock()
+	return nil
+}
+
 // Tx is one SGL transaction descriptor.
 type Tx struct {
 	g     *Global
+	fp    *core.FaultPlan // nil unless fault injection is armed
 	stats core.TxStats
 }
 
@@ -29,10 +41,19 @@ type Tx struct {
 func NewTx(g *Global) *Tx { return &Tx{g: g} }
 
 // Start acquires the global lock; the transaction runs in mutual exclusion.
+// SGL mutates memory in place with no undo log, so aborting faults may fire
+// only here — after the lock is held (Cleanup's unlock stays balanced) and
+// before the body has written anything. Later sites would tear atomicity.
 func (tx *Tx) Start() {
 	tx.stats.Reset()
 	tx.g.mu.Lock()
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteStart)
+	}
 }
+
+// SetFaultPlan arms or disarms deterministic fault injection.
+func (tx *Tx) SetFaultPlan(p *core.FaultPlan) { tx.fp = p }
 
 // Read loads the variable in place.
 func (tx *Tx) Read(v *core.Var) int64 {
@@ -86,8 +107,15 @@ func (tx *Tx) Inc(v *core.Var, delta int64) {
 	v.StoreNT(v.Load() + delta)
 }
 
-// Commit releases the global lock.
-func (tx *Tx) Commit() { tx.g.mu.Unlock() }
+// Commit releases the global lock. Only the non-aborting commit delay may
+// be injected here: the in-place writes are already visible and cannot be
+// rolled back.
+func (tx *Tx) Commit() {
+	if tx.fp != nil {
+		tx.fp.CommitDelay()
+	}
+	tx.g.mu.Unlock()
+}
 
 // Cleanup releases the lock after a user-initiated restart. SGL itself never
 // aborts, but user code may call Restart inside an atomic block.

@@ -13,6 +13,7 @@
 package tl2
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"semstm/internal/core"
@@ -47,6 +48,23 @@ func NewGlobal() *Global { return &Global{} }
 
 // Clock exposes the global version clock (tests only).
 func (g *Global) Clock() uint64 { return g.clock.Load() }
+
+// Quiescent verifies no ownership record is left locked: at a quiescent
+// point every orec's lock bit must be clear, whatever aborts, injected
+// faults, or user panics the preceding run went through. The scan covers the
+// whole table (a few hundred thousand loads — cheap next to any test run).
+func (g *Global) Quiescent() error {
+	leaked := 0
+	for i := range g.orecs {
+		if locked(g.orecs[i].word.Load()) {
+			leaked++
+		}
+	}
+	if leaked != 0 {
+		return fmt.Errorf("tl2: %d orec lock(s) leaked", leaked)
+	}
+	return nil
+}
 
 // orecIndexFor maps a variable to the index of its ownership record with a
 // multiplicative (Fibonacci) hash of the allocation id, the analogue of

@@ -24,6 +24,7 @@ type Tx struct {
 	reads        []*orec      // read-set: orecs of classical reads
 	compares     *core.SemSet // compare-set: semantic facts (S-TL2 only)
 	writes       *core.WriteSet
+	fp           *core.FaultPlan // nil unless fault injection is armed
 	held         []heldLock
 	lockIdx      []int // scratch: orec indices to lock, reused across commits
 	stats        core.TxStats
@@ -52,7 +53,13 @@ func (tx *Tx) Start() {
 	tx.stats.Reset()
 	tx.id = tx.g.txid.Add(1)
 	tx.startVersion = tx.g.clock.Load()
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteStart)
+	}
 }
+
+// SetFaultPlan arms or disarms deterministic fault injection.
+func (tx *Tx) SetFaultPlan(p *core.FaultPlan) { tx.fp = p }
 
 // readConsistent performs the TL2 consistent-read protocol on v and appends
 // its orec to the read-set (Algorithm 7 lines 40–49): sample the orec, read
@@ -62,12 +69,12 @@ func (tx *Tx) readConsistent(v *core.Var) int64 {
 	o := tx.g.orecFor(v)
 	w1 := o.word.Load()
 	if locked(w1) {
-		core.Abort()
+		core.AbortWith(core.ReasonOrecLocked)
 	}
 	val := v.Load()
 	w2 := o.word.Load()
 	if w1 != w2 || version(w1) > tx.startVersion {
-		core.Abort()
+		core.AbortWith(core.ReasonValidation)
 	}
 	tx.reads = append(tx.reads, o)
 	return val
@@ -89,6 +96,9 @@ func (tx *Tx) raw(v *core.Var, e *core.WriteEntry) int64 {
 // Read implements the classical TM_READ barrier (Algorithm 7 lines 37–50).
 func (tx *Tx) Read(v *core.Var) int64 {
 	tx.stats.Reads++
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteRead)
+	}
 	if e := tx.writes.Get(v); e != nil {
 		return tx.raw(v, e)
 	}
@@ -113,6 +123,9 @@ func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
 		return op.Eval(tx.Read(v), operand)
 	}
 	tx.stats.Compares++
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCmp)
+	}
 	if e := tx.writes.Get(v); e != nil {
 		return op.Eval(tx.raw(v, e), operand)
 	}
@@ -130,7 +143,7 @@ func (tx *Tx) cmpPhase1(v *core.Var, o *orec, op core.Op, operand int64) bool {
 	var w1 uint64
 	for spin := 0; ; spin++ {
 		if spin > waitBound {
-			core.Abort()
+			core.AbortWith(core.ReasonOrecLocked)
 		}
 		w1 = o.word.Load()
 		if locked(w1) && o.owner.Load() != tx.id {
@@ -149,7 +162,7 @@ func (tx *Tx) cmpPhase1(v *core.Var, o *orec, op core.Op, operand int64) bool {
 	tx.compares.AppendOutcome(v, op, operand, result)
 	if version(w1) > tx.startVersion {
 		if tx.noExtend {
-			core.Abort() // ablation: behave like phase 2 from the start
+			core.AbortWith(core.ReasonValidation) // ablation: behave like phase 2 from the start
 		}
 		for {
 			time := tx.g.clock.Load()
@@ -170,12 +183,12 @@ func (tx *Tx) cmpPhase1(v *core.Var, o *orec, op core.Op, operand int64) bool {
 func (tx *Tx) cmpPhase2(v *core.Var, o *orec, op core.Op, operand int64) bool {
 	w1 := o.word.Load()
 	if locked(w1) && o.owner.Load() != tx.id {
-		core.Abort()
+		core.AbortWith(core.ReasonOrecLocked)
 	}
 	val := v.Load()
 	w2 := o.word.Load()
 	if version(w1) > tx.startVersion || w1 != w2 {
-		core.Abort()
+		core.AbortWith(core.ReasonValidation)
 	}
 	result := op.Eval(val, operand)
 	tx.compares.AppendOutcome(v, op, operand, result)
@@ -219,7 +232,7 @@ func (tx *Tx) cmpVarsPhase1(a, b *core.Var, oa, ob *orec, op core.Op) bool {
 	var wa, wb uint64
 	for spin := 0; ; spin++ {
 		if spin > waitBound {
-			core.Abort()
+			core.AbortWith(core.ReasonOrecLocked)
 		}
 		wa = oa.word.Load()
 		wb = ob.word.Load()
@@ -239,7 +252,7 @@ func (tx *Tx) cmpVarsPhase1(a, b *core.Var, oa, ob *orec, op core.Op) bool {
 	tx.compares.AppendOutcomeVar(a, op, b, result)
 	if version(wa) > tx.startVersion || version(wb) > tx.startVersion {
 		if tx.noExtend {
-			core.Abort() // ablation: phase-1 extension disabled
+			core.AbortWith(core.ReasonValidation) // ablation: phase-1 extension disabled
 		}
 		for {
 			time := tx.g.clock.Load()
@@ -260,12 +273,12 @@ func (tx *Tx) cmpVarsPhase2(a, b *core.Var, oa, ob *orec, op core.Op) bool {
 	wb := ob.word.Load()
 	if (locked(wa) && oa.owner.Load() != tx.id) ||
 		(locked(wb) && ob.owner.Load() != tx.id) {
-		core.Abort()
+		core.AbortWith(core.ReasonOrecLocked)
 	}
 	va, vb := a.Load(), b.Load()
 	if version(wa) > tx.startVersion || version(wb) > tx.startVersion ||
 		oa.word.Load() != wa || ob.word.Load() != wb {
-		core.Abort()
+		core.AbortWith(core.ReasonValidation)
 	}
 	result := op.Eval(va, vb)
 	tx.compares.AppendOutcomeVar(a, op, b, result)
@@ -314,6 +327,9 @@ func (tx *Tx) Inc(v *core.Var, delta int64) {
 // the value is about to change, and only its final state decides the
 // semantic outcome — bounded by the starvation timeout.
 func (tx *Tx) validateCompareSet() {
+	if tx.fp != nil && tx.fp.ValidationFail() {
+		core.AbortWith(core.ReasonCmpFlip)
+	}
 	for i := range tx.compares.Entries() {
 		e := &tx.compares.Entries()[i]
 		tx.waitUnlocked(tx.g.orecFor(e.Var))
@@ -321,7 +337,7 @@ func (tx *Tx) validateCompareSet() {
 			tx.waitUnlocked(tx.g.orecFor(e.OperandVar))
 		}
 		if !e.Holds() {
-			core.Abort() // line 64: semantic validation failed
+			core.AbortWith(core.ReasonCmpFlip) // line 64: semantic validation failed
 		}
 	}
 }
@@ -335,7 +351,7 @@ func (tx *Tx) waitUnlocked(o *orec) {
 			return
 		}
 		if spin > waitBound {
-			core.Abort()
+			core.AbortWith(core.ReasonOrecLocked)
 		}
 		runtime.Gosched()
 	}
@@ -346,13 +362,16 @@ func (tx *Tx) waitUnlocked(o *orec) {
 // 51–55). Orecs locked by this transaction are checked against their
 // preserved pre-lock version.
 func (tx *Tx) validateReadSet() {
+	if tx.fp != nil && tx.fp.ValidationFail() {
+		core.AbortWith(core.ReasonValidation)
+	}
 	for _, o := range tx.reads {
 		w := o.word.Load()
 		if locked(w) && o.owner.Load() != tx.id {
-			core.Abort()
+			core.AbortWith(core.ReasonOrecLocked)
 		}
 		if version(w) > tx.startVersion {
-			core.Abort()
+			core.AbortWith(core.ReasonValidation)
 		}
 	}
 }
@@ -382,7 +401,7 @@ func (tx *Tx) acquireWriteLocks() {
 				break
 			}
 			if spin > spinBound {
-				core.Abort()
+				core.AbortWith(core.ReasonOrecLocked)
 			}
 			runtime.Gosched()
 		}
@@ -399,10 +418,16 @@ func (tx *Tx) acquireWriteLocks() {
 // validation just performed. Read-set validation is skipped only when no
 // other writer committed since the snapshot.
 func (tx *Tx) Commit() {
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCommit)
+	}
 	if tx.writes.Len() == 0 {
 		return
 	}
 	tx.acquireWriteLocks()
+	if tx.fp != nil {
+		tx.fp.CommitDelay() // stretch the window with the orecs held
+	}
 	for {
 		time := tx.g.clock.Load()
 		if tx.semantic && tx.startVersion != time {

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# check.sh — correctness gate for this repo: tier-1, vet, and the race-
+# instrumented robustness suites.
+#
+# Runs, in order, failing fast on the first error:
+#   1. tier-1: go build ./... && go test ./...
+#   2. go vet ./...
+#   3. go test -race on the runtime-facing packages (the public stm API,
+#      core, and every algorithm backend) — this is where the chaos,
+#      panic-rollback, and escalation suites live. The race pass runs the
+#      chaos suites in -short mode by default; set CHECK_LONG=1 to run the
+#      full-size chaos sweep (heavier, minutes not seconds).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: go build ./... =="
+go build ./...
+
+echo "== tier-1: go test ./... =="
+go test ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+RACE_PKGS="./stm/... ./internal/core/... ./internal/norec/... ./internal/tl2/... ./internal/ringstm/... ./internal/htm/... ./internal/sgl/..."
+
+if [ "${CHECK_LONG:-0}" = "1" ]; then
+    echo "== go test -race (full chaos sweep) =="
+    # shellcheck disable=SC2086
+    go test -race -count=1 $RACE_PKGS
+else
+    echo "== go test -race -short (set CHECK_LONG=1 for the full sweep) =="
+    # shellcheck disable=SC2086
+    go test -race -short -count=1 $RACE_PKGS
+fi
+
+echo "== ok =="

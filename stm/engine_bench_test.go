@@ -1,0 +1,23 @@
+package stm_test
+
+import (
+	"testing"
+
+	"semstm/stm"
+)
+
+// BenchmarkAtomicallyEmpty measures the retry engine's fixed per-transaction
+// cost in isolation: descriptor pool round-trip, attempt dispatch, abort
+// recovery scaffolding, stats fold, and the progress-layer checks (escalation
+// gate load, bounded-mode branches) — everything Atomically pays before the
+// first barrier runs. Backend cost is excluded by running an empty body on
+// NOrec, whose Start/Commit on a read-only attempt are two loads. Compare
+// this before/after any change to the Atomically/tryOnce path.
+func BenchmarkAtomicallyEmpty(b *testing.B) {
+	rt := stm.New(stm.NOrec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Atomically(func(tx *stm.Tx) {})
+	}
+}

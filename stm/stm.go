@@ -161,14 +161,17 @@ type Runtime struct {
 	ringG      *ringstm.Global
 	txPool     sync.Pool
 	yieldEvery int
+	esc        escalator // quiesce protocol of the irrevocable mode
 
 	// Ablation and tuning knobs, set before the runtime is shared.
-	dedupReads  bool
-	noExtend    bool
-	backoff     BackoffPolicy
-	htmCapacity int
-	htmRetries  int
-	htmSpurious float64
+	dedupReads    bool
+	noExtend      bool
+	backoff       BackoffPolicy
+	htmCapacity   int
+	htmRetries    int
+	htmSpurious   float64
+	faultPlan     *core.FaultPlan
+	escalateAfter int
 }
 
 // New creates a runtime for the given algorithm.
@@ -177,10 +180,11 @@ func New(algo Algorithm) *Runtime {
 		panic(fmt.Sprintf("stm: unknown algorithm %d", int(algo)))
 	}
 	rt := &Runtime{
-		algo:        algo,
-		htmCapacity: htm.DefaultCapacity,
-		htmRetries:  htm.DefaultMaxHWRetries,
-		htmSpurious: htm.DefaultSpuriousPct,
+		algo:          algo,
+		htmCapacity:   htm.DefaultCapacity,
+		htmRetries:    htm.DefaultMaxHWRetries,
+		htmSpurious:   htm.DefaultSpuriousPct,
+		escalateAfter: DefaultEscalateAfter,
 	}
 	switch algo {
 	case NOrec, SNOrec:
@@ -202,11 +206,13 @@ func New(algo Algorithm) *Runtime {
 // Each descriptor registers its own stats shard: descriptors are owned by
 // one goroutine at a time (sync.Pool), so commit/abort folding stays on
 // thread-private cache lines instead of contending on global counters.
+// RNG seeds come from uniqueSeed, not the raw clock: descriptors allocated
+// in the same nanosecond must not share backoff or spurious-abort streams.
 func (rt *Runtime) newTx() *Tx {
 	tx := &Tx{
 		rt:    rt,
 		shard: rt.stats.Register(),
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:   rand.New(rand.NewSource(uniqueSeed())),
 	}
 	switch rt.algo {
 	case NOrec, SNOrec:
@@ -220,7 +226,7 @@ func (rt *Runtime) newTx() *Tx {
 	case SGL:
 		tx.impl = sgl.NewTx(rt.sglG)
 	case HTM, SHTM:
-		impl := htm.NewTx(rt.htmG, rt.algo == SHTM, time.Now().UnixNano())
+		impl := htm.NewTx(rt.htmG, rt.algo == SHTM, uniqueSeed())
 		impl.Capacity = rt.htmCapacity
 		impl.MaxHWRetries = rt.htmRetries
 		impl.SpuriousPct = rt.htmSpurious
@@ -228,6 +234,7 @@ func (rt *Runtime) newTx() *Tx {
 	case Ring, SRing:
 		tx.impl = ringstm.NewTx(rt.ringG, rt.algo == SRing)
 	}
+	tx.impl.SetFaultPlan(rt.faultPlan)
 	return tx
 }
 
@@ -281,23 +288,18 @@ func (rt *Runtime) Stats() Snapshot { return rt.stats.Snapshot() }
 // commits. The function may run several times; it must confine its side
 // effects to transactional variables (and idempotent local state). A panic
 // other than the internal abort signal propagates to the caller after the
-// attempt is rolled back.
+// attempt is rolled back. A transaction that aborts EscalateAfter times in a
+// row escalates to the irrevocable serializing mode and is guaranteed to
+// commit (see progress.go); use AtomicallyCtx or TryAtomically for bounded
+// execution.
 func (rt *Runtime) Atomically(fn func(tx *Tx)) {
-	tx := rt.txPool.Get().(*Tx)
-	defer rt.txPool.Put(tx)
-	if e, ok := tx.impl.(interface{ NewEpoch() }); ok {
-		e.NewEpoch()
-	}
-	for attempt := 0; ; attempt++ {
-		if rt.tryOnce(tx, fn) {
-			return
-		}
-		tx.backoff(attempt)
-	}
+	rt.run(fn, runCfg{}) // unbounded: the only exit is a commit
 }
 
-// tryOnce runs a single attempt, returning true on commit and false on abort.
-func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
+// tryOnce runs a single attempt, returning whether it committed and, on
+// abort, the typed reason (also latched on the descriptor for the retry
+// engine's reason log).
+func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool, reason AbortReason) {
 	defer func() {
 		if r := recover(); r != nil {
 			tx.impl.Cleanup()
@@ -305,13 +307,16 @@ func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool) {
 			if !core.IsAbort(r) {
 				panic(r)
 			}
+			reason, _ = core.ReasonOf(r)
+			tx.lastReason = reason
+			tx.shard.CountAbortReason(reason)
 		}
 	}()
 	tx.impl.Start()
 	fn(tx)
 	tx.impl.Commit()
 	tx.shard.Merge(tx.impl.AttemptStats(), true)
-	return true
+	return true, AbortUnknown
 }
 
 // Run executes fn transactionally and returns its result, a convenience for
@@ -325,11 +330,12 @@ func Run[T any](rt *Runtime, fn func(tx *Tx) T) T {
 // Tx is a live transaction handle, valid only inside the function passed to
 // Atomically, and only on the goroutine that received it.
 type Tx struct {
-	rt    *Runtime
-	impl  core.TxImpl
-	shard *core.StatsShard // this descriptor's slice of the runtime counters
-	rng   *rand.Rand
-	ops   int
+	rt         *Runtime
+	impl       core.TxImpl
+	shard      *core.StatsShard // this descriptor's slice of the runtime counters
+	rng        *rand.Rand
+	ops        int
+	lastReason AbortReason // reason of the most recent aborted attempt
 }
 
 // BackoffPolicy selects how a transaction waits between attempts — the
@@ -359,8 +365,12 @@ func (tx *Tx) maybeYield() {
 
 // backoff applies the runtime's contention-management policy between
 // attempts. The default is randomized exponential backoff: polite yields for
-// the first conflicts, short randomized sleeps after that.
-func (tx *Tx) backoff(attempt int) {
+// the first conflicts, short randomized sleeps after that. Two progress
+// amendments: budget caps the cumulative sleep of one Atomically-family call
+// (once spent, backoff degrades to yields, so a starving transaction reaches
+// its escalation threshold in bounded time), and a non-nil done channel
+// cuts any sleep short on cancellation.
+func (tx *Tx) backoff(attempt int, done <-chan struct{}, budget *time.Duration) {
 	switch tx.rt.backoff {
 	case BackoffNone:
 		return
@@ -377,7 +387,25 @@ func (tx *Tx) backoff(attempt int) {
 		shift = 12
 	}
 	max := 1 << shift // microseconds
-	time.Sleep(time.Duration(1+tx.rng.Intn(max)) * time.Microsecond)
+	d := time.Duration(1+tx.rng.Intn(max)) * time.Microsecond
+	if d > *budget {
+		d = *budget
+	}
+	if d <= 0 {
+		runtime.Gosched()
+		return
+	}
+	*budget -= d
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+	case <-t.C:
+	}
 }
 
 // Read is the classical TM_READ barrier: it returns the transactional value
@@ -461,5 +489,8 @@ func (tx *Tx) CmpAny(conds ...Cond) bool {
 }
 
 // Restart aborts the current attempt and re-executes the transaction from
-// the beginning (an external abort in TM terms).
-func (tx *Tx) Restart() { core.Abort() }
+// the beginning (an external abort in TM terms); the attempt is recorded
+// with AbortExplicit. An unconditional Restart defeats every progress
+// guarantee, including escalation — the retry-loop idiom is to Restart only
+// while a predicate fails.
+func (tx *Tx) Restart() { core.AbortWith(core.ReasonExplicit) }
