@@ -1,0 +1,129 @@
+// Command bench-compare diffs two BENCH_*.json baseline reports cell by cell
+// and fails when throughput regressed beyond a tolerance, so a perf PR's
+// claims are checked mechanically instead of by eyeballing two JSON files.
+//
+// Usage:
+//
+//	bench-compare [-max-regress 10] OLD.json NEW.json
+//
+// Cells are matched by (workload, algorithm, threads). Cells present in only
+// one report — older schemas sweep fewer thread counts and algorithms — are
+// listed but not compared. The exit status is 1 when any matched cell's
+// throughput dropped more than -max-regress percent, 0 otherwise.
+//
+// Comparability guard: cells that match but ran under different GOMAXPROCS
+// are annotated, since a throughput delta between different scheduler widths
+// measures the width, not the code. They still count toward the regression
+// gate — a committed baseline refresh is expected to keep widths stable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"semstm/internal/experiments"
+)
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 10,
+		"maximum tolerated throughput drop per cell, in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-max-regress PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	type key struct {
+		workload, algo string
+		threads        int
+	}
+	index := func(r experiments.BaselineReport) map[key]experiments.BaselineCell {
+		m := make(map[key]experiments.BaselineCell, len(r.Cells))
+		for _, c := range r.Cells {
+			m[key{c.Workload, c.Algorithm, c.Threads}] = c
+		}
+		return m
+	}
+	oldCells, newCells := index(oldRep), index(newRep)
+
+	var keys []key
+	for k := range oldCells {
+		if _, ok := newCells[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.workload != b.workload {
+			return a.workload < b.workload
+		}
+		if a.algo != b.algo {
+			return a.algo < b.algo
+		}
+		return a.threads < b.threads
+	})
+
+	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.1f%%\n",
+		flag.Arg(0), oldRep.Schema, flag.Arg(1), newRep.Schema, *maxRegress)
+	fmt.Printf("%-11s %-10s %3s  %12s %12s %9s\n",
+		"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta")
+	regressions := 0
+	for _, k := range keys {
+		o, n := oldCells[k], newCells[k]
+		delta := 0.0
+		if o.ThroughputK > 0 {
+			delta = 100 * (n.ThroughputK - o.ThroughputK) / o.ThroughputK
+		}
+		mark := ""
+		if o.ThroughputK > 0 && delta < -*maxRegress {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		if o.GOMAXPROCS != 0 && n.GOMAXPROCS != 0 && o.GOMAXPROCS != n.GOMAXPROCS {
+			mark += fmt.Sprintf("  [gomaxprocs %d -> %d]", o.GOMAXPROCS, n.GOMAXPROCS)
+		}
+		fmt.Printf("%-11s %-10s %3d  %12.2f %12.2f %+8.1f%%%s\n",
+			k.workload, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta, mark)
+	}
+	unmatched := (len(oldCells) - len(keys)) + (len(newCells) - len(keys))
+	if unmatched > 0 {
+		fmt.Printf("%d cell(s) present in only one report (grid changed); not compared\n", unmatched)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed more than %.1f%%\n",
+			regressions, *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: no cell regressed more than %.1f%% (%d compared)\n", *maxRegress, len(keys))
+}
+
+func load(path string) (experiments.BaselineReport, error) {
+	var rep experiments.BaselineReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Cells) == 0 {
+		return rep, fmt.Errorf("%s: no cells (not a BENCH_*.json baseline?)", path)
+	}
+	return rep, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-compare: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,16 +6,24 @@
 //	semstm-bench -list
 //	semstm-bench -exp fig1a [-threads 2,4,8] [-dur 500ms]
 //	semstm-bench -exp all   [-ops 4000]
-//	semstm-bench -json BENCH_PR1.json [-threads 1,4,8] [-dur 300ms]
+//	semstm-bench -json BENCH_PR3.json [-threads 1,2,4,8] [-dur 300ms]
 //
 // Each experiment prints the same series the corresponding paper panel
 // plots: throughput or execution time plus abort rates per algorithm per
 // thread count, or the Table 3 operation profile. With -json, the tool
 // instead measures the committed perf baseline — {hashtable, bank} ×
-// {NOrec, S-NOrec, TL2, S-TL2} × {1, 4, 8} threads — and writes it as a
-// machine-readable BENCH_*.json report (throughput, abort rate, commit and
-// abort counts, plus the typed abort-reason breakdown and irrevocable
-// escalation count per cell) so perf and robustness PRs can diff against it.
+// {NOrec, S-NOrec, TL2, S-TL2, RingSTM, S-RingSTM} × {1, 2, 4, 8} threads,
+// best of -reps measurements per cell to filter host noise — and writes it
+// as a machine-readable BENCH_*.json report (schema v3:
+// throughput, abort rate, commit and abort counts, per-cell GOMAXPROCS, the
+// commit-path counters, plus the typed abort-reason breakdown and
+// irrevocable escalation count per cell) so perf and robustness PRs can diff
+// against it.
+//
+// Every cell runs under an explicit GOMAXPROCS (-gomaxprocs): by default the
+// scheduler width follows each cell's thread count; a pinned width clamps
+// larger thread counts with a warning instead of silently measuring
+// oversubscription.
 package main
 
 import (
@@ -36,6 +44,8 @@ func main() {
 		threads  = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
 		dur      = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
 		ops      = flag.Int("ops", 0, "total operations for execution-time experiments")
+		procs    = flag.Int("gomaxprocs", 0, "per-cell GOMAXPROCS: 0 matches each cell's thread count, > 0 pins a width (thread counts above it are clamped), < 0 keeps the process setting")
+		reps     = flag.Int("reps", 0, "baseline reps per cell, best-of-N (0 takes the default of 3)")
 		jsonPath = flag.String("json", "", "write the micro-benchmark baseline as JSON to this path (BENCH_*.json)")
 	)
 	flag.Parse()
@@ -51,12 +61,23 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Duration: *dur, TotalOps: *ops}
+	cfg := experiments.Config{Duration: *dur, TotalOps: *ops, GOMAXPROCS: *procs, Reps: *reps}
 	if *threads != "" {
 		for _, part := range strings.Split(*threads, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n <= 0 {
 				fatalf("bad -threads value %q", part)
+			}
+			// Under a pinned scheduler width, more workers than Ps measures
+			// oversubscription, not the requested concurrency: clamp loudly
+			// rather than publish a mislabeled cell.
+			if *procs > 0 && n > *procs {
+				fmt.Fprintf(os.Stderr,
+					"semstm-bench: warning: clamping -threads %d to -gomaxprocs %d\n", n, *procs)
+				n = *procs
+			}
+			if len(cfg.Threads) > 0 && cfg.Threads[len(cfg.Threads)-1] == n {
+				continue // clamping may produce adjacent duplicates
 			}
 			cfg.Threads = append(cfg.Threads, n)
 		}

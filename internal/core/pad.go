@@ -1,0 +1,17 @@
+package core
+
+// CacheLine is the assumed coherence granularity. 64 bytes is correct for
+// every mainstream x86-64 and arm64 part; on CPUs with 128-byte lines
+// (Apple M-series E-cores, POWER) adjacent-line prefetching makes 64-byte
+// spacing still remove the worst of the ping-ponging.
+const CacheLine = 64
+
+// Pad is cache-line filler for laying out hot shared words. Interpose a Pad
+// between two atomics so that writers of one never invalidate readers of the
+// other (false sharing): under contention a single shared line can cost
+// hundreds of cycles per access in coherence traffic.
+type Pad [CacheLine]byte
+
+// PadWord pads one 8-byte word out to a full cache line when embedded in an
+// array or struct of hot words.
+type PadWord [CacheLine - 8]byte

@@ -12,6 +12,13 @@ type TxStats struct {
 	Compares uint64 // semantic cmp operations
 	Incs     uint64 // semantic inc operations
 	Promotes uint64 // incs promoted to read+write by a read-after-write
+
+	// Commit-path scalability counters (DESIGN.md §8): how much re-checking
+	// and waiting the attempt did, beyond the Table 3 operation mix.
+	Validations uint64 // read-set/compare-set validation passes
+	ValEntries  uint64 // entries re-checked by those passes
+	ClockAdopts uint64 // commit CAS failures resolved by adopting the newer clock
+	SpinWaits   uint64 // adaptive-waiter rounds spent on locked metadata
 }
 
 // Reset zeroes the per-attempt counters.
@@ -28,6 +35,10 @@ const (
 	cCompares
 	cIncs
 	cPromotes
+	cValidations
+	cValEntries
+	cClockAdopts
+	cSpinWaits
 	cEscalations
 	cReasonBase
 	numCounters = cReasonBase + int(NumReasons)
@@ -72,6 +83,18 @@ func (sh *StatsShard) Merge(ts *TxStats, committed bool) {
 	}
 	if ts.Promotes != 0 {
 		sh.c[cPromotes].n.Add(ts.Promotes)
+	}
+	if ts.Validations != 0 {
+		sh.c[cValidations].n.Add(ts.Validations)
+	}
+	if ts.ValEntries != 0 {
+		sh.c[cValEntries].n.Add(ts.ValEntries)
+	}
+	if ts.ClockAdopts != 0 {
+		sh.c[cClockAdopts].n.Add(ts.ClockAdopts)
+	}
+	if ts.SpinWaits != 0 {
+		sh.c[cSpinWaits].n.Add(ts.SpinWaits)
 	}
 }
 
@@ -119,6 +142,8 @@ func (s *Stats) Merge(ts *TxStats, committed bool) { s.shards[0].Merge(ts, commi
 type Snapshot struct {
 	Commits, Aborts                         uint64
 	Reads, Writes, Compares, Incs, Promotes uint64
+	// Commit-path scalability counters (DESIGN.md §8).
+	Validations, ValEntries, ClockAdopts, SpinWaits uint64
 	// Escalations counts transactions that, after repeated aborts, completed
 	// in the irrevocable serializing mode (the starvation escape hatch).
 	Escalations uint64
@@ -160,6 +185,10 @@ func (s *Stats) Snapshot() Snapshot {
 		Compares:    t[cCompares],
 		Incs:        t[cIncs],
 		Promotes:    t[cPromotes],
+		Validations: t[cValidations],
+		ValEntries:  t[cValEntries],
+		ClockAdopts: t[cClockAdopts],
+		SpinWaits:   t[cSpinWaits],
 		Escalations: t[cEscalations],
 	}
 	copy(sn.AbortReasons[:], t[cReasonBase:])
@@ -187,6 +216,10 @@ func (sn Snapshot) Sub(old Snapshot) Snapshot {
 		Compares:    sn.Compares - old.Compares,
 		Incs:        sn.Incs - old.Incs,
 		Promotes:    sn.Promotes - old.Promotes,
+		Validations: sn.Validations - old.Validations,
+		ValEntries:  sn.ValEntries - old.ValEntries,
+		ClockAdopts: sn.ClockAdopts - old.ClockAdopts,
+		SpinWaits:   sn.SpinWaits - old.SpinWaits,
 		Escalations: sn.Escalations - old.Escalations,
 	}
 	for i := range d.AbortReasons {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWaiterEscalates checks the tier schedule: the first rounds must not
+// sleep (they are the fast path under transient contention) and the deep
+// rounds must park the thread, which is what lets a preempted lock holder
+// run on an oversubscribed machine.
+func TestWaiterEscalates(t *testing.T) {
+	var w Waiter
+	start := time.Now()
+	for i := 0; i < waitSpinRounds+waitYieldRounds; i++ {
+		if got := w.Wait(); got != i+1 {
+			t.Fatalf("round %d: Wait() = %d", i, got)
+		}
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("spin+yield tiers took %v; must not sleep", d)
+	}
+	start = time.Now()
+	w.Wait() // first sleep round
+	if d := time.Since(start); d < waitSleepBase/2 {
+		t.Fatalf("sleep tier waited only %v", d)
+	}
+	if w.Rounds() != waitSpinRounds+waitYieldRounds+1 {
+		t.Fatalf("Rounds() = %d", w.Rounds())
+	}
+	w.Reset()
+	if w.Rounds() != 0 {
+		t.Fatalf("Rounds() after Reset = %d", w.Rounds())
+	}
+}
+
+// TestWaiterSleepCap checks deep rounds stay bounded per round, so a
+// starvation bound in rounds translates to a bounded wall-clock timeout.
+func TestWaiterSleepCap(t *testing.T) {
+	var w Waiter
+	for i := 0; i < waitSpinRounds+waitYieldRounds+12; i++ {
+		w.Wait()
+	}
+	start := time.Now()
+	w.Wait()
+	if d := time.Since(start); d > 10*waitSleepMax {
+		t.Fatalf("deep round slept %v, cap is %v", d, waitSleepMax)
+	}
+}
+
+// TestStatsNewCounters checks the commit-path counters fold through
+// Merge/Snapshot/Sub like the Table 3 categories.
+func TestStatsNewCounters(t *testing.T) {
+	var s Stats
+	sh := s.Register()
+	ts := TxStats{Validations: 3, ValEntries: 40, ClockAdopts: 2, SpinWaits: 7}
+	sh.Merge(&ts, true)
+	sn := s.Snapshot()
+	if sn.Validations != 3 || sn.ValEntries != 40 || sn.ClockAdopts != 2 || sn.SpinWaits != 7 {
+		t.Fatalf("snapshot = %+v", sn)
+	}
+	sh.Merge(&ts, false)
+	d := s.Snapshot().Sub(sn)
+	if d.Validations != 3 || d.ValEntries != 40 || d.ClockAdopts != 2 || d.SpinWaits != 7 || d.Aborts != 1 {
+		t.Fatalf("diff = %+v", d)
+	}
+	ts.Reset()
+	if ts.Validations != 0 || ts.SpinWaits != 0 {
+		t.Fatalf("Reset left %+v", ts)
+	}
+}

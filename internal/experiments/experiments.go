@@ -31,6 +31,13 @@ type Config struct {
 	// YieldEvery tunes the interleave simulation (Runtime.SetYieldEvery):
 	// 0 takes the default, negative disables it.
 	YieldEvery int
+	// GOMAXPROCS is the per-cell scheduler-width policy (harness.ApplyProcs):
+	// 0 matches each cell's thread count, > 0 pins a width, < 0 keeps the
+	// process setting.
+	GOMAXPROCS int
+	// Reps is how many times the baseline measures each cell, keeping the
+	// best-throughput rep (0 takes the default of 3).
+	Reps int
 }
 
 func (c Config) threads(def []int) []int {
@@ -45,6 +52,13 @@ func (c Config) duration() time.Duration {
 		return c.Duration
 	}
 	return 300 * time.Millisecond
+}
+
+func (c Config) reps() int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	return 3
 }
 
 func (c Config) totalOps(def int) int {
@@ -126,6 +140,7 @@ func timedReport(title string, build harness.Builder, cfg Config, threads []int)
 		Timed:      true,
 		Duration:   cfg.duration(),
 		YieldEvery: cfg.yieldEvery(),
+		GOMAXPROCS: cfg.GOMAXPROCS,
 	})
 	if err != nil {
 		return "", err
@@ -140,6 +155,7 @@ func fixedReport(title string, build harness.Builder, cfg Config, threads []int,
 		Timed:      false,
 		TotalOps:   cfg.totalOps(defOps),
 		YieldEvery: cfg.yieldEvery(),
+		GOMAXPROCS: cfg.GOMAXPROCS,
 	})
 	if err != nil {
 		return "", err
@@ -336,6 +352,7 @@ func runExtRing(cfg Config) (string, error) {
 			Timed:      true,
 			Duration:   cfg.duration(),
 			YieldEvery: cfg.yieldEvery(),
+			GOMAXPROCS: cfg.GOMAXPROCS,
 		})
 		if err != nil {
 			return "", err

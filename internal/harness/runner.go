@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,9 +22,31 @@ import (
 type Result struct {
 	Algorithm stm.Algorithm
 	Threads   int
-	Elapsed   time.Duration
-	Ops       uint64       // application-level operations completed
-	Stats     stm.Snapshot // runtime counters scoped to the run
+	// GOMAXPROCS is the scheduler width the cell actually ran under —
+	// without it a committed baseline number cannot be reproduced, because
+	// thread counts above GOMAXPROCS measure oversubscription, not
+	// parallelism.
+	GOMAXPROCS int
+	Elapsed    time.Duration
+	Ops        uint64       // application-level operations completed
+	Stats      stm.Snapshot // runtime counters scoped to the run
+}
+
+// ApplyProcs installs the per-cell GOMAXPROCS policy and returns the restore
+// function. procs > 0 pins that width; procs == 0 matches the cell's thread
+// count, so every worker goroutine can hold a P and the runtime's
+// housekeeping amortizes across them; procs < 0 leaves the process setting
+// untouched.
+func ApplyProcs(procs, threads int) func() {
+	target := procs
+	if target == 0 {
+		target = threads
+	}
+	if target <= 0 {
+		return func() {}
+	}
+	prev := runtime.GOMAXPROCS(target)
+	return func() { runtime.GOMAXPROCS(prev) }
 }
 
 // ThroughputKTx returns committed transactions per second, in thousands —
@@ -99,11 +122,12 @@ func RunTimed(rt *stm.Runtime, w Workload, threads int, dur time.Duration) (Resu
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := Result{
-		Algorithm: rt.Algorithm(),
-		Threads:   threads,
-		Elapsed:   elapsed,
-		Ops:       ops.Load(),
-		Stats:     rt.Stats().Sub(before),
+		Algorithm:  rt.Algorithm(),
+		Threads:    threads,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Elapsed:    elapsed,
+		Ops:        ops.Load(),
+		Stats:      rt.Stats().Sub(before),
 	}
 	return res, w.Check()
 }
@@ -133,11 +157,12 @@ func RunFixed(rt *stm.Runtime, w Workload, threads, totalOps int) (Result, error
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := Result{
-		Algorithm: rt.Algorithm(),
-		Threads:   threads,
-		Elapsed:   elapsed,
-		Ops:       uint64(totalOps),
-		Stats:     rt.Stats().Sub(before),
+		Algorithm:  rt.Algorithm(),
+		Threads:    threads,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Elapsed:    elapsed,
+		Ops:        uint64(totalOps),
+		Stats:      rt.Stats().Sub(before),
 	}
 	return res, w.Check()
 }
@@ -176,6 +201,10 @@ type SweepConfig struct {
 	// YieldEvery is passed to Runtime.SetYieldEvery on every cell's runtime
 	// (interleave simulation for low-core machines; 0 disables).
 	YieldEvery int
+	// GOMAXPROCS is the per-cell scheduler-width policy (see ApplyProcs):
+	// 0 matches each cell's thread count, > 0 pins a width, < 0 leaves the
+	// process setting alone.
+	GOMAXPROCS int
 }
 
 // Sweep measures a whole panel. Each cell is built from scratch so the cells
@@ -187,6 +216,7 @@ func Sweep(title string, build Builder, cfg SweepConfig) (*Series, error) {
 			rt := stm.New(a)
 			rt.SetYieldEvery(cfg.YieldEvery)
 			w := build(rt)
+			restore := ApplyProcs(cfg.GOMAXPROCS, th)
 			var res Result
 			var err error
 			if cfg.Timed {
@@ -194,6 +224,7 @@ func Sweep(title string, build Builder, cfg SweepConfig) (*Series, error) {
 			} else {
 				res, err = RunFixed(rt, w, th, cfg.TotalOps)
 			}
+			restore()
 			if err != nil {
 				return nil, fmt.Errorf("%s [%v x%d]: %w", title, a, th, err)
 			}

@@ -23,7 +23,6 @@ package htm
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync/atomic"
 
 	"semstm/internal/core"
@@ -41,9 +40,13 @@ const (
 
 // Global is the state shared by all transactions of one HTM runtime: a
 // timestamped sequence lock serving both as the commit serializer of
-// hardware transactions and as the fallback lock they subscribe to.
+// hardware transactions and as the fallback lock they subscribe to. The lock
+// is subscribed (polled) by every hardware attempt, so it lives on its own
+// cache line; the fallback/abort tallies are bumped on the failure paths and
+// must not drag the lock's line with them.
 type Global struct {
 	seq       atomic.Uint64
+	_         core.PadWord
 	fallbacks atomic.Uint64
 	hwAborts  atomic.Uint64
 }
@@ -83,6 +86,7 @@ type Tx struct {
 	reads       *core.SemSet
 	exprs       *core.ExprSet
 	writes      *core.WriteSet
+	waiter      core.Waiter
 	hwFailures  int
 	irrevocable bool
 	stats       core.TxStats
@@ -117,12 +121,14 @@ func (tx *Tx) Start() {
 	if tx.hwFailures > tx.MaxHWRetries {
 		// Fallback: acquire the sequence lock (make it odd) and run
 		// irrevocably; hardware commits are blocked meanwhile.
+		tx.waiter.Reset()
 		for {
 			s := tx.g.seq.Load()
 			if s&1 == 0 && tx.g.seq.CompareAndSwap(s, s+1) {
 				break
 			}
-			runtime.Gosched()
+			tx.waiter.Wait()
+			tx.stats.SpinWaits++
 		}
 		tx.irrevocable = true
 		tx.g.fallbacks.Add(1)
@@ -130,13 +136,15 @@ func (tx *Tx) Start() {
 	}
 	tx.irrevocable = false
 	tx.inject(core.SiteStart)
+	tx.waiter.Reset()
 	for {
 		s := tx.g.seq.Load()
 		if s&1 == 0 {
 			tx.snapshot = s
 			return
 		}
-		runtime.Gosched() // subscribe: wait out fallback transactions
+		tx.waiter.Wait() // subscribe: wait out fallback transactions
+		tx.stats.SpinWaits++
 	}
 }
 
@@ -168,15 +176,19 @@ func (tx *Tx) checkCapacity() {
 }
 
 func (tx *Tx) validate() uint64 {
+	tx.waiter.Reset()
 	for {
 		time := tx.g.seq.Load()
 		if time&1 != 0 {
-			runtime.Gosched()
+			tx.waiter.Wait()
+			tx.stats.SpinWaits++
 			continue
 		}
 		if tx.fp != nil && tx.fp.ValidationFail() {
 			tx.abortHW(core.ReasonValidation)
 		}
+		tx.stats.Validations++
+		tx.stats.ValEntries += uint64(tx.reads.Len() + tx.exprs.Len())
 		if ok, why := tx.reads.BrokenReason(); !ok {
 			tx.abortHW(why)
 		}
@@ -409,6 +421,9 @@ func (tx *Tx) Commit() {
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		// A concurrent commit (or fallback) moved the lock: adopt the newer
+		// timestamp by revalidating at it.
+		tx.stats.ClockAdopts++
 		tx.snapshot = tx.validate()
 	}
 	if tx.fp != nil {

@@ -15,7 +15,6 @@ package norec
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
 
 	"semstm/internal/core"
@@ -23,8 +22,13 @@ import (
 
 // Global is the state shared by all transactions of one NOrec runtime: the
 // global timestamped sequence lock. An odd value means a writer is committing.
+// The lock word is the single hottest word in the whole algorithm — every
+// barrier of every thread loads it and every writer CASes it — so it gets a
+// cache line of its own rather than sharing one with whatever the runtime
+// allocates next to the Global.
 type Global struct {
 	seq atomic.Uint64
+	_   core.PadWord
 }
 
 // NewGlobal returns a fresh, unlocked global sequence lock.
@@ -49,11 +53,20 @@ type Tx struct {
 	semantic bool
 	dedup    bool
 	snapshot uint64
-	reads    *core.SemSet
-	exprs    *core.ExprSet // complex-expression facts (extension)
-	writes   *core.WriteSet
-	fp       *core.FaultPlan // nil unless fault injection is armed
-	stats    core.TxStats
+	// valSeq is the validation watermark (DESIGN.md §8): the sequence value
+	// at which the full read-set and expression-set were last known valid.
+	// validate skips the whole walk when the lock still reads valSeq —
+	// entries appended since then were each read at a stable sequence equal
+	// to valSeq, so they hold at valSeq by construction. Once the lock moves
+	// past the watermark the full set must be re-walked: value-based
+	// validation cannot tell which entries the intervening commit touched.
+	valSeq uint64
+	reads  *core.SemSet
+	exprs  *core.ExprSet // complex-expression facts (extension)
+	writes *core.WriteSet
+	waiter core.Waiter
+	fp     *core.FaultPlan // nil unless fault injection is armed
+	stats  core.TxStats
 }
 
 // NewTx returns a transaction descriptor bound to g. If semantic is true the
@@ -79,13 +92,19 @@ func (tx *Tx) Start() {
 	if tx.fp != nil {
 		tx.fp.Step(core.SiteStart)
 	}
+	tx.waiter.Reset()
 	for {
 		s := tx.g.seq.Load()
 		if s&1 == 0 {
 			tx.snapshot = s
+			// The empty read-set is trivially valid here, so the watermark
+			// starts at the snapshot rather than carrying a value from the
+			// previous attempt.
+			tx.valSeq = s
 			return
 		}
-		runtime.Gosched()
+		tx.waiter.Wait()
+		tx.stats.SpinWaits++
 	}
 }
 
@@ -93,20 +112,32 @@ func (tx *Tx) Start() {
 func (tx *Tx) SetFaultPlan(p *core.FaultPlan) { tx.fp = p }
 
 // validate re-checks the whole read-set against current memory (Algorithm 6
-// lines 1–9). It spins while a writer holds the sequence lock, performs the
-// semantic validation, and confirms the lock did not move meanwhile. On
-// success it returns the (even) time at which the read-set was known valid;
-// on semantic failure it aborts.
+// lines 1–9). It waits (adaptively — see core.Waiter) while a writer holds
+// the sequence lock, performs the semantic validation, and confirms the lock
+// did not move meanwhile. On success it returns the (even) time at which the
+// read-set was known valid and advances the valSeq watermark to it; when the
+// lock still reads the watermark the walk is skipped entirely (validation
+// coalescing, DESIGN.md §8). On semantic failure it aborts.
 func (tx *Tx) validate() uint64 {
+	tx.waiter.Reset()
 	for {
 		time := tx.g.seq.Load()
 		if time&1 != 0 {
-			runtime.Gosched()
+			tx.waiter.Wait()
+			tx.stats.SpinWaits++
 			continue
+		}
+		if time == tx.valSeq {
+			// Nothing committed since the last full walk: every entry —
+			// including ones appended after that walk, each read at a stable
+			// sequence equal to the watermark — is known valid at this time.
+			return time
 		}
 		if tx.fp != nil && tx.fp.ValidationFail() {
 			core.AbortWith(core.ReasonValidation)
 		}
+		tx.stats.Validations++
+		tx.stats.ValEntries += uint64(tx.reads.Len() + tx.exprs.Len())
 		if ok, why := tx.reads.BrokenReason(); !ok {
 			core.AbortWith(why)
 		}
@@ -114,6 +145,7 @@ func (tx *Tx) validate() uint64 {
 			core.AbortWith(core.ReasonCmpFlip)
 		}
 		if time == tx.g.seq.Load() {
+			tx.valSeq = time
 			return time
 		}
 	}
@@ -325,11 +357,14 @@ func (tx *Tx) Inc(v *core.Var, delta int64) {
 	tx.writes.PutInc(v, delta)
 }
 
-// Commit publishes the transaction. Read-only transactions commit
-// immediately: their last read/cmp was already validated. Writers acquire
-// the sequence lock by CAS from their snapshot (revalidating on every
-// failure), apply the write-set — increments read memory here, safely, since
-// commit phases are serial — and release the lock two ticks later.
+// Commit publishes the transaction. Read-only (and in S-NOrec compare-only)
+// transactions commit with zero CAS traffic: their last read/cmp was already
+// validated, and the sequence lock is never touched. Writers acquire the
+// sequence lock by CAS from their snapshot; each failure means a concurrent
+// commit advanced the lock, so the newer timestamp is adopted by revalidating
+// at it (counted as a clock adoption) before retrying. The write-set is then
+// applied — increments read memory here, safely, since commit phases are
+// serial — and the lock released two ticks later.
 func (tx *Tx) Commit() {
 	if tx.fp != nil {
 		tx.fp.Step(core.SiteCommit)
@@ -338,6 +373,7 @@ func (tx *Tx) Commit() {
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		tx.stats.ClockAdopts++
 		tx.snapshot = tx.validate()
 	}
 	if tx.fp != nil {

@@ -2,7 +2,6 @@ package ringstm
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
 
 	"semstm/internal/core"
@@ -31,8 +30,13 @@ type entry struct {
 }
 
 // Global is the state shared by all transactions of one RingSTM runtime.
+// The head — polled by every barrier of every thread and CASed by every
+// committer — sits alone on its cache line; without the pad it shares a line
+// with ring[0]'s timestamp and status words, so every wrap-around write-back
+// of slot 0 would invalidate the head under all readers.
 type Global struct {
 	head atomic.Uint64 // number of commits; ring[i%ringSize] holds commit i
+	_    core.PadWord
 	ring [ringSize]entry
 }
 
@@ -67,6 +71,7 @@ type Tx struct {
 	reads    *core.SemSet  // semantic facts (values for re-validation)
 	exprs    *core.ExprSet // expression facts (extension)
 	writes   *core.WriteSet
+	waiter   core.Waiter
 	fp       *core.FaultPlan // nil unless fault injection is armed
 	stats    core.TxStats
 }
@@ -96,13 +101,15 @@ func (tx *Tx) Start() {
 	if tx.fp != nil {
 		tx.fp.Step(core.SiteStart)
 	}
+	tx.waiter.Reset()
 	for {
 		h := tx.g.head.Load()
 		if h == 0 || published(&tx.g.ring[h%ringSize], h) {
 			tx.start = h
 			return
 		}
-		runtime.Gosched()
+		tx.waiter.Wait()
+		tx.stats.SpinWaits++
 	}
 }
 
@@ -114,11 +121,13 @@ func published(e *entry, i uint64) bool {
 	return e.ts.Load() == i && e.status.Load() == statusComplete
 }
 
-// waitComplete spins until commit i's write-back has finished.
+// waitComplete waits (adaptively) until commit i's write-back has finished.
 func (tx *Tx) waitComplete(i uint64) {
 	e := &tx.g.ring[i%ringSize]
+	tx.waiter.Reset()
 	for e.ts.Load() == i && e.status.Load() != statusComplete {
-		runtime.Gosched()
+		tx.waiter.Wait()
+		tx.stats.SpinWaits++
 	}
 }
 
@@ -139,11 +148,15 @@ func (tx *Tx) validateTo() uint64 {
 		if tx.fp != nil && tx.fp.ValidationFail() {
 			core.AbortWith(core.ReasonValidation)
 		}
+		tx.stats.Validations++
+		tx.stats.ValEntries += h - tx.start // ring entries this pass examines
 		for i := tx.start + 1; i <= h; i++ {
 			e := &tx.g.ring[i%ringSize]
 			// Wait for the entry to be published.
+			tx.waiter.Reset()
 			for e.ts.Load() < i {
-				runtime.Gosched()
+				tx.waiter.Wait()
+				tx.stats.SpinWaits++
 			}
 			if e.ts.Load() != i {
 				core.AbortWith(core.ReasonCapacity) // slot already reused: too far behind
@@ -169,6 +182,7 @@ func (tx *Tx) validateTo() uint64 {
 				core.AbortWith(core.ReasonValidation) // classic RingSTM: signature hit = conflict
 			}
 			// S-RingSTM: re-validate the facts by value.
+			tx.stats.ValEntries += uint64(tx.reads.Len() + tx.exprs.Len())
 			if ok, why := tx.reads.BrokenReason(); !ok {
 				core.AbortWith(why)
 			}
@@ -387,17 +401,22 @@ func (tx *Tx) Commit() {
 	if tx.writes.Len() == 0 {
 		return
 	}
+	tx.waiter.Reset()
 	for {
 		h := tx.validateTo()
 		if h > 0 {
 			// Serialize write-backs: the previous commit must be done.
 			prev := &tx.g.ring[h%ringSize]
 			if prev.ts.Load() == h && prev.status.Load() != statusComplete {
-				runtime.Gosched()
+				tx.waiter.Wait()
+				tx.stats.SpinWaits++
 				continue
 			}
 		}
 		if !tx.g.head.CompareAndSwap(h, h+1) {
+			// A concurrent commit claimed slot h+1: adopt the newer head by
+			// revalidating up to it on the next round.
+			tx.stats.ClockAdopts++
 			continue
 		}
 		slot := &tx.g.ring[(h+1)%ringSize]

@@ -19,27 +19,41 @@ import (
 	"semstm/internal/core"
 )
 
-// orecBits sets the table to 2^18 ownership records (~4 MiB of words).
-const orecBits = 18
+// orecBits sets the table to 2^16 cache-line-sized ownership records (4 MiB).
+// Before the padding pass the table was 2^18 sixteen-byte orecs — same
+// memory, but four orecs per cache line, so a committer bumping one orec
+// invalidated the line under readers of three unrelated ones. One orec per
+// line kills that false sharing; the coarser hash costs collisions only at
+// ~n²/2^17 for n live hot variables, negligible for the benchmark footprints
+// (and a collision is a false conflict, never a correctness issue).
+const orecBits = 16
 
-// orec is one ownership record. word packs version<<1 | lockBit; the version
-// bits are preserved while locked, so readers can still see the pre-lock
-// version. owner holds the locking attempt's unique id and is meaningful only
-// while the lock bit is set; attempt ids are globally unique, so a stale
-// owner value can never collide with a live attempt.
+// orec is one ownership record, padded to a full cache line. word packs
+// version<<1 | lockBit; the version bits are preserved while locked, so
+// readers can still see the pre-lock version. owner holds the locking
+// attempt's unique id and is meaningful only while the lock bit is set;
+// attempt ids are globally unique, so a stale owner value can never collide
+// with a live attempt.
 type orec struct {
 	word  atomic.Uint64
 	owner atomic.Uint64
+	_     [core.CacheLine - 16]byte
 }
 
 func locked(w uint64) bool        { return w&1 == 1 }
 func version(w uint64) uint64     { return w >> 1 }
 func versionWord(v uint64) uint64 { return v << 1 }
 
-// Global is the state shared by all transactions of one TL2 runtime.
+// Global is the state shared by all transactions of one TL2 runtime. The
+// two hottest words in the system — the version clock every transaction
+// reads and every writer advances, and the attempt-id counter every Start
+// bumps — each sit alone on their cache line: sharing a line would make
+// every Start invalidate the clock under every in-flight reader.
 type Global struct {
 	clock atomic.Uint64
+	_     core.PadWord
 	txid  atomic.Uint64
+	_     core.PadWord
 	orecs [1 << orecBits]orec
 }
 
@@ -79,11 +93,15 @@ func (g *Global) orecFor(v *core.Var) *orec {
 	return &g.orecs[g.orecIndexFor(v)]
 }
 
-// waitBound limits how long a semantic operation politely waits for a locked
-// orec before giving up and aborting — the paper's "timeout mechanism ... to
-// avoid starvation".
-const waitBound = 4096
+// waitBound limits how many adaptive-waiter rounds (core.Waiter: exponential
+// spin, then yields, then brief sleeps) a semantic operation politely waits
+// for a locked orec before giving up and aborting — the paper's "timeout
+// mechanism ... to avoid starvation". 64 rounds is roughly 15ms of
+// wall-clock, comparable to the previous 4096 raw Gosched rounds, but the
+// sleep tier actually frees the CPU for a preempted lock holder.
+const waitBound = 64
 
-// spinBound limits commit-time lock acquisition spins before aborting, which
-// (together with index-ordered acquisition) rules out deadlock.
-const spinBound = 4096
+// spinBound limits commit-time lock acquisition waiter rounds before
+// aborting, which (together with index-ordered acquisition) rules out
+// deadlock.
+const spinBound = 64

@@ -1,7 +1,6 @@
 package tl2
 
 import (
-	"runtime"
 	"sort"
 
 	"semstm/internal/core"
@@ -26,7 +25,8 @@ type Tx struct {
 	writes       *core.WriteSet
 	fp           *core.FaultPlan // nil unless fault injection is armed
 	held         []heldLock
-	lockIdx      []int // scratch: orec indices to lock, reused across commits
+	lockIdx      []int       // scratch: orec indices to lock, reused across commits
+	waiter       core.Waiter // adaptive spin-then-yield backoff for locked orecs
 	stats        core.TxStats
 }
 
@@ -141,19 +141,23 @@ func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
 func (tx *Tx) cmpPhase1(v *core.Var, o *orec, op core.Op, operand int64) bool {
 	var val int64
 	var w1 uint64
-	for spin := 0; ; spin++ {
-		if spin > waitBound {
-			core.AbortWith(core.ReasonOrecLocked)
-		}
+	tx.waiter.Reset()
+	for {
 		w1 = o.word.Load()
 		if locked(w1) && o.owner.Load() != tx.id {
-			runtime.Gosched() // line 12: wait until unlocked
+			tx.stats.SpinWaits++
+			if tx.waiter.Wait() > waitBound { // line 12: wait until unlocked
+				core.AbortWith(core.ReasonOrecLocked)
+			}
 			continue
 		}
 		val = v.Load()
 		w2 := o.word.Load()
 		if w1 != w2 {
-			runtime.Gosched() // line 16: retry read
+			tx.stats.SpinWaits++
+			if tx.waiter.Wait() > waitBound { // line 16: retry read
+				core.AbortWith(core.ReasonOrecLocked)
+			}
 			continue
 		}
 		break
@@ -230,20 +234,24 @@ func (tx *Tx) CmpVars(a *core.Var, op core.Op, b *core.Var) bool {
 func (tx *Tx) cmpVarsPhase1(a, b *core.Var, oa, ob *orec, op core.Op) bool {
 	var va, vb int64
 	var wa, wb uint64
-	for spin := 0; ; spin++ {
-		if spin > waitBound {
-			core.AbortWith(core.ReasonOrecLocked)
-		}
+	tx.waiter.Reset()
+	for {
 		wa = oa.word.Load()
 		wb = ob.word.Load()
 		if (locked(wa) && oa.owner.Load() != tx.id) ||
 			(locked(wb) && ob.owner.Load() != tx.id) {
-			runtime.Gosched() // wait until unlocked
+			tx.stats.SpinWaits++
+			if tx.waiter.Wait() > waitBound { // wait until unlocked
+				core.AbortWith(core.ReasonOrecLocked)
+			}
 			continue
 		}
 		va, vb = a.Load(), b.Load()
 		if oa.word.Load() != wa || ob.word.Load() != wb {
-			runtime.Gosched() // retry the pair read
+			tx.stats.SpinWaits++
+			if tx.waiter.Wait() > waitBound { // retry the pair read
+				core.AbortWith(core.ReasonOrecLocked)
+			}
 			continue
 		}
 		break
@@ -321,17 +329,29 @@ func (tx *Tx) Inc(v *core.Var, delta int64) {
 	tx.writes.PutInc(v, delta)
 }
 
-// validateCompareSet re-evaluates every semantic fact against current memory
-// (Algorithm 7 lines 56–65). If a fact's variable is locked by another
-// transaction, the validator politely waits for the lock to be released —
-// the value is about to change, and only its final state decides the
-// semantic outcome — bounded by the starvation timeout.
+// validateCompareSet re-evaluates the semantic facts against current memory
+// (Algorithm 7 lines 56–65), version-filtered (DESIGN.md §8): a fact whose
+// orec is unlocked and still at or below the start version cannot have been
+// modified since the facts were last known valid — every committed write
+// bumps its orec past the committer's (higher) write version — so only
+// entries whose orecs moved or are locked pay the value re-load and
+// re-evaluation. This is the TL2-side analogue of NOrec's coalescing: the
+// version metadata NOrec lacks makes a per-entry skip sound here, where
+// NOrec can only skip whole walks. If a fact's variable is locked by
+// another transaction, the validator politely waits for the lock to be
+// released — the value is about to change, and only its final state decides
+// the semantic outcome — bounded by the starvation timeout.
 func (tx *Tx) validateCompareSet() {
 	if tx.fp != nil && tx.fp.ValidationFail() {
 		core.AbortWith(core.ReasonCmpFlip)
 	}
+	tx.stats.Validations++
 	for i := range tx.compares.Entries() {
 		e := &tx.compares.Entries()[i]
+		if tx.orecUnchanged(e.Var) && (e.OperandVar == nil || tx.orecUnchanged(e.OperandVar)) {
+			continue
+		}
+		tx.stats.ValEntries++
 		tx.waitUnlocked(tx.g.orecFor(e.Var))
 		if e.OperandVar != nil {
 			tx.waitUnlocked(tx.g.orecFor(e.OperandVar))
@@ -342,18 +362,29 @@ func (tx *Tx) validateCompareSet() {
 	}
 }
 
-// waitUnlocked spins politely while o is locked by another transaction,
-// bounded by the starvation timeout.
+// orecUnchanged reports whether v's ownership record is unlocked and still
+// at or below the start version, i.e. *v provably has not been modified by
+// any commit since this transaction's facts were last valid. An orec-table
+// collision can only make this return false for an untouched variable —
+// a spurious full re-check, never a missed one.
+func (tx *Tx) orecUnchanged(v *core.Var) bool {
+	w := tx.g.orecFor(v).word.Load()
+	return !locked(w) && version(w) <= tx.startVersion
+}
+
+// waitUnlocked waits politely (adaptive spin-then-yield) while o is locked
+// by another transaction, bounded by the starvation timeout.
 func (tx *Tx) waitUnlocked(o *orec) {
-	for spin := 0; ; spin++ {
+	tx.waiter.Reset()
+	for {
 		w := o.word.Load()
 		if !locked(w) || o.owner.Load() == tx.id {
 			return
 		}
-		if spin > waitBound {
+		tx.stats.SpinWaits++
+		if tx.waiter.Wait() > waitBound {
 			core.AbortWith(core.ReasonOrecLocked)
 		}
-		runtime.Gosched()
 	}
 }
 
@@ -365,6 +396,8 @@ func (tx *Tx) validateReadSet() {
 	if tx.fp != nil && tx.fp.ValidationFail() {
 		core.AbortWith(core.ReasonValidation)
 	}
+	tx.stats.Validations++
+	tx.stats.ValEntries += uint64(len(tx.reads))
 	for _, o := range tx.reads {
 		w := o.word.Load()
 		if locked(w) && o.owner.Load() != tx.id {
@@ -393,30 +426,50 @@ func (tx *Tx) acquireWriteLocks() {
 		}
 		prev = idx
 		o := &tx.g.orecs[idx]
-		for spin := 0; ; spin++ {
+		tx.waiter.Reset()
+		for {
 			w := o.word.Load()
 			if !locked(w) && o.word.CompareAndSwap(w, w|1) {
 				o.owner.Store(tx.id)
 				tx.held = append(tx.held, heldLock{o: o, prev: w})
 				break
 			}
-			if spin > spinBound {
+			tx.stats.SpinWaits++
+			if tx.waiter.Wait() > spinBound {
 				core.AbortWith(core.ReasonOrecLocked)
 			}
-			runtime.Gosched()
 		}
 	}
 }
 
 // Commit publishes the transaction (Algorithm 7 lines 66–77). Read-only
 // transactions — and in S-TL2, compare-only transactions — commit
-// immediately: every read and comparison was already validated against the
-// start version. Writers lock their orecs, then loop: snapshot the clock,
-// revalidate the compare-set if the clock moved past the start version, and
-// try to advance the clock with CAS. The CAS (instead of TL2's
-// fetch-and-add) guarantees no concurrent commit invalidated the compare-set
-// validation just performed. Read-set validation is skipped only when no
-// other writer committed since the snapshot.
+// immediately with zero clock traffic: every read and comparison was already
+// validated against the start version.
+//
+// Writers lock their orecs, then advance the clock by one of two schemes
+// (DESIGN.md §8):
+//
+//   - No semantic facts recorded (baseline TL2, or an S-TL2 transaction
+//     whose compare-set stayed empty): plain fetch-and-add, TL2's original
+//     GV1 increment. There is nothing for a concurrent committer to
+//     invalidate — read-set validation is version-based and happens after
+//     the increment — so the CAS retry loop would be pure contention.
+//     Under k concurrent committers CAS-retry does O(k²) clock operations;
+//     fetch-and-add does k.
+//
+//   - Semantic facts present: the compare-set was validated under a clock
+//     reading, and the paper's S-TL2 requires the clock advance to certify
+//     that validation (no commit may land between the validation and the
+//     tick). That needs the CAS — but on CAS failure we adopt the observed
+//     newer timestamp for the next round (GV5/GV6-style pass-on-failure)
+//     instead of spinning the same value, and each adoption is counted
+//     (Snapshot.ClockAdopts). Validation is also skipped entirely while the
+//     clock still equals the start version — nothing committed, so the
+//     facts established during the attempt still hold.
+//
+// Read-set validation is skipped only when no other writer committed since
+// the snapshot.
 func (tx *Tx) Commit() {
 	if tx.fp != nil {
 		tx.fp.Step(core.SiteCommit)
@@ -428,9 +481,18 @@ func (tx *Tx) Commit() {
 	if tx.fp != nil {
 		tx.fp.CommitDelay() // stretch the window with the orecs held
 	}
+	if !tx.semantic || tx.compares.Len() == 0 {
+		// Contention-free scheme: one atomic add, no retries possible.
+		wv := tx.g.clock.Add(1)
+		if wv != tx.startVersion+1 {
+			tx.validateReadSet()
+		}
+		tx.writeBack(wv)
+		return
+	}
+	time := tx.g.clock.Load()
 	for {
-		time := tx.g.clock.Load()
-		if tx.semantic && tx.startVersion != time {
+		if tx.startVersion != time {
 			tx.validateCompareSet()
 		}
 		if tx.g.clock.CompareAndSwap(time, time+1) {
@@ -440,6 +502,10 @@ func (tx *Tx) Commit() {
 			tx.writeBack(time + 1)
 			return
 		}
+		// A concurrent commit advanced the clock: adopt the newer timestamp
+		// and revalidate against it rather than retrying the stale CAS.
+		tx.stats.ClockAdopts++
+		time = tx.g.clock.Load()
 	}
 }
 

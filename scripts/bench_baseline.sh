@@ -5,7 +5,9 @@
 #   1. tier-1: go build ./... && go test ./...
 #   2. go vet ./...
 #   3. a short JSON micro-benchmark baseline via `semstm-bench -json`
-#      ({hashtable, bank} x {NOrec, S-NOrec, TL2, S-TL2} x {1,4,8} threads)
+#      ({hashtable, bank} x {NOrec, S-NOrec, TL2, S-TL2, RingSTM, S-RingSTM}
+#      x {1,2,4,8} threads, best of 3 reps per cell, scheduler width =
+#      thread count per cell; schema v3)
 #
 # Output path defaults to BENCH_baseline.json; pass a path to override,
 # e.g. `scripts/bench_baseline.sh BENCH_PR1.json` to refresh the committed

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# bench_compare.sh — diff two BENCH_*.json baselines cell by cell and fail
+# on throughput regressions beyond a tolerance.
+#
+# Usage:
+#   scripts/bench_compare.sh OLD.json NEW.json [MAX_REGRESS_PCT]
+#
+# Cells are matched by (workload, algorithm, threads); the default tolerance
+# is a 10% throughput drop per cell. Exit status 1 on any regression beyond
+# the tolerance, so the script can gate CI:
+#
+#   scripts/bench_compare.sh BENCH_PR1.json BENCH_PR3.json
+#   scripts/bench_compare.sh BENCH_PR1.json BENCH_PR3.json 5
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: scripts/bench_compare.sh OLD.json NEW.json [MAX_REGRESS_PCT]" >&2
+    exit 2
+fi
+
+OLD="$1"
+NEW="$2"
+MAX="${3:-10}"
+
+exec go run ./cmd/bench-compare -max-regress "$MAX" "$OLD" "$NEW"

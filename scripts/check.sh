@@ -10,6 +10,9 @@
 #      panic-rollback, and escalation suites live. The race pass runs the
 #      chaos suites in -short mode by default; set CHECK_LONG=1 to run the
 #      full-size chaos sweep (heavier, minutes not seconds).
+#   4. a bench-compare smoke: a tiny 2-thread baseline (40ms cells) is
+#      captured and diffed against itself, so the BENCH_*.json plumbing and
+#      the regression gate are exercised on every check.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,5 +37,11 @@ else
     # shellcheck disable=SC2086
     go test -race -short -count=1 $RACE_PKGS
 fi
+
+echo "== bench-compare smoke (40ms cells, 2 threads) =="
+SMOKE="$(mktemp -t bench_smoke.XXXXXX.json)"
+trap 'rm -f "$SMOKE"' EXIT
+go run ./cmd/semstm-bench -json "$SMOKE" -dur 40ms -threads 2 -reps 1 >/dev/null
+go run ./cmd/bench-compare "$SMOKE" "$SMOKE" >/dev/null
 
 echo "== ok =="

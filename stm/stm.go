@@ -28,7 +28,7 @@ package stm
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"time"
@@ -208,11 +208,13 @@ func New(algo Algorithm) *Runtime {
 // thread-private cache lines instead of contending on global counters.
 // RNG seeds come from uniqueSeed, not the raw clock: descriptors allocated
 // in the same nanosecond must not share backoff or spurious-abort streams.
+// The generator is math/rand/v2 (PCG): the v1 rand.Seed path is deprecated,
+// and the v2 PCG is both cheaper per draw and seedable per descriptor.
 func (rt *Runtime) newTx() *Tx {
 	tx := &Tx{
 		rt:    rt,
 		shard: rt.stats.Register(),
-		rng:   rand.New(rand.NewSource(uniqueSeed())),
+		rng:   rand.New(rand.NewPCG(uint64(uniqueSeed()), uint64(uniqueSeed()))),
 	}
 	switch rt.algo {
 	case NOrec, SNOrec:
@@ -387,7 +389,7 @@ func (tx *Tx) backoff(attempt int, done <-chan struct{}, budget *time.Duration) 
 		shift = 12
 	}
 	max := 1 << shift // microseconds
-	d := time.Duration(1+tx.rng.Intn(max)) * time.Microsecond
+	d := time.Duration(1+tx.rng.IntN(max)) * time.Microsecond
 	if d > *budget {
 		d = *budget
 	}
