@@ -12,13 +12,14 @@
 // plots: throughput or execution time plus abort rates per algorithm per
 // thread count, or the Table 3 operation profile. With -json, the tool
 // instead measures the committed perf baseline — {hashtable, bank} ×
-// {NOrec, S-NOrec, TL2, S-TL2, RingSTM, S-RingSTM} × {1, 2, 4, 8} threads,
-// best of -reps measurements per cell to filter host noise — and writes it
-// as a machine-readable BENCH_*.json report (schema v3:
+// {NOrec, S-NOrec, TL2, S-TL2, RingSTM, S-RingSTM, Adaptive} × {1, 2, 4, 8}
+// threads, best of -reps measurements per cell to filter host noise — and
+// writes it as a machine-readable BENCH_*.json report (schema v4:
 // throughput, abort rate, commit and abort counts, per-cell GOMAXPROCS, the
-// commit-path counters, plus the typed abort-reason breakdown and
-// irrevocable escalation count per cell) so perf and robustness PRs can diff
-// against it.
+// commit-path counters, the typed abort-reason breakdown and irrevocable
+// escalation count, plus — on adaptive cells — the online engine-switch
+// count and the engine the cell ended on) so perf and robustness PRs can
+// diff against it. bench-compare accepts reports of either schema.
 //
 // Every cell runs under an explicit GOMAXPROCS (-gomaxprocs): by default the
 // scheduler width follows each cell's thread count; a pinned width clamps

@@ -40,6 +40,7 @@ const (
 	cClockAdopts
 	cSpinWaits
 	cEscalations
+	cEngineSwitches
 	cReasonBase
 	numCounters = cReasonBase + int(NumReasons)
 )
@@ -111,6 +112,13 @@ func (sh *StatsShard) CountEscalation() {
 	sh.c[cEscalations].n.Add(1)
 }
 
+// CountEngineSwitch records one online engine switch of an adaptive runtime.
+// Switches are rare (a quiescent drain apiece), so they fold into shard 0
+// rather than carrying a descriptor shard through the switch path.
+func (s *Stats) CountEngineSwitch() {
+	s.shards[0].c[cEngineSwitches].n.Add(1)
+}
+
 // numShards bounds the shard pool of one Stats. Registrations beyond the
 // bound wrap around and share (still correct, still mostly uncontended up to
 // numShards concurrent workers); the bound keeps the zero-value Stats a
@@ -147,6 +155,9 @@ type Snapshot struct {
 	// Escalations counts transactions that, after repeated aborts, completed
 	// in the irrevocable serializing mode (the starvation escape hatch).
 	Escalations uint64
+	// EngineSwitches counts online engine switches performed by an adaptive
+	// runtime (always zero on fixed-engine runtimes).
+	EngineSwitches uint64
 	// AbortReasons breaks Aborts down by Reason (index with a core Reason
 	// value; Reason.String names the buckets).
 	AbortReasons [NumReasons]uint64
@@ -178,18 +189,19 @@ func (s *Stats) Snapshot() Snapshot {
 		}
 	}
 	sn := Snapshot{
-		Commits:     t[cCommits],
-		Aborts:      t[cAborts],
-		Reads:       t[cReads],
-		Writes:      t[cWrites],
-		Compares:    t[cCompares],
-		Incs:        t[cIncs],
-		Promotes:    t[cPromotes],
-		Validations: t[cValidations],
-		ValEntries:  t[cValEntries],
-		ClockAdopts: t[cClockAdopts],
-		SpinWaits:   t[cSpinWaits],
-		Escalations: t[cEscalations],
+		Commits:        t[cCommits],
+		Aborts:         t[cAborts],
+		Reads:          t[cReads],
+		Writes:         t[cWrites],
+		Compares:       t[cCompares],
+		Incs:           t[cIncs],
+		Promotes:       t[cPromotes],
+		Validations:    t[cValidations],
+		ValEntries:     t[cValEntries],
+		ClockAdopts:    t[cClockAdopts],
+		SpinWaits:      t[cSpinWaits],
+		Escalations:    t[cEscalations],
+		EngineSwitches: t[cEngineSwitches],
 	}
 	copy(sn.AbortReasons[:], t[cReasonBase:])
 	return sn
@@ -209,18 +221,19 @@ func (sn Snapshot) AbortRate() float64 {
 // measurements to a benchmark interval.
 func (sn Snapshot) Sub(old Snapshot) Snapshot {
 	d := Snapshot{
-		Commits:     sn.Commits - old.Commits,
-		Aborts:      sn.Aborts - old.Aborts,
-		Reads:       sn.Reads - old.Reads,
-		Writes:      sn.Writes - old.Writes,
-		Compares:    sn.Compares - old.Compares,
-		Incs:        sn.Incs - old.Incs,
-		Promotes:    sn.Promotes - old.Promotes,
-		Validations: sn.Validations - old.Validations,
-		ValEntries:  sn.ValEntries - old.ValEntries,
-		ClockAdopts: sn.ClockAdopts - old.ClockAdopts,
-		SpinWaits:   sn.SpinWaits - old.SpinWaits,
-		Escalations: sn.Escalations - old.Escalations,
+		Commits:        sn.Commits - old.Commits,
+		Aborts:         sn.Aborts - old.Aborts,
+		Reads:          sn.Reads - old.Reads,
+		Writes:         sn.Writes - old.Writes,
+		Compares:       sn.Compares - old.Compares,
+		Incs:           sn.Incs - old.Incs,
+		Promotes:       sn.Promotes - old.Promotes,
+		Validations:    sn.Validations - old.Validations,
+		ValEntries:     sn.ValEntries - old.ValEntries,
+		ClockAdopts:    sn.ClockAdopts - old.ClockAdopts,
+		SpinWaits:      sn.SpinWaits - old.SpinWaits,
+		Escalations:    sn.Escalations - old.Escalations,
+		EngineSwitches: sn.EngineSwitches - old.EngineSwitches,
 	}
 	for i := range d.AbortReasons {
 		d.AbortReasons[i] = sn.AbortReasons[i] - old.AbortReasons[i]

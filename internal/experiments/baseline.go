@@ -42,6 +42,13 @@ type BaselineCell struct {
 	// cmp-flip, orec-locked, capacity, spurious, explicit); only non-zero
 	// buckets are emitted.
 	AbortReasons map[string]uint64 `json:"abort_reasons,omitempty"`
+	// EngineSwitches counts online engine switches the adaptive policy
+	// performed during the cell (schema v4; zero on fixed-engine cells and
+	// then omitted).
+	EngineSwitches uint64 `json:"engine_switches,omitempty"`
+	// FinalEngine is the concrete engine the cell ended on (schema v4);
+	// emitted only when it differs from Algorithm, i.e. on adaptive cells.
+	FinalEngine string `json:"final_engine,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -69,14 +76,18 @@ type BaselineReport struct {
 // above 1-thread — is checked), and an oversubscribed tail.
 var baselineThreads = []int{1, 2, 4, 8}
 
-// baselineAlgos is the committed grid: the four Figure 1 algorithms plus the
-// ring pair, so the signature-based commit path is tracked by the baseline
-// too.
-var baselineAlgos = []stm.Algorithm{stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2, stm.Ring, stm.SRing}
+// baselineAlgos is the committed grid: the four Figure 1 algorithms, the
+// ring pair (so the signature-based commit path is tracked by the baseline
+// too), and the adaptive composite (schema v4), whose cells also record the
+// switch count and the engine they ended on.
+var baselineAlgos = []stm.Algorithm{
+	stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2, stm.Ring, stm.SRing, stm.Adaptive,
+}
 
 // Baseline measures the micro-benchmark grid of the BENCH_*.json baseline:
-// {hashtable, bank} × {NOrec, S-NOrec, TL2, S-TL2, RingSTM, S-RingSTM} ×
-// {1, 2, 4, 8} threads, each cell timed for cfg.Duration (default 300ms)
+// {hashtable, bank} × {NOrec, S-NOrec, TL2, S-TL2, RingSTM, S-RingSTM,
+// Adaptive} × {1, 2, 4, 8} threads, each cell timed for cfg.Duration
+// (default 300ms)
 // under the cfg.GOMAXPROCS policy (default: width = thread count), best of
 // cfg.Reps measurements (default 3).
 //
@@ -95,7 +106,7 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		yieldEvery = 0
 	}
 	rep := BaselineReport{
-		Schema:      "semstm-bench-baseline/v3",
+		Schema:      "semstm-bench-baseline/v4",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -129,23 +140,28 @@ func Baseline(cfg Config) (BaselineReport, error) {
 						res = r
 					}
 				}
-				rep.Cells = append(rep.Cells, BaselineCell{
-					Workload:     wl.name,
-					Algorithm:    algo.String(),
-					Threads:      th,
-					GOMAXPROCS:   res.GOMAXPROCS,
-					ThroughputK:  res.ThroughputKTx(),
-					AbortRatePct: res.AbortPct(),
-					Commits:      res.Stats.Commits,
-					Aborts:       res.Stats.Aborts,
-					ElapsedSec:   res.Elapsed.Seconds(),
-					Validations:  res.Stats.Validations,
-					ValEntries:   res.Stats.ValEntries,
-					ClockAdopts:  res.Stats.ClockAdopts,
-					SpinWaits:    res.Stats.SpinWaits,
-					Escalations:  res.Stats.Escalations,
-					AbortReasons: res.Stats.ReasonCounts(),
-				})
+				cell := BaselineCell{
+					Workload:       wl.name,
+					Algorithm:      algo.String(),
+					Threads:        th,
+					GOMAXPROCS:     res.GOMAXPROCS,
+					ThroughputK:    res.ThroughputKTx(),
+					AbortRatePct:   res.AbortPct(),
+					Commits:        res.Stats.Commits,
+					Aborts:         res.Stats.Aborts,
+					ElapsedSec:     res.Elapsed.Seconds(),
+					Validations:    res.Stats.Validations,
+					ValEntries:     res.Stats.ValEntries,
+					ClockAdopts:    res.Stats.ClockAdopts,
+					SpinWaits:      res.Stats.SpinWaits,
+					Escalations:    res.Stats.Escalations,
+					AbortReasons:   res.Stats.ReasonCounts(),
+					EngineSwitches: res.Stats.EngineSwitches,
+				}
+				if res.FinalAlgorithm != res.Algorithm {
+					cell.FinalEngine = res.FinalAlgorithm.String()
+				}
+				rep.Cells = append(rep.Cells, cell)
 			}
 		}
 	}

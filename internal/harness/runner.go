@@ -21,7 +21,11 @@ import (
 // thread count.
 type Result struct {
 	Algorithm stm.Algorithm
-	Threads   int
+	// FinalAlgorithm is the concrete engine the runtime ended the run on:
+	// equal to Algorithm for fixed runtimes, and whatever rung the online
+	// policy last switched to for Adaptive ones.
+	FinalAlgorithm stm.Algorithm
+	Threads        int
 	// GOMAXPROCS is the scheduler width the cell actually ran under —
 	// without it a committed baseline number cannot be reproduced, because
 	// thread counts above GOMAXPROCS measure oversubscription, not
@@ -122,12 +126,13 @@ func RunTimed(rt *stm.Runtime, w Workload, threads int, dur time.Duration) (Resu
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := Result{
-		Algorithm:  rt.Algorithm(),
-		Threads:    threads,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Elapsed:    elapsed,
-		Ops:        ops.Load(),
-		Stats:      rt.Stats().Sub(before),
+		Algorithm:      rt.Algorithm(),
+		FinalAlgorithm: rt.CurrentAlgorithm(),
+		Threads:        threads,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Elapsed:        elapsed,
+		Ops:            ops.Load(),
+		Stats:          rt.Stats().Sub(before),
 	}
 	return res, w.Check()
 }
@@ -157,12 +162,13 @@ func RunFixed(rt *stm.Runtime, w Workload, threads, totalOps int) (Result, error
 	wg.Wait()
 	elapsed := time.Since(start)
 	res := Result{
-		Algorithm:  rt.Algorithm(),
-		Threads:    threads,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Elapsed:    elapsed,
-		Ops:        uint64(totalOps),
-		Stats:      rt.Stats().Sub(before),
+		Algorithm:      rt.Algorithm(),
+		FinalAlgorithm: rt.CurrentAlgorithm(),
+		Threads:        threads,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Elapsed:        elapsed,
+		Ops:            uint64(totalOps),
+		Stats:          rt.Stats().Sub(before),
 	}
 	return res, w.Check()
 }
@@ -191,6 +197,8 @@ func (s *Series) AddCell(column string, threads int, r Result) {
 
 // SweepConfig selects how a panel is produced.
 type SweepConfig struct {
+	// Algorithms selects the panel columns; empty means every registered
+	// engine, in registry display order.
 	Algorithms []stm.Algorithm
 	Threads    []int
 	// Timed selects duration-based throughput runs; otherwise fixed-ops
@@ -211,7 +219,11 @@ type SweepConfig struct {
 // are independent.
 func Sweep(title string, build Builder, cfg SweepConfig) (*Series, error) {
 	s := &Series{Title: title, Threads: cfg.Threads}
-	for _, a := range cfg.Algorithms {
+	algos := cfg.Algorithms
+	if len(algos) == 0 {
+		algos = stm.Algorithms()
+	}
+	for _, a := range algos {
 		for _, th := range cfg.Threads {
 			rt := stm.New(a)
 			rt.SetYieldEvery(cfg.YieldEvery)

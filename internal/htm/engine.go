@@ -1,0 +1,52 @@
+package htm
+
+import "semstm/internal/core"
+
+// engine adapts a hybrid HTM Global to the core.Engine registry interface;
+// the semantic flag selects S-HTM descriptors. The engine also surfaces the
+// fallback/hardware-abort tallies through the optional HTMReporter interface
+// the stm facade probes for.
+type engine struct {
+	g        *Global
+	semantic bool
+}
+
+func (e engine) NewTx(cfg core.TxConfig) core.TxImpl {
+	tx := NewTx(e.g, e.semantic, cfg.Seed)
+	// TxConfig values are applied literally (the facade always fills them);
+	// only an entirely zero HTM tuple means the caller never configured the
+	// hardware and the descriptor keeps its defaults.
+	if cfg.HTMCapacity != 0 || cfg.HTMRetries != 0 || cfg.HTMSpurious != 0 {
+		tx.Capacity = cfg.HTMCapacity
+		tx.MaxHWRetries = cfg.HTMRetries
+		tx.SpuriousPct = cfg.HTMSpurious
+	}
+	return tx
+}
+
+func (e engine) Quiescent() error { return e.g.Quiescent() }
+
+// Fallbacks reports how many transactions took the software fallback.
+func (e engine) Fallbacks() uint64 { return e.g.Fallbacks() }
+
+// HWAborts reports how many hardware attempts failed.
+func (e engine) HWAborts() uint64 { return e.g.HWAborts() }
+
+func init() {
+	core.RegisterEngine(core.EngineDesc{
+		ID:           core.EngineHTM,
+		Name:         "HTM",
+		DisplayOrder: 7,
+		HTMBacked:    true,
+		New:          func() core.Engine { return engine{g: NewGlobal()} },
+	})
+	core.RegisterEngine(core.EngineDesc{
+		ID:            core.EngineSHTM,
+		Name:          "S-HTM",
+		DisplayOrder:  8,
+		Semantic:      true,
+		ComposedFacts: true,
+		HTMBacked:     true,
+		New:           func() core.Engine { return engine{g: NewGlobal(), semantic: true} },
+	})
+}

@@ -1,0 +1,36 @@
+package norec
+
+import "semstm/internal/core"
+
+// engine adapts a NOrec Global to the core.Engine registry interface; the
+// semantic flag selects between baseline NOrec and S-NOrec descriptors over
+// the same global sequence lock.
+type engine struct {
+	g        *Global
+	semantic bool
+}
+
+func (e engine) NewTx(cfg core.TxConfig) core.TxImpl {
+	tx := NewTx(e.g, e.semantic)
+	tx.SetDedupReads(cfg.DedupReads)
+	return tx
+}
+
+func (e engine) Quiescent() error { return e.g.Quiescent() }
+
+func init() {
+	core.RegisterEngine(core.EngineDesc{
+		ID:           core.EngineNOrec,
+		Name:         "NOrec",
+		DisplayOrder: 0,
+		New:          func() core.Engine { return engine{g: NewGlobal()} },
+	})
+	core.RegisterEngine(core.EngineDesc{
+		ID:            core.EngineSNOrec,
+		Name:          "S-NOrec",
+		DisplayOrder:  1,
+		Semantic:      true,
+		ComposedFacts: true,
+		New:           func() core.Engine { return engine{g: NewGlobal(), semantic: true} },
+	})
+}

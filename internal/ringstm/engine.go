@@ -1,0 +1,32 @@
+package ringstm
+
+import "semstm/internal/core"
+
+// engine adapts a RingSTM Global (commit-record ring) to the core.Engine
+// registry interface; the semantic flag selects S-RingSTM descriptors.
+type engine struct {
+	g        *Global
+	semantic bool
+}
+
+func (e engine) NewTx(cfg core.TxConfig) core.TxImpl {
+	return NewTx(e.g, e.semantic)
+}
+
+func (e engine) Quiescent() error { return e.g.Quiescent() }
+
+func init() {
+	core.RegisterEngine(core.EngineDesc{
+		ID:           core.EngineRing,
+		Name:         "RingSTM",
+		DisplayOrder: 4,
+		New:          func() core.Engine { return engine{g: NewGlobal()} },
+	})
+	core.RegisterEngine(core.EngineDesc{
+		ID:           core.EngineSRing,
+		Name:         "S-RingSTM",
+		DisplayOrder: 5,
+		Semantic:     true,
+		New:          func() core.Engine { return engine{g: NewGlobal(), semantic: true} },
+	})
+}

@@ -1,0 +1,23 @@
+package sgl
+
+import "semstm/internal/core"
+
+// engine adapts the single-global-lock Global to the core.Engine registry
+// interface.
+type engine struct {
+	g *Global
+}
+
+func (e engine) NewTx(cfg core.TxConfig) core.TxImpl { return NewTx(e.g) }
+
+func (e engine) Quiescent() error { return e.g.Quiescent() }
+
+func init() {
+	core.RegisterEngine(core.EngineDesc{
+		ID:           core.EngineSGL,
+		Name:         "SGL",
+		DisplayOrder: 6,
+		Irrevocable:  true,
+		New:          func() core.Engine { return engine{g: NewGlobal()} },
+	})
+}

@@ -3,19 +3,29 @@
 # instrumented robustness suites.
 #
 # Runs, in order, failing fast on the first error:
-#   1. tier-1: go build ./... && go test ./...
-#   2. go vet ./...
-#   3. go test -race on the runtime-facing packages (the public stm API,
+#   1. gofmt -l: the tree must be gofmt-clean
+#   2. tier-1: go build ./... && go test ./...
+#   3. go vet ./...
+#   4. go test -race on the runtime-facing packages (the public stm API,
 #      core, and every algorithm backend) — this is where the chaos,
-#      panic-rollback, and escalation suites live. The race pass runs the
-#      chaos suites in -short mode by default; set CHECK_LONG=1 to run the
-#      full-size chaos sweep (heavier, minutes not seconds).
-#   4. a bench-compare smoke: a tiny 2-thread baseline (40ms cells) is
+#      panic-rollback, escalation, and adaptive engine-switch suites live.
+#      The race pass runs the chaos suites in -short mode by default; set
+#      CHECK_LONG=1 to run the full-size chaos sweep (heavier, minutes not
+#      seconds).
+#   5. a bench-compare smoke: a tiny 2-thread baseline (40ms cells) is
 #      captured and diffed against itself, so the BENCH_*.json plumbing and
 #      the regression gate are exercised on every check.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l =="
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 echo "== tier-1: go build ./... =="
 go build ./...

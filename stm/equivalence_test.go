@@ -215,6 +215,100 @@ func TestRAWHeavyConcurrentInvariant(t *testing.T) {
 	}
 }
 
+// TestComposedAgreeUnderFaults is the composed-expression equivalence sweep:
+// a deterministic script dominated by CmpSum and CmpAny (the arithmetic and
+// disjunctive composed facts, where the engines differ most — S-NOrec/S-HTM
+// hold one composed fact, S-TL2 per-clause facts, classical engines delegate
+// to reads) runs on every algorithm under deterministic fault injection at
+// all four sites. Injected aborts only force retries, so every engine must
+// still produce bit-identical observations and final memory — both against
+// the reference engine and against its own fault-free run. This pins down
+// that composed-fact re-validation and abort/replay paths cannot change the
+// value semantics of the composed operators.
+func TestComposedAgreeUnderFaults(t *testing.T) {
+	const (
+		vars    = 5
+		txns    = 50
+		rngSeed = 777
+	)
+	operators := []stm.Op{stm.OpEQ, stm.OpNEQ, stm.OpGT, stm.OpGTE, stm.OpLT, stm.OpLTE}
+	type comboTxn struct {
+		v1, v2, v3 int
+		op1, op2   stm.Op
+		rhs, d, w  int64
+	}
+	rng := rand.New(rand.NewSource(rngSeed))
+	script := make([]comboTxn, txns)
+	for i := range script {
+		script[i] = comboTxn{
+			v1:  rng.Intn(vars),
+			v2:  rng.Intn(vars),
+			v3:  rng.Intn(vars),
+			op1: operators[rng.Intn(len(operators))],
+			op2: operators[rng.Intn(len(operators))],
+			rhs: rng.Int63n(60) - 30,
+			d:   rng.Int63n(20) - 10,
+			w:   rng.Int63n(40) - 20,
+		}
+	}
+
+	run := func(algo stm.Algorithm, faults bool) (trace []int64, final []int64) {
+		rt := stm.New(algo)
+		if faults {
+			rt.SetFaultPlan(stm.NewFaultPlan(0xC0FFEE).
+				WithSpurious(stm.SiteStart, 2).
+				WithSpurious(stm.SiteRead, 4).
+				WithSpurious(stm.SiteCmp, 4).
+				WithSpurious(stm.SiteCommit, 8).
+				WithValidationFail(8))
+		}
+		regs := stm.NewVars(vars, 3)
+		for _, s := range script {
+			a, b, c := regs[s.v1], regs[s.v2], regs[s.v3]
+			rt.Atomically(func(tx *stm.Tx) {
+				trace = trace[:0] // aborted attempts leave no trace
+				trace = append(trace, b2i(tx.CmpSum(s.op1, s.rhs, a, b, c)))
+				tx.Inc(a, s.d)
+				// Same sum shifted by the pending increment: exercises
+				// composed facts over buffered state.
+				trace = append(trace, b2i(tx.CmpSum(s.op1, s.rhs+s.d, a, b, c)))
+				trace = append(trace, b2i(tx.CmpAny(
+					stm.Cond{Var: a, Op: s.op1, Operand: s.rhs},
+					stm.Cond{Var: b, Op: s.op2, Operand: s.w},
+					stm.Cond{Var: c, Op: s.op2.Inverse(), Operand: s.w},
+				)))
+				tx.Write(b, s.w)
+				trace = append(trace, b2i(tx.CmpAny(
+					stm.Cond{Var: b, Op: stm.OpEQ, Operand: s.w},
+				)))
+				trace = append(trace, b2i(tx.CmpSum(s.op2, s.rhs, a, b)))
+				tx.Inc(c, -s.d)
+			})
+		}
+		final = make([]int64, vars)
+		for i, r := range regs {
+			final[i] = r.Load()
+		}
+		return append([]int64(nil), trace...), final
+	}
+
+	algos := stm.Algorithms()
+	refTrace, refFinal := run(algos[0], false)
+	for _, a := range algos {
+		for _, faults := range []bool{false, true} {
+			trace, final := run(a, faults)
+			if !reflect.DeepEqual(final, refFinal) {
+				t.Errorf("%v (faults=%v) final memory %v, want %v (as %v fault-free)",
+					a, faults, final, refFinal, algos[0])
+			}
+			if !reflect.DeepEqual(trace, refTrace) {
+				t.Errorf("%v (faults=%v) last-txn trace %v, want %v (as %v fault-free)",
+					a, faults, trace, refTrace, algos[0])
+			}
+		}
+	}
+}
+
 func b2i(b bool) int64 {
 	if b {
 		return 1

@@ -193,6 +193,7 @@ func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 		e.NewEpoch()
 	}
 	bounded := cfg.maxAttempts > 0 || cfg.done != nil
+	adaptive := rt.adapt != nil
 	escAfter := rt.escalateAfter
 	var reasons []AbortReason
 	escalated := false
@@ -216,18 +217,39 @@ func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 				return runErr(attempt, reasons, escalated, cfg)
 			}
 		}
+		entered := false
 		if !escalated {
 			if escAfter > 0 && attempt >= escAfter {
 				escalated = true
 				rt.esc.acquire()
+				if adaptive {
+					// An engine switch may have completed while this attempt
+					// queued for the escalator mutex; holding the mutex now
+					// blocks further switches, so a rebind here is final.
+					// Rebind before disarming: rebind re-arms the fault plan.
+					if slot := rt.cur.Load(); tx.slot != slot {
+						tx.rebind(slot)
+					}
+				}
 				tx.impl.SetFaultPlan(nil) // irrevocable mode must not abort
 				tx.shard.CountEscalation()
+			} else if adaptive {
+				// Adaptive runtimes run the full switch protocol: bind, raise
+				// the active flag, re-check the gate and the binding.
+				if !rt.enterAttempt(tx, cfg.done) {
+					return runErr(attempt, reasons, escalated, cfg)
+				}
+				entered = true
 			} else if rt.esc.gate.Load() != 0 && !rt.esc.wait(cfg.done) {
 				// Cancelled while parked behind an active escalation.
 				return runErr(attempt, reasons, escalated, cfg)
 			}
 		}
 		committed, _ := rt.tryOnce(tx, fn)
+		if entered {
+			tx.active.Store(0)
+			rt.noteAttempt(tx)
+		}
 		if committed {
 			return nil
 		}
@@ -320,17 +342,15 @@ func (rt *Runtime) SetEscalateAfter(n int) { rt.escalateAfter = n }
 // is unlocked. The chaos and panic-rollback tests call it after every run;
 // production code can use it as a health probe at quiescent points.
 func (rt *Runtime) CheckQuiescent() error {
-	switch {
-	case rt.norecG != nil:
-		return rt.norecG.Quiescent()
-	case rt.tl2G != nil:
-		return rt.tl2G.Quiescent()
-	case rt.sglG != nil:
-		return rt.sglG.Quiescent()
-	case rt.htmG != nil:
-		return rt.htmG.Quiescent()
-	case rt.ringG != nil:
-		return rt.ringG.Quiescent()
+	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
+	for _, eng := range rt.engines {
+		if eng == nil {
+			continue
+		}
+		if err := eng.Quiescent(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

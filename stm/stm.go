@@ -10,10 +10,16 @@
 // so concurrent writers that do not change the fact's outcome no longer
 // abort the reader; increments defer their read to commit time.
 //
-// Four STM algorithms are available: NOrec and TL2 (the classical baselines,
-// which transparently delegate semantic calls to classical barriers) and
-// their semantic extensions S-NOrec and S-TL2 (Algorithms 6 and 7 of the
-// paper), plus a single-global-lock sanity baseline.
+// Engines are registered, not hard-wired: every STM algorithm lives in the
+// core engine registry with a capability descriptor (semantic facts,
+// composed expressions, irrevocability, HTM backing), and a Runtime is bound
+// to one registered engine — NOrec and TL2 (the classical baselines, which
+// transparently delegate semantic calls to classical barriers), their
+// semantic extensions S-NOrec and S-TL2 (Algorithms 6 and 7 of the paper),
+// RingSTM and S-RingSTM (signature-based validation), a simulated
+// best-effort HTM pair, a single-global-lock sanity baseline — or to
+// Adaptive, which starts on one engine and switches engines online from
+// abort telemetry through a quiescent transition (see adaptive.go).
 //
 // Basic use:
 //
@@ -31,14 +37,19 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"semstm/internal/core"
 	"semstm/internal/htm"
-	"semstm/internal/norec"
-	"semstm/internal/ringstm"
-	"semstm/internal/sgl"
-	"semstm/internal/tl2"
+
+	// The backend packages register their engines into the core registry at
+	// init time; linking them here is what makes every algorithm selectable
+	// through stm.New.
+	_ "semstm/internal/norec"
+	_ "semstm/internal/ringstm"
+	_ "semstm/internal/sgl"
+	_ "semstm/internal/tl2"
 )
 
 // Var is a transactional memory cell holding one 64-bit signed word. Allocate
@@ -71,97 +82,102 @@ func NewVar(initial int64) *Var { return core.NewVar(initial) }
 // NewVars allocates n transactional variables in one contiguous block.
 func NewVars(n int, initial int64) []*Var { return core.NewVars(n, initial) }
 
-// Algorithm selects the STM algorithm backing a Runtime.
-type Algorithm int
+// Algorithm selects the STM engine backing a Runtime. It aliases the core
+// registry's engine identifier: String(), Semantic(), and the set returned
+// by Algorithms() all come from the registered engine descriptors rather
+// than per-algorithm switch statements.
+type Algorithm = core.EngineID
 
 const (
 	// NOrec is the value-based baseline [PPoPP 2010]; semantic calls are
 	// delegated to classical read/write barriers.
-	NOrec Algorithm = iota
+	NOrec = core.EngineNOrec
 	// SNOrec is S-NOrec, Algorithm 6 of the paper: NOrec with semantic
 	// validation, compare facts, and deferred increments.
-	SNOrec
+	SNOrec = core.EngineSNOrec
 	// TL2 is the version-based baseline [DISC 2006]; semantic calls are
 	// delegated to classical read/write barriers.
-	TL2
+	TL2 = core.EngineTL2
 	// STL2 is S-TL2, Algorithm 7 of the paper: TL2 with a compare-set,
 	// phase-1 start-version extension, and CAS-based clock increments.
-	STL2
+	STL2 = core.EngineSTL2
 	// SGL is a single-global-lock baseline (not in the paper's plots;
 	// used for testing and sanity comparisons).
-	SGL
+	SGL = core.EngineSGL
 	// HTM is a simulated best-effort hardware TM with a single-global-lock
 	// fallback (capacity limits, spurious aborts, lock subscription) — the
 	// hybrid-TM substrate of the paper's introduction.
-	HTM
+	HTM = core.EngineHTM
 	// SHTM applies the semantic primitives to the simulated hardware path
 	// (the paper's stated future work): facts and deferred increments
 	// shrink the tracked set, saving capacity aborts as well as conflicts.
-	SHTM
+	SHTM = core.EngineSHTM
 	// Ring is RingSTM [SPAA 2008], the signature-based validation family:
 	// commits publish Bloom-filter write signatures on a global ring and
 	// readers abort on any signature intersection.
-	Ring
+	Ring = core.EngineRing
 	// SRing is S-RingSTM: the paper's methodology applied to signature
 	// validation — an intersection triggers semantic re-validation of the
 	// recorded facts instead of an unconditional abort, so Bloom false
 	// positives and benign value changes stop aborting readers.
-	SRing
-	numAlgorithms
+	SRing = core.EngineSRing
+	// Adaptive is the composite policy engine: the runtime starts on the
+	// first engine of its AdaptiveConfig ladder and switches engines online
+	// when the per-epoch abort-reason mix says a different concurrency
+	// control would win (see adaptive.go and DESIGN.md §9).
+	Adaptive = core.EngineAdaptive
+
+	numAlgorithms = core.NumEngines
 )
 
-// Semantic reports whether the algorithm executes the semantic primitives
-// natively (true) or delegates them to classical barriers (false).
-func (a Algorithm) Semantic() bool {
-	return a == SNOrec || a == STL2 || a == SHTM || a == SRing
-}
-
-// String returns the conventional name of the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case NOrec:
-		return "NOrec"
-	case SNOrec:
-		return "S-NOrec"
-	case TL2:
-		return "TL2"
-	case STL2:
-		return "S-TL2"
-	case SGL:
-		return "SGL"
-	case HTM:
-		return "HTM"
-	case SHTM:
-		return "S-HTM"
-	case Ring:
-		return "RingSTM"
-	case SRing:
-		return "S-RingSTM"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
-	}
-}
-
-// Algorithms lists every selectable algorithm, in display order.
+// Algorithms lists every selectable algorithm in display order, straight
+// from the engine registry.
 func Algorithms() []Algorithm {
-	return []Algorithm{NOrec, SNOrec, TL2, STL2, Ring, SRing, SGL, HTM, SHTM}
+	descs := core.Engines()
+	out := make([]Algorithm, 0, len(descs))
+	for _, d := range descs {
+		out = append(out, d.ID)
+	}
+	return out
 }
 
-// Runtime is an STM instance: one algorithm, its global metadata (sequence
-// lock, version clock, orec table), and aggregate statistics. Independent
-// Runtimes do not synchronize with each other, so a Var must only ever be
-// accessed through a single Runtime at a time.
+// engineSlot pairs a concrete engine instance with its algorithm. The
+// runtime publishes the current slot through one atomic pointer, so a
+// descriptor can detect a superseded binding by pointer identity alone.
+type engineSlot struct {
+	algo Algorithm
+	eng  core.Engine
+}
+
+// Runtime is an STM instance: one engine (or, for Adaptive, a set of engines
+// behind one current slot), the engine's global metadata, and aggregate
+// statistics. Independent Runtimes do not synchronize with each other, so a
+// Var must only ever be accessed through a single Runtime at a time.
 type Runtime struct {
-	algo       Algorithm
-	stats      core.Stats
-	norecG     *norec.Global
-	tl2G       *tl2.Global
-	sglG       *sgl.Global
-	htmG       *htm.Global
-	ringG      *ringstm.Global
+	algo  Algorithm
+	stats core.Stats
+
+	// cur is the engine executing new attempts. Fixed runtimes store it once
+	// at construction; Adaptive runtimes replace it inside the quiescent
+	// switch protocol (adaptive.go).
+	cur atomic.Pointer[engineSlot]
+	// engines holds the lazily created engine instances, indexed by
+	// algorithm; engMu guards the slots (switches, stats probes).
+	engMu   sync.Mutex
+	engines [numAlgorithms]core.Engine
+
+	// descs lists every descriptor ever built for this runtime, so an engine
+	// switch can wait for the in-flight attempts to drain.
+	descMu sync.Mutex
+	descs  []*Tx
+
+	// adapt is the online-switching controller; nil on fixed runtimes, which
+	// is also the fast-path discriminator in the retry loop.
+	adapt *adaptiveState
+
 	txPool     sync.Pool
 	yieldEvery int
-	esc        escalator // quiesce protocol of the irrevocable mode
+	esc        escalator // quiesce protocol of the irrevocable mode and of engine switches
 
 	// Ablation and tuning knobs, set before the runtime is shared.
 	dedupReads    bool
@@ -174,9 +190,11 @@ type Runtime struct {
 	escalateAfter int
 }
 
-// New creates a runtime for the given algorithm.
+// New creates a runtime for the given algorithm. The algorithm must be
+// registered in the engine registry (every Algorithm constant is).
 func New(algo Algorithm) *Runtime {
-	if algo < 0 || algo >= numAlgorithms {
+	desc, ok := core.EngineFor(algo)
+	if !ok {
 		panic(fmt.Sprintf("stm: unknown algorithm %d", int(algo)))
 	}
 	rt := &Runtime{
@@ -186,23 +204,47 @@ func New(algo Algorithm) *Runtime {
 		htmSpurious:   htm.DefaultSpuriousPct,
 		escalateAfter: DefaultEscalateAfter,
 	}
-	switch algo {
-	case NOrec, SNOrec:
-		rt.norecG = norec.NewGlobal()
-	case TL2, STL2:
-		rt.tl2G = tl2.NewGlobal()
-	case SGL:
-		rt.sglG = sgl.NewGlobal()
-	case HTM, SHTM:
-		rt.htmG = htm.NewGlobal()
-	case Ring, SRing:
-		rt.ringG = ringstm.NewGlobal()
+	if desc.Composite {
+		rt.adapt = newAdaptiveState()
+		first := rt.adapt.cfg.Ladder[0]
+		rt.cur.Store(&engineSlot{algo: first, eng: rt.engineFor(first)})
+	} else {
+		rt.cur.Store(&engineSlot{algo: algo, eng: rt.engineFor(algo)})
 	}
 	rt.txPool.New = func() any { return rt.newTx() }
 	return rt
 }
 
-// newTx builds a fresh transaction descriptor for this runtime's algorithm.
+// engineFor returns this runtime's instance of the algorithm's engine,
+// creating it on first use. Lazy creation matters for Adaptive: engines the
+// policy never switches to (a 4 MiB TL2 orec table, say) are never built.
+func (rt *Runtime) engineFor(algo Algorithm) core.Engine {
+	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
+	if rt.engines[algo] == nil {
+		desc, ok := core.EngineFor(algo)
+		if !ok || desc.Composite {
+			panic(fmt.Sprintf("stm: %v is not a concrete engine", algo))
+		}
+		rt.engines[algo] = desc.New()
+	}
+	return rt.engines[algo]
+}
+
+// txConfig snapshots the runtime's descriptor-level knobs for an engine's
+// NewTx. Every field is filled; engines apply the subset they understand.
+func (rt *Runtime) txConfig() core.TxConfig {
+	return core.TxConfig{
+		DedupReads:  rt.dedupReads,
+		NoExtend:    rt.noExtend,
+		HTMCapacity: rt.htmCapacity,
+		HTMRetries:  rt.htmRetries,
+		HTMSpurious: rt.htmSpurious,
+		Seed:        uniqueSeed(),
+	}
+}
+
+// newTx builds a fresh transaction descriptor bound to the current engine.
 // Each descriptor registers its own stats shard: descriptors are owned by
 // one goroutine at a time (sync.Pool), so commit/abort folding stays on
 // thread-private cache lines instead of contending on global counters.
@@ -216,32 +258,30 @@ func (rt *Runtime) newTx() *Tx {
 		shard: rt.stats.Register(),
 		rng:   rand.New(rand.NewPCG(uint64(uniqueSeed()), uint64(uniqueSeed()))),
 	}
-	switch rt.algo {
-	case NOrec, SNOrec:
-		impl := norec.NewTx(rt.norecG, rt.algo == SNOrec)
-		impl.SetDedupReads(rt.dedupReads)
-		tx.impl = impl
-	case TL2, STL2:
-		impl := tl2.NewTx(rt.tl2G, rt.algo == STL2)
-		impl.SetNoExtend(rt.noExtend)
-		tx.impl = impl
-	case SGL:
-		tx.impl = sgl.NewTx(rt.sglG)
-	case HTM, SHTM:
-		impl := htm.NewTx(rt.htmG, rt.algo == SHTM, uniqueSeed())
-		impl.Capacity = rt.htmCapacity
-		impl.MaxHWRetries = rt.htmRetries
-		impl.SpuriousPct = rt.htmSpurious
-		tx.impl = impl
-	case Ring, SRing:
-		tx.impl = ringstm.NewTx(rt.ringG, rt.algo == SRing)
-	}
-	tx.impl.SetFaultPlan(rt.faultPlan)
+	tx.rebind(rt.cur.Load())
+	rt.descMu.Lock()
+	rt.descs = append(rt.descs, tx)
+	rt.descMu.Unlock()
 	return tx
 }
 
-// Algorithm reports which algorithm backs the runtime.
+// rebind points the descriptor at an engine slot, building a fresh
+// engine-level descriptor from it. Called at construction and whenever the
+// retry loop observes that an engine switch superseded the binding.
+func (tx *Tx) rebind(slot *engineSlot) {
+	tx.slot = slot
+	tx.impl = slot.eng.NewTx(tx.rt.txConfig())
+	tx.impl.SetFaultPlan(tx.rt.faultPlan)
+}
+
+// Algorithm reports which algorithm the runtime was created with (Adaptive
+// for adaptive runtimes; see CurrentAlgorithm for the live engine).
 func (rt *Runtime) Algorithm() Algorithm { return rt.algo }
+
+// CurrentAlgorithm reports the concrete engine currently executing new
+// attempts: equal to Algorithm() on fixed runtimes, and the engine the
+// adaptive controller most recently switched to on Adaptive runtimes.
+func (rt *Runtime) CurrentAlgorithm() Algorithm { return rt.cur.Load().algo }
 
 // SetYieldEvery makes every transaction yield the processor after each n
 // transactional operations (0 disables). On machines with few cores,
@@ -273,13 +313,25 @@ func (rt *Runtime) ConfigureHTM(capacity, retries int, spuriousPct float64) {
 	rt.htmSpurious = spuriousPct
 }
 
-// HTMStats reports (fallbacks, hardwareAborts) for HTM runtimes and zeros
-// otherwise.
+// htmReporter is the optional interface HTM-backed engines expose for the
+// fallback and hardware-abort tallies.
+type htmReporter interface {
+	Fallbacks() uint64
+	HWAborts() uint64
+}
+
+// HTMStats reports (fallbacks, hardwareAborts) summed over the runtime's
+// HTM-backed engines, and zeros for runtimes that never ran one.
 func (rt *Runtime) HTMStats() (fallbacks, hwAborts uint64) {
-	if rt.htmG == nil {
-		return 0, 0
+	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
+	for _, eng := range rt.engines {
+		if r, ok := eng.(htmReporter); ok {
+			fallbacks += r.Fallbacks()
+			hwAborts += r.HWAborts()
+		}
 	}
-	return rt.htmG.Fallbacks(), rt.htmG.HWAborts()
+	return fallbacks, hwAborts
 }
 
 // Stats returns a snapshot of the aggregate counters (commits, aborts, and
@@ -334,10 +386,19 @@ func Run[T any](rt *Runtime, fn func(tx *Tx) T) T {
 type Tx struct {
 	rt         *Runtime
 	impl       core.TxImpl
+	slot       *engineSlot      // the engine binding impl was built from
 	shard      *core.StatsShard // this descriptor's slice of the runtime counters
 	rng        *rand.Rand
 	ops        int
 	lastReason AbortReason // reason of the most recent aborted attempt
+
+	// active is 1 while an attempt is executing between the switch-gate
+	// check and its commit/abort; the engine-switch drain waits on it. Only
+	// adaptive runtimes use it (see Runtime.enterAttempt).
+	active atomic.Uint32
+	// sinceAdapt counts attempts since this descriptor last triggered a
+	// policy evaluation.
+	sinceAdapt int
 }
 
 // BackoffPolicy selects how a transaction waits between attempts — the

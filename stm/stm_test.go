@@ -253,15 +253,16 @@ func TestAlgorithmMetadata(t *testing.T) {
 		name     string
 		semantic bool
 	}{
-		stm.NOrec:  {"NOrec", false},
-		stm.SNOrec: {"S-NOrec", true},
-		stm.TL2:    {"TL2", false},
-		stm.STL2:   {"S-TL2", true},
-		stm.SGL:    {"SGL", false},
-		stm.HTM:    {"HTM", false},
-		stm.SHTM:   {"S-HTM", true},
-		stm.Ring:   {"RingSTM", false},
-		stm.SRing:  {"S-RingSTM", true},
+		stm.NOrec:    {"NOrec", false},
+		stm.SNOrec:   {"S-NOrec", true},
+		stm.TL2:      {"TL2", false},
+		stm.STL2:     {"S-TL2", true},
+		stm.SGL:      {"SGL", false},
+		stm.HTM:      {"HTM", false},
+		stm.SHTM:     {"S-HTM", true},
+		stm.Ring:     {"RingSTM", false},
+		stm.SRing:    {"S-RingSTM", true},
+		stm.Adaptive: {"Adaptive", true},
 	}
 	for a, w := range want {
 		if a.String() != w.name {
@@ -271,7 +272,7 @@ func TestAlgorithmMetadata(t *testing.T) {
 			t.Errorf("%s: Semantic() = %v", a, a.Semantic())
 		}
 	}
-	if len(stm.Algorithms()) != 9 {
+	if len(stm.Algorithms()) != 10 {
 		t.Errorf("Algorithms() lists %d", len(stm.Algorithms()))
 	}
 }
