@@ -27,6 +27,7 @@ func runAblation(b *testing.B, rt *stm.Runtime, w harness.Workload) {
 	before := rt.Stats()
 	var seed atomic.Int64
 	b.SetParallelism(benchParallelism)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		rng := rand.New(rand.NewSource(seed.Add(1)))

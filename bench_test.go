@@ -39,6 +39,7 @@ func benchAlgos(b *testing.B, build harness.Builder) {
 			before := rt.Stats()
 			var seed atomic.Int64
 			b.SetParallelism(benchParallelism)
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := rand.New(rand.NewSource(seed.Add(1)))
@@ -134,6 +135,7 @@ func benchGCC(b *testing.B, src, entry string, args func(*rand.Rand) []int64, se
 			before := vm.Runtime().Stats()
 			var seed atomic.Int64
 			b.SetParallelism(benchParallelism)
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				th := vm.NewThread(seed.Add(1))
@@ -212,6 +214,7 @@ func BenchmarkTable3(b *testing.B) {
 				w := wl.build(rt)
 				before := rt.Stats()
 				rng := rand.New(rand.NewSource(1))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					w.Op(rng)

@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	bench-compare [-max-regress 10] OLD.json NEW.json
+//	bench-compare [-max-regress 10] [-max-alloc-increase 0.25] OLD.json NEW.json
 //
 // Cells are matched by (workload, algorithm, threads). Cells present in only
 // one report — older schemas sweep fewer thread counts and algorithms — are
 // listed but not compared. The exit status is 1 when any matched cell's
 // throughput dropped more than -max-regress percent, 0 otherwise.
+//
+// When both reports carry the schema-v5 allocation metrics, the diff also
+// gates allocs/tx: a cell whose allocs_per_tx grew by more than
+// -max-alloc-increase (an absolute allocations-per-transaction budget, not a
+// percentage — the steady-state target is zero, where relative deltas are
+// meaningless) is a regression too. Older reports have no allocation data,
+// so v4-vs-v5 comparisons gate throughput only.
 //
 // Comparability guard: cells that match but ran under different GOMAXPROCS
 // are annotated, since a throughput delta between different scheduler widths
@@ -23,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"semstm/internal/experiments"
 )
@@ -30,9 +39,11 @@ import (
 func main() {
 	maxRegress := flag.Float64("max-regress", 10,
 		"maximum tolerated throughput drop per cell, in percent")
+	maxAllocIncrease := flag.Float64("max-alloc-increase", 0.25,
+		"maximum tolerated allocs/tx increase per cell (absolute; v5 reports only)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: bench-compare [-max-regress PCT] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-max-regress PCT] [-max-alloc-increase N] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldRep, err := load(flag.Arg(0))
@@ -43,6 +54,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// The allocation gate needs both sides to actually carry the metrics:
+	// a pre-v5 OLD decodes allocs_per_tx as zero, which would flag every
+	// honest NEW cell as a regression.
+	allocGate := schemaVersion(oldRep.Schema) >= 5 && schemaVersion(newRep.Schema) >= 5
 
 	type key struct {
 		workload, algo string
@@ -76,8 +91,14 @@ func main() {
 
 	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.1f%%\n",
 		flag.Arg(0), oldRep.Schema, flag.Arg(1), newRep.Schema, *maxRegress)
-	fmt.Printf("%-11s %-10s %3s  %12s %12s %9s\n",
-		"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta")
+	if allocGate {
+		fmt.Printf("allocation gate on: allocs/tx may grow at most %.2f per cell\n", *maxAllocIncrease)
+		fmt.Printf("%-11s %-10s %3s  %12s %12s %9s  %9s %9s\n",
+			"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta", "old al/tx", "new al/tx")
+	} else {
+		fmt.Printf("%-11s %-10s %3s  %12s %12s %9s\n",
+			"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta")
+	}
 	regressions := 0
 	for _, k := range keys {
 		o, n := oldCells[k], newCells[k]
@@ -90,22 +111,45 @@ func main() {
 			mark = "  REGRESSION"
 			regressions++
 		}
+		if allocGate && n.AllocsPerTx-o.AllocsPerTx > *maxAllocIncrease {
+			mark += "  ALLOC-REGRESSION"
+			regressions++
+		}
 		if o.GOMAXPROCS != 0 && n.GOMAXPROCS != 0 && o.GOMAXPROCS != n.GOMAXPROCS {
 			mark += fmt.Sprintf("  [gomaxprocs %d -> %d]", o.GOMAXPROCS, n.GOMAXPROCS)
 		}
-		fmt.Printf("%-11s %-10s %3d  %12.2f %12.2f %+8.1f%%%s\n",
-			k.workload, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta, mark)
+		if allocGate {
+			fmt.Printf("%-11s %-10s %3d  %12.2f %12.2f %+8.1f%%  %9.3f %9.3f%s\n",
+				k.workload, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta,
+				o.AllocsPerTx, n.AllocsPerTx, mark)
+		} else {
+			fmt.Printf("%-11s %-10s %3d  %12.2f %12.2f %+8.1f%%%s\n",
+				k.workload, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta, mark)
+		}
 	}
 	unmatched := (len(oldCells) - len(keys)) + (len(newCells) - len(keys))
 	if unmatched > 0 {
 		fmt.Printf("%d cell(s) present in only one report (grid changed); not compared\n", unmatched)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed more than %.1f%%\n",
-			regressions, *maxRegress)
+		fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed beyond tolerance\n", regressions)
 		os.Exit(1)
 	}
-	fmt.Printf("ok: no cell regressed more than %.1f%% (%d compared)\n", *maxRegress, len(keys))
+	fmt.Printf("ok: no cell regressed beyond tolerance (%d compared)\n", len(keys))
+}
+
+// schemaVersion extracts the numeric suffix of a schema string like
+// "semstm-bench-baseline/v4"; unknown layouts report 0.
+func schemaVersion(s string) int {
+	i := strings.LastIndex(s, "/v")
+	if i < 0 {
+		return 0
+	}
+	v, err := strconv.Atoi(s[i+2:])
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 func load(path string) (experiments.BaselineReport, error) {

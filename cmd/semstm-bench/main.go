@@ -14,12 +14,18 @@
 // instead measures the committed perf baseline — {hashtable, bank} ×
 // {NOrec, S-NOrec, TL2, S-TL2, RingSTM, S-RingSTM, Adaptive} × {1, 2, 4, 8}
 // threads, best of -reps measurements per cell to filter host noise — and
-// writes it as a machine-readable BENCH_*.json report (schema v4:
+// writes it as a machine-readable BENCH_*.json report (schema v5:
 // throughput, abort rate, commit and abort counts, per-cell GOMAXPROCS, the
 // commit-path counters, the typed abort-reason breakdown and irrevocable
-// escalation count, plus — on adaptive cells — the online engine-switch
-// count and the engine the cell ended on) so perf and robustness PRs can
-// diff against it. bench-compare accepts reports of either schema.
+// escalation count, the per-cell allocation metrics allocs_per_tx /
+// bytes_per_tx / gc_pause_us from runtime.MemStats deltas, plus — on
+// adaptive cells — the online engine-switch count and the engine the cell
+// ended on) so perf and robustness PRs can diff against it. bench-compare
+// accepts reports of any schema (the allocation gate applies from v5 on).
+//
+// -cpuprofile and -memprofile write pprof profiles of whatever experiments
+// or baselines the invocation runs (see scripts/profile.sh), so a perf
+// investigation starts from a flame graph instead of guesses.
 //
 // Every cell runs under an explicit GOMAXPROCS (-gomaxprocs): by default the
 // scheduler width follows each cell's thread count; a pinned width clamps
@@ -31,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,16 +48,46 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		expID    = flag.String("exp", "", "experiment id to run, or \"all\"")
-		threads  = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
-		dur      = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
-		ops      = flag.Int("ops", 0, "total operations for execution-time experiments")
-		procs    = flag.Int("gomaxprocs", 0, "per-cell GOMAXPROCS: 0 matches each cell's thread count, > 0 pins a width (thread counts above it are clamped), < 0 keeps the process setting")
-		reps     = flag.Int("reps", 0, "baseline reps per cell, best-of-N (0 takes the default of 3)")
-		jsonPath = flag.String("json", "", "write the micro-benchmark baseline as JSON to this path (BENCH_*.json)")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		expID      = flag.String("exp", "", "experiment id to run, or \"all\"")
+		threads    = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
+		dur        = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
+		ops        = flag.Int("ops", 0, "total operations for execution-time experiments")
+		procs      = flag.Int("gomaxprocs", 0, "per-cell GOMAXPROCS: 0 matches each cell's thread count, > 0 pins a width (thread counts above it are clamped), < 0 keeps the process setting")
+		reps       = flag.Int("reps", 0, "baseline reps per cell, best-of-N (0 takes the default of 3)")
+		jsonPath   = flag.String("json", "", "write the micro-benchmark baseline as JSON to this path (BENCH_*.json)")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap (allocation) profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Written on the way out (fatalf paths excepted) after a forcing GC,
+		// so the profile reflects live retention plus the cumulative
+		// allocation sites of the run.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "semstm-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "semstm-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list || (*expID == "" && *jsonPath == "") {
 		fmt.Println("Available experiments:")

@@ -39,7 +39,10 @@ func (b *Bank) Op(rng *rand.Rand) {
 	n := int64(len(b.accounts))
 	k := 1 + rng.Intn(MaxTransfersPerTx)
 	type mv struct{ from, to, amt int64 }
-	moves := make([]mv, k)
+	// Fixed-size stack buffer: the transfer count is bounded by the constant,
+	// so one Op performs no driver-side heap allocation (see opBufCap).
+	var buf [MaxTransfersPerTx]mv
+	moves := buf[:k]
 	for i := range moves {
 		moves[i] = mv{from: rng.Int63n(n), to: rng.Int63n(n), amt: 1 + rng.Int63n(20)}
 	}

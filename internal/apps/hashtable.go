@@ -50,13 +50,26 @@ func NewHashtable(rt *stm.Runtime, capacity int) *Hashtable {
 	return h
 }
 
+// opBufCap is the per-Op stack buffer size shared by the drivers whose
+// operation count is configurable: common OpsPerTx values run without a
+// per-transaction heap allocation (the harness drives millions of Ops, and a
+// driver-side allocation per transaction would dominate every allocs/tx
+// measurement of the STM itself); larger configurations fall back to make.
+const opBufCap = 16
+
 // Op runs one transaction of OpsPerTx table operations.
 func (h *Hashtable) Op(rng *rand.Rand) {
 	type access struct {
 		key  int64
 		kind int // 0 lookup, 1 insert/remove, 2 update
 	}
-	ops := make([]access, h.OpsPerTx)
+	var buf [opBufCap]access
+	ops := buf[:0]
+	if h.OpsPerTx <= opBufCap {
+		ops = buf[:h.OpsPerTx]
+	} else {
+		ops = make([]access, h.OpsPerTx)
+	}
 	for i := range ops {
 		ops[i].key = 1 + rng.Int63n(h.KeySpace)
 		switch p := rng.Float64(); {

@@ -86,7 +86,13 @@ func (c *LRUCache) Op(rng *rand.Rand) {
 		key    int64
 		lookup bool
 	}
-	ops := make([]access, c.OpsPerTx)
+	var buf [opBufCap]access
+	ops := buf[:0]
+	if c.OpsPerTx <= opBufCap {
+		ops = buf[:c.OpsPerTx]
+	} else {
+		ops = make([]access, c.OpsPerTx)
+	}
 	for i := range ops {
 		ops[i] = access{
 			key:    1 + rng.Int63n(c.KeySpace),

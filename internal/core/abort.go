@@ -64,11 +64,24 @@ type abortSignal struct {
 	reason Reason
 }
 
+// abortSignals pre-boxes one sentinel per reason. panic takes an interface
+// value, and converting a fresh abortSignal on every abort would heap-box it
+// — one allocation per abort, a cost that scales with contention exactly
+// when the allocator and GC are under the most pressure. Panicking with a
+// pre-boxed value keeps the whole abort path allocation-free.
+var abortSignals [NumReasons]any
+
+func init() {
+	for r := Reason(0); r < NumReasons; r++ {
+		abortSignals[r] = abortSignal{reason: r}
+	}
+}
+
 // Abort unwinds the current transaction attempt with ReasonUnknown. Algorithm
 // code should prefer AbortWith; Abort remains for call sites (and tests)
 // where the cause carries no information.
 func Abort() {
-	panic(abortSignal{})
+	panic(abortSignals[ReasonUnknown])
 }
 
 // AbortWith unwinds the current transaction attempt, recording why. The
@@ -76,7 +89,10 @@ func Abort() {
 // into the per-reason abort counters, applies contention-management backoff,
 // and retries (or returns a typed error from the bounded APIs).
 func AbortWith(reason Reason) {
-	panic(abortSignal{reason: reason})
+	if reason >= NumReasons {
+		reason = ReasonUnknown
+	}
+	panic(abortSignals[reason])
 }
 
 // IsAbort reports whether a recovered panic value is the transaction-abort

@@ -63,40 +63,70 @@ func (e *ExprEntry) Holds() bool {
 	}
 }
 
-// ExprSet is an append-only log of expression facts.
+// ExprSet is an append-only log of expression facts. Reset retains not just
+// the entry slice but each entry's vars/conds backing arrays, so recording a
+// sum or OR fact is allocation-free once the set has seen its shape — the
+// previous copy-on-append (append([]*Var(nil), ...)) allocated on every
+// CmpSum/CmpAny of the value-based semantic engines.
 type ExprSet struct {
 	entries []ExprEntry
+	shrink  Shrinker
 }
+
+// exprSetMinCap is the entry capacity a clamped set keeps.
+const exprSetMinCap = 8
 
 // NewExprSet returns an empty set.
 func NewExprSet() *ExprSet { return &ExprSet{} }
 
-// Reset empties the set, retaining capacity.
-func (s *ExprSet) Reset() { s.entries = s.entries[:0] }
+// Reset empties the set. Entries beyond the new length keep their operand
+// slices for reuse by the next attempt; the high-water-mark shrink policy
+// (see WriteSet.Reset) eventually releases both them and the *Var pointers
+// they pin once the workload stops recording expression facts of that size.
+func (s *ExprSet) Reset() {
+	used := len(s.entries)
+	s.entries = s.entries[:0]
+	if peak, ok := s.shrink.Note(used, cap(s.entries)); ok {
+		s.entries = make([]ExprEntry, 0, ShrinkCap(peak, exprSetMinCap))
+	}
+}
 
 // Len reports the number of recorded expression facts.
 func (s *ExprSet) Len() int { return len(s.entries) }
 
+// next extends the log by one entry, recycling a previously used slot (and
+// its operand slices) when the backing array has one.
+func (s *ExprSet) next() *ExprEntry {
+	if len(s.entries) < cap(s.entries) {
+		s.entries = s.entries[:len(s.entries)+1]
+	} else {
+		s.entries = append(s.entries, ExprEntry{})
+	}
+	return &s.entries[len(s.entries)-1]
+}
+
 // AppendSum records the fact "(Σ vars) op rhs == outcome". The vars slice
-// is copied.
+// is copied (into the recycled entry's buffer when one is available).
 func (s *ExprSet) AppendSum(vars []*Var, op Op, rhs int64, outcome bool) {
-	s.entries = append(s.entries, ExprEntry{
-		kind:    exprSum,
-		vars:    append([]*Var(nil), vars...),
-		op:      op,
-		rhs:     rhs,
-		outcome: outcome,
-	})
+	e := s.next()
+	e.kind = exprSum
+	e.vars = append(e.vars[:0], vars...)
+	e.conds = e.conds[:0]
+	e.op = op
+	e.rhs = rhs
+	e.outcome = outcome
 }
 
 // AppendOr records the fact "(c1 || c2 || ...) == outcome". The conds slice
-// is copied.
+// is copied (into the recycled entry's buffer when one is available).
 func (s *ExprSet) AppendOr(conds []Cond, outcome bool) {
-	s.entries = append(s.entries, ExprEntry{
-		kind:    exprOr,
-		conds:   append([]Cond(nil), conds...),
-		outcome: outcome,
-	})
+	e := s.next()
+	e.kind = exprOr
+	e.vars = e.vars[:0]
+	e.conds = append(e.conds[:0], conds...)
+	e.op = 0
+	e.rhs = 0
+	e.outcome = outcome
 }
 
 // HoldsNow re-evaluates every expression fact against current memory.

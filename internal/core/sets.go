@@ -49,7 +49,12 @@ type WriteSet struct {
 	sig     uint64  // Bloom signature over entry IDs; 0 ⇒ set empty
 	table   []int32 // open-addressed index: entry index+1, 0 = free slot
 	mask    uint64  // len(table)-1 (table is a power of two)
+	shrink  Shrinker
 }
+
+// writeSetMinCap is the pre-sized entry capacity of a fresh (or freshly
+// clamped) write-set.
+const writeSetMinCap = 16
 
 // smallMax is the largest write-set indexed by linear scan alone. Table 3
 // puts the median transaction well under 8 distinct written variables, so
@@ -70,18 +75,47 @@ func sigMask(id uint64) uint64 {
 
 // NewWriteSet returns an empty write-set with some pre-sized capacity.
 func NewWriteSet() *WriteSet {
-	return &WriteSet{entries: make([]WriteEntry, 0, 16)}
+	return &WriteSet{entries: make([]WriteEntry, 0, writeSetMinCap)}
 }
 
 // Reset empties the write-set, retaining capacity for reuse across attempts.
 // Small transactions (no probe table) reset with two stores; once a table
-// exists it is cleared in place (a single memclr) and stays available.
+// exists it is cleared in place (a single memclr) and stays available. The
+// retained capacity is subject to the high-water-mark shrink policy
+// (Shrinker): after ShrinkAfter consecutive attempts that used a small
+// fraction of it, the entry slice and probe table are reallocated near the
+// recent peak so one huge transaction cannot pin memory (and per-Reset
+// memclr cost) forever.
 func (ws *WriteSet) Reset() {
+	used := len(ws.entries)
 	ws.entries = ws.entries[:0]
 	ws.sig = 0
 	if ws.table != nil {
 		clear(ws.table)
 	}
+	if peak, ok := ws.shrink.Note(used, cap(ws.entries)); ok {
+		ws.clamp(peak)
+	}
+}
+
+// clamp reallocates the (empty) set's backing memory for about 2×peak
+// entries, dropping the probe table entirely when the recent peak fits the
+// small-set linear scan.
+func (ws *WriteSet) clamp(peak int) {
+	ws.entries = make([]WriteEntry, 0, ShrinkCap(peak, writeSetMinCap))
+	if ws.table == nil {
+		return
+	}
+	if peak < smallMax {
+		ws.table, ws.mask = nil, 0
+		return
+	}
+	n := 4 * smallMax
+	for n*3 < 4*ShrinkCap(peak, writeSetMinCap) {
+		n *= 2 // keep the clamped table below 3/4 load at 2×peak entries
+	}
+	ws.table = make([]int32, n)
+	ws.mask = uint64(n - 1)
 }
 
 // Len reports the number of distinct variables in the write-set.
@@ -268,7 +302,12 @@ type SemSet struct {
 	eqMask    uint64  // len(eqTable)-1 (power of two)
 	eqCount   int     // EQ facts indexed so far
 	eqScanned int     // entries[:eqScanned] are folded into the index
+	shrink    Shrinker
 }
+
+// semSetMinCap is the pre-sized capacity of a fresh (or freshly clamped)
+// semantic set.
+const semSetMinCap = 32
 
 // eqHash mixes a (variable ID, observed value) pair into one 64-bit hash.
 func eqHash(id uint64, val int64) uint64 {
@@ -277,12 +316,17 @@ func eqHash(id uint64, val int64) uint64 {
 
 // NewSemSet returns an empty semantic set with pre-sized capacity.
 func NewSemSet() *SemSet {
-	return &SemSet{entries: make([]SemEntry, 0, 32)}
+	return &SemSet{entries: make([]SemEntry, 0, semSetMinCap)}
 }
 
 // Reset empties the set, retaining capacity. The duplicate index is cleared
-// (one memclr) only if a HasEQ call built it during the attempt.
+// (one memclr) only if a HasEQ call built it during the attempt. Retained
+// capacity follows the high-water-mark shrink policy (see WriteSet.Reset):
+// the entry log — read-sets grow by far the largest of the per-transaction
+// containers — and the duplicate index are clamped back near the recent peak
+// after ShrinkAfter consecutive small attempts.
 func (s *SemSet) Reset() {
+	used := len(s.entries)
 	s.entries = s.entries[:0]
 	if s.eqScanned > 0 {
 		s.eqSig = 0
@@ -290,6 +334,17 @@ func (s *SemSet) Reset() {
 		s.eqScanned = 0
 		clear(s.eqTable)
 	}
+	if peak, ok := s.shrink.Note(used, cap(s.entries)); ok {
+		s.clamp(peak)
+	}
+}
+
+// clamp reallocates the (empty) set's backing memory for about 2×peak facts.
+// The duplicate index, when one was ever built, is dropped outright — it is
+// rebuilt lazily by the next HasEQ scan, sized for the live log.
+func (s *SemSet) clamp(peak int) {
+	s.entries = make([]SemEntry, 0, ShrinkCap(peak, semSetMinCap))
+	s.eqTable, s.eqMask = nil, 0
 }
 
 // Len reports the number of recorded facts.

@@ -23,6 +23,7 @@ func BenchmarkWriteSetGetMissSmall(b *testing.B) {
 	for i, v := range in {
 		ws.PutWrite(v, int64(i))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ws.Get(out[i%len(out)]) != nil {
@@ -39,6 +40,7 @@ func BenchmarkWriteSetGetMissLarge(b *testing.B) {
 	for i, v := range in {
 		ws.PutWrite(v, int64(i))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ws.Get(out[i%len(out)]) != nil {
@@ -54,6 +56,7 @@ func BenchmarkWriteSetGetHitSmall(b *testing.B) {
 	for i, v := range in {
 		ws.PutWrite(v, int64(i))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ws.Get(in[i%len(in)]) == nil {
@@ -69,6 +72,7 @@ func BenchmarkWriteSetGetHitLarge(b *testing.B) {
 	for i, v := range in {
 		ws.PutWrite(v, int64(i))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if ws.Get(in[i%len(in)]) == nil {
@@ -82,6 +86,7 @@ func BenchmarkWriteSetGetHitLarge(b *testing.B) {
 func BenchmarkWriteSetInsertReset8(b *testing.B) {
 	ws := NewWriteSet()
 	vars := benchVars(8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, v := range vars {
@@ -96,6 +101,7 @@ func BenchmarkWriteSetInsertReset8(b *testing.B) {
 func BenchmarkWriteSetInsertReset64(b *testing.B) {
 	ws := NewWriteSet()
 	vars := benchVars(64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j, v := range vars {
@@ -110,6 +116,7 @@ func BenchmarkWriteSetInsertReset64(b *testing.B) {
 func BenchmarkSemSetDedupHasEQ(b *testing.B) {
 	vars := benchVars(64)
 	s := NewSemSet()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%64 == 0 {

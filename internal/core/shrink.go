@@ -1,0 +1,62 @@
+package core
+
+// Shrinker is the high-water-mark shrink policy shared by the reusable
+// transaction-local containers (WriteSet, SemSet, ExprSet, and the TL2
+// read-set). Descriptors are pooled and their containers retain capacity
+// across Reset, which makes the steady state allocation-free — but it also
+// means one pathological transaction (a table rehash touching thousands of
+// variables, say) would pin its peak footprint forever. The policy resolves
+// that tension with hysteresis: a container is clamped back only after
+// ShrinkAfter consecutive attempts whose usage stayed below 1/shrinkSlack of
+// the retained capacity, and then only down to twice the recent peak, so an
+// oscillating workload does not thrash between shrink and regrow.
+//
+// Containers call Note once per Reset with the attempt's usage and their
+// retained capacity; a true return means "reallocate for about 2×peak now"
+// and hands back the observed peak. The call is two compares on the hot path.
+type Shrinker struct {
+	peak  int // largest usage observed in the current run of small attempts
+	small int // consecutive attempts with usage below capacity/shrinkSlack
+}
+
+const (
+	// ShrinkAfter is how many consecutive small attempts a container
+	// tolerates before releasing its oversized backing memory.
+	ShrinkAfter = 64
+	// shrinkSlack is the oversize factor that arms the policy: capacity must
+	// exceed shrinkSlack × usage for an attempt to count as "small".
+	shrinkSlack = 4
+	// shrinkMinCap exempts small containers: capacities at or below this
+	// never shrink (releasing a few hundred bytes is not worth a realloc).
+	shrinkMinCap = 32
+)
+
+// Note records one attempt's usage against the retained capacity. It returns
+// (peak, true) when the container should reallocate for about 2×peak, and
+// resets the observation window either way once a decision is reached.
+func (s *Shrinker) Note(used, capacity int) (int, bool) {
+	if capacity <= shrinkMinCap || used*shrinkSlack >= capacity {
+		s.peak, s.small = 0, 0 // rightsized (or recently used in full): disarm
+		return 0, false
+	}
+	if used > s.peak {
+		s.peak = used
+	}
+	s.small++
+	if s.small < ShrinkAfter {
+		return 0, false
+	}
+	peak := s.peak
+	s.peak, s.small = 0, 0
+	return peak, true
+}
+
+// ShrinkCap converts an observed peak into a new capacity: twice the peak
+// (headroom for jitter around it), floored at min.
+func ShrinkCap(peak, min int) int {
+	n := 2 * peak
+	if n < min {
+		n = min
+	}
+	return n
+}

@@ -49,6 +49,16 @@ type BaselineCell struct {
 	// FinalEngine is the concrete engine the cell ended on (schema v4);
 	// emitted only when it differs from Algorithm, i.e. on adaptive cells.
 	FinalEngine string `json:"final_engine,omitempty"`
+	// AllocsPerTx and BytesPerTx are the cell's heap-allocation rates (schema
+	// v5): process-wide runtime.MemStats deltas over the measured interval
+	// divided by transactions (commits + aborts). They are emitted even when
+	// zero — zero is the steady-state target the allocation-regression gate
+	// defends, and presence of the fields is what marks a v5 report.
+	AllocsPerTx float64 `json:"allocs_per_tx"`
+	BytesPerTx  float64 `json:"bytes_per_tx"`
+	// GCPauseUS is the total stop-the-world GC pause time accumulated during
+	// the cell, in microseconds (schema v5; omitted when no GC ran).
+	GCPauseUS float64 `json:"gc_pause_us,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -106,7 +116,7 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		yieldEvery = 0
 	}
 	rep := BaselineReport{
-		Schema:      "semstm-bench-baseline/v4",
+		Schema:      "semstm-bench-baseline/v5",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -157,6 +167,9 @@ func Baseline(cfg Config) (BaselineReport, error) {
 					Escalations:    res.Stats.Escalations,
 					AbortReasons:   res.Stats.ReasonCounts(),
 					EngineSwitches: res.Stats.EngineSwitches,
+					AllocsPerTx:    res.AllocsPerTx,
+					BytesPerTx:     res.BytesPerTx,
+					GCPauseUS:      float64(res.GCPause.Nanoseconds()) / 1e3,
 				}
 				if res.FinalAlgorithm != res.Algorithm {
 					cell.FinalEngine = res.FinalAlgorithm.String()

@@ -28,7 +28,12 @@ type Tx struct {
 	lockIdx      []int       // scratch: orec indices to lock, reused across commits
 	waiter       core.Waiter // adaptive spin-then-yield backoff for locked orecs
 	stats        core.TxStats
+	readShrink   core.Shrinker // high-water-mark clamp for the read-set
+	commitShrink core.Shrinker // same policy for the commit scratch (held/lockIdx)
 }
+
+// readSetMinCap is the pre-sized (and clamp floor) capacity of the read-set.
+const readSetMinCap = 32
 
 // NewTx returns a transaction descriptor bound to g. If semantic is true the
 // descriptor runs S-TL2; otherwise baseline TL2 with semantic operations
@@ -37,19 +42,35 @@ func NewTx(g *Global, semantic bool) *Tx {
 	return &Tx{
 		g:        g,
 		semantic: semantic,
-		reads:    make([]*orec, 0, 32),
+		reads:    make([]*orec, 0, readSetMinCap),
 		compares: core.NewSemSet(),
 		writes:   core.NewWriteSet(),
 	}
 }
 
 // Start begins a new attempt (Algorithm 7 lines 1–3): snapshot the global
-// version clock as the start version and draw a fresh attempt id.
+// version clock as the start version and draw a fresh attempt id. The
+// descriptor-local slices retain capacity across attempts (zero-allocation
+// steady state) under the core high-water-mark shrink policy: the read-set
+// and the commit scratch are clamped back near their recent peak after
+// ShrinkAfter consecutive small attempts.
 func (tx *Tx) Start() {
-	tx.reads = tx.reads[:0]
+	if peak, ok := tx.readShrink.Note(len(tx.reads), cap(tx.reads)); ok {
+		tx.reads = make([]*orec, 0, core.ShrinkCap(peak, readSetMinCap))
+	} else {
+		tx.reads = tx.reads[:0]
+	}
 	tx.compares.Reset()
 	tx.writes.Reset()
-	tx.held = tx.held[:0]
+	// held is empty here on every path (write-back and Cleanup both truncate
+	// it); lockIdx still holds the previous commit's lock list, which is the
+	// usage signal for the commit-scratch clamp.
+	if peak, ok := tx.commitShrink.Note(len(tx.lockIdx), cap(tx.lockIdx)); ok {
+		tx.lockIdx = make([]int, 0, core.ShrinkCap(peak, 0))
+		tx.held = nil
+	} else {
+		tx.held = tx.held[:0]
+	}
 	tx.stats.Reset()
 	tx.id = tx.g.txid.Add(1)
 	tx.startVersion = tx.g.clock.Load()

@@ -12,9 +12,16 @@
 #      The race pass runs the chaos suites in -short mode by default; set
 #      CHECK_LONG=1 to run the full-size chaos sweep (heavier, minutes not
 #      seconds).
-#   5. a bench-compare smoke: a tiny 2-thread baseline (40ms cells) is
+#   5. the allocation gate: every BenchmarkBarrier* sub-benchmark — the
+#      barrier shapes and the all-engine BenchmarkBarrierZeroAlloc lifecycle
+#      matrix — must report exactly 0 allocs/op. The 5000x fixed iteration
+#      count is load-bearing: one warm-up allocation amortizes to <0.5
+#      allocs/op (which -benchmem truncates to 0) only at high counts, while
+#      a genuine per-transaction allocation still shows as ≥1.
+#   6. a bench-compare smoke: a tiny 2-thread baseline (40ms cells) is
 #      captured and diffed against itself, so the BENCH_*.json plumbing and
-#      the regression gate are exercised on every check.
+#      the regression (throughput + allocs/tx) gate are exercised on every
+#      check.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -47,6 +54,18 @@ else
     # shellcheck disable=SC2086
     go test -race -short -count=1 $RACE_PKGS
 fi
+
+echo "== allocation gate: BenchmarkBarrier* must be 0 allocs/op =="
+ALLOC_OUT="$(go test ./stm -run '^$' -bench 'BenchmarkBarrier' -benchtime 5000x -benchmem)"
+echo "$ALLOC_OUT" | awk '
+    /^BenchmarkBarrier/ {
+        if ($(NF-1) + 0 != 0 || $NF != "allocs/op") {
+            print "ALLOC REGRESSION: " $0
+            bad = 1
+        }
+    }
+    END { exit bad }
+' || { echo "allocation gate failed (see lines above)" >&2; exit 1; }
 
 echo "== bench-compare smoke (40ms cells, 2 threads) =="
 SMOKE="$(mktemp -t bench_smoke.XXXXXX.json)"

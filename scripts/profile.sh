@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# profile.sh — capture CPU and heap (allocation) pprof profiles of the
+# baseline benchmark grid, so a perf investigation starts from a flame graph
+# instead of guesses.
+#
+# Usage:
+#   scripts/profile.sh [extra semstm-bench flags...]
+#
+# Environment:
+#   PROFILE_DIR  output directory (default: profiles/)
+#   DUR          per-cell duration (default: 200ms)
+#
+# Writes $PROFILE_DIR/{cpu.pprof,mem.pprof,bench.json} and prints the top-10
+# of each profile. Inspect interactively with:
+#   go tool pprof -http=:8080 profiles/cpu.pprof
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${PROFILE_DIR:-profiles}"
+DUR="${DUR:-200ms}"
+mkdir -p "$OUT"
+
+go run ./cmd/semstm-bench \
+    -json "$OUT/bench.json" -dur "$DUR" -reps 1 \
+    -cpuprofile "$OUT/cpu.pprof" -memprofile "$OUT/mem.pprof" "$@"
+
+echo
+echo "== top CPU (cumulative) =="
+go tool pprof -top -nodecount=10 "$OUT/cpu.pprof" | sed -n '1,20p'
+echo
+echo "== top allocation sites (alloc_space) =="
+go tool pprof -top -nodecount=10 -sample_index=alloc_space "$OUT/mem.pprof" | sed -n '1,20p'
+echo
+echo "profiles in $OUT/: cpu.pprof mem.pprof (go tool pprof -http=:8080 <file>)"

@@ -151,14 +151,20 @@ const maxBackoffPerCall = 100 * time.Millisecond
 // exhausted. Escalation still applies if the budget exceeds the runtime's
 // EscalateAfter threshold.
 func (rt *Runtime) TryAtomically(fn func(tx *Tx), opts ...TryOption) error {
-	o := tryOpts{maxAttempts: DefaultMaxAttempts}
-	for _, opt := range opts {
-		opt(&o)
+	max := DefaultMaxAttempts
+	if len(opts) > 0 {
+		// &o escapes into the option funcs, so the struct is only built when
+		// options exist — the common zero-option call stays allocation-free.
+		o := tryOpts{maxAttempts: DefaultMaxAttempts}
+		for _, opt := range opts {
+			opt(&o)
+		}
+		max = o.maxAttempts
 	}
-	if o.maxAttempts < 1 {
-		o.maxAttempts = 1
+	if max < 1 {
+		max = 1
 	}
-	return rt.run(fn, runCfg{maxAttempts: o.maxAttempts})
+	return rt.run(fn, runCfg{maxAttempts: max})
 }
 
 // AtomicallyCtx executes fn as one transaction, retrying on conflict until
@@ -170,14 +176,16 @@ func (rt *Runtime) AtomicallyCtx(ctx context.Context, fn func(tx *Tx)) error {
 	if err := ctx.Err(); err != nil {
 		return &AbortError{Cause: err}
 	}
-	return rt.run(fn, runCfg{done: ctx.Done(), ctxErr: ctx.Err})
+	return rt.run(fn, runCfg{done: ctx.Done(), ctx: ctx})
 }
 
-// runCfg bounds one run of the retry engine.
+// runCfg bounds one run of the retry engine. It carries the context itself
+// rather than a ctx.Err method value: binding the method allocated a closure
+// on every AtomicallyCtx call, including the ones that commit first try.
 type runCfg struct {
 	maxAttempts int             // 0 = unbounded
 	done        <-chan struct{} // non-nil under AtomicallyCtx
-	ctxErr      func() error    // fetches the context error after done fires
+	ctx         context.Context // non-nil under AtomicallyCtx; supplies Cause
 }
 
 // run is the retry engine shared by Atomically, AtomicallyCtx, and
@@ -185,17 +193,20 @@ type runCfg struct {
 // backoff, and the starvation escalation. The unbounded no-fault path must
 // stay hot: per attempt it adds one load of the read-mostly escalator gate
 // and predictable branches — everything else is behind `bounded` or the
-// escalation threshold.
+// escalation threshold. The whole call is allocation-free after descriptor
+// warm-up: the descriptor comes from the pool, the reason log lives in the
+// descriptor's fixed buffer, and the only remaining allocation is the
+// *AbortError built on the bounded failure path.
 func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 	tx := rt.txPool.Get().(*Tx)
-	defer rt.txPool.Put(tx)
-	if e, ok := tx.impl.(interface{ NewEpoch() }); ok {
-		e.NewEpoch()
+	defer rt.releaseTx(tx)
+	if tx.epoch != nil {
+		tx.epoch.NewEpoch()
 	}
 	bounded := cfg.maxAttempts > 0 || cfg.done != nil
 	adaptive := rt.adapt != nil
 	escAfter := rt.escalateAfter
-	var reasons []AbortReason
+	reasons := tx.reasonBuf[:0]
 	escalated := false
 	budget := maxBackoffPerCall
 	defer func() {
@@ -268,11 +279,16 @@ func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 	}
 }
 
-// runErr builds the typed failure of a bounded run.
+// runErr builds the typed failure of a bounded run. The reason log is copied
+// out of the descriptor's buffer here — the descriptor is about to return to
+// the pool, and this failure path is the one place a bounded run allocates.
 func runErr(attempts int, reasons []AbortReason, escalated bool, cfg runCfg) *AbortError {
-	err := &AbortError{Attempts: attempts, Reasons: reasons, Escalated: escalated}
-	if cfg.ctxErr != nil {
-		err.Cause = cfg.ctxErr()
+	err := &AbortError{Attempts: attempts, Escalated: escalated}
+	if len(reasons) > 0 {
+		err.Reasons = append([]AbortReason(nil), reasons...)
+	}
+	if cfg.ctx != nil {
+		err.Cause = cfg.ctx.Err()
 	}
 	return err
 }

@@ -265,13 +265,40 @@ func (rt *Runtime) newTx() *Tx {
 	return tx
 }
 
+// epochResetter is the optional TxImpl interface for per-call (as opposed to
+// per-attempt) state resets; the HTM backends use it to reset their
+// hardware-failure budget. The assertion is cached on the descriptor at
+// rebind time: asserting on every Atomically call showed up in the escape
+// audit as a per-call dynamic type check on the hot path.
+type epochResetter interface{ NewEpoch() }
+
 // rebind points the descriptor at an engine slot, building a fresh
 // engine-level descriptor from it. Called at construction and whenever the
 // retry loop observes that an engine switch superseded the binding.
 func (tx *Tx) rebind(slot *engineSlot) {
 	tx.slot = slot
 	tx.impl = slot.eng.NewTx(tx.rt.txConfig())
+	tx.epoch, _ = tx.impl.(epochResetter)
 	tx.impl.SetFaultPlan(tx.rt.faultPlan)
+}
+
+// poisonedReason is the out-of-range sentinel releaseTx stamps on a
+// descriptor's per-call state. Any code path that reads a released
+// descriptor's reason before an attempt rewrote it surfaces the value as the
+// "invalid" bucket (Reason.String) instead of silently reporting the
+// previous transaction's reason — the pool-reuse analogue of poisoning freed
+// memory.
+const poisonedReason = AbortReason(core.NumReasons)
+
+// releaseTx returns a descriptor to the pool, poisoning per-call state so
+// leaks between logically distinct transactions are detectable (the
+// descriptor-reuse fuzz test asserts no poison is ever observed).
+func (rt *Runtime) releaseTx(tx *Tx) {
+	if tx.active.Load() != 0 {
+		panic("stm: descriptor released with an attempt still active")
+	}
+	tx.lastReason = poisonedReason
+	rt.txPool.Put(tx)
 }
 
 // Algorithm reports which algorithm the runtime was created with (Adaptive
@@ -359,6 +386,12 @@ func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool, reason Abor
 			tx.impl.Cleanup()
 			tx.shard.Merge(tx.impl.AttemptStats(), false)
 			if !core.IsAbort(r) {
+				// A user panic unwinds straight past the retry loop's normal
+				// active-flag clear; drop the flag here or the descriptor
+				// would re-enter the pool still marked in-flight (which an
+				// adaptive drain would wait on forever, and which releaseTx
+				// now rejects).
+				tx.active.Store(0)
 				panic(r)
 			}
 			reason, _ = core.ReasonOf(r)
@@ -386,11 +419,17 @@ func Run[T any](rt *Runtime, fn func(tx *Tx) T) T {
 type Tx struct {
 	rt         *Runtime
 	impl       core.TxImpl
+	epoch      epochResetter    // impl's cached NewEpoch assertion; nil if absent
 	slot       *engineSlot      // the engine binding impl was built from
 	shard      *core.StatsShard // this descriptor's slice of the runtime counters
 	rng        *rand.Rand
 	ops        int
 	lastReason AbortReason // reason of the most recent aborted attempt
+	// reasonBuf backs the bounded-mode abort-reason log of run(): recording a
+	// reason is a store into this descriptor-owned ring rather than a slice
+	// append, so TryAtomically/AtomicallyCtx allocate only when they actually
+	// fail (runErr copies the buffer into the returned AbortError).
+	reasonBuf [abortReasonCap]AbortReason
 
 	// active is 1 while an attempt is executing between the switch-gate
 	// check and its commit/abort; the engine-switch drain waits on it. Only
