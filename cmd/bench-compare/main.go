@@ -6,10 +6,15 @@
 //
 //	bench-compare [-max-regress 10] [-max-alloc-increase 0.25] OLD.json NEW.json
 //
-// Cells are matched by (workload, algorithm, threads). Cells present in only
-// one report — older schemas sweep fewer thread counts and algorithms — are
-// listed but not compared. The exit status is 1 when any matched cell's
-// throughput dropped more than -max-regress percent, 0 otherwise.
+// Cells are matched by (workload, algorithm, threads, shards, cross_pct) —
+// the last two are zero on every pre-v6 cell, so v5 reports and the unsharded
+// grid of v6 reports line up key for key, and a v5↔v6 comparison gates the
+// classic grid while the sharded cells (which exist only from v6 on) are
+// simply listed as uncompared. Cells present in only one report — older
+// schemas sweep fewer thread counts and algorithms, pre-v6 reports have no
+// sharded grid — are counted but not compared. The exit status is 1 when any
+// matched cell's throughput dropped more than -max-regress percent, 0
+// otherwise.
 //
 // When both reports carry the schema-v5 allocation metrics, the diff also
 // gates allocs/tx: a cell whose allocs_per_tx grew by more than
@@ -62,11 +67,17 @@ func main() {
 	type key struct {
 		workload, algo string
 		threads        int
+		// shards and crossPct separate the sharded-grid cells of a v6 report:
+		// they all run at one thread count, so without them the index would
+		// silently collapse the whole sharded grid into one cell. Both are zero
+		// on pre-v6 cells and on the unsharded grid, keeping v5↔v6 keys aligned.
+		shards   int
+		crossPct float64
 	}
 	index := func(r experiments.BaselineReport) map[key]experiments.BaselineCell {
 		m := make(map[key]experiments.BaselineCell, len(r.Cells))
 		for _, c := range r.Cells {
-			m[key{c.Workload, c.Algorithm, c.Threads}] = c
+			m[key{c.Workload, c.Algorithm, c.Threads, c.Shards, c.CrossPct}] = c
 		}
 		return m
 	}
@@ -86,22 +97,35 @@ func main() {
 		if a.algo != b.algo {
 			return a.algo < b.algo
 		}
-		return a.threads < b.threads
+		if a.threads != b.threads {
+			return a.threads < b.threads
+		}
+		if a.shards != b.shards {
+			return a.shards < b.shards
+		}
+		return a.crossPct < b.crossPct
 	})
 
 	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.1f%%\n",
 		flag.Arg(0), oldRep.Schema, flag.Arg(1), newRep.Schema, *maxRegress)
 	if allocGate {
 		fmt.Printf("allocation gate on: allocs/tx may grow at most %.2f per cell\n", *maxAllocIncrease)
-		fmt.Printf("%-11s %-10s %3s  %12s %12s %9s  %9s %9s\n",
+		fmt.Printf("%-18s %-10s %3s  %12s %12s %9s  %9s %9s\n",
 			"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta", "old al/tx", "new al/tx")
 	} else {
-		fmt.Printf("%-11s %-10s %3s  %12s %12s %9s\n",
+		fmt.Printf("%-18s %-10s %3s  %12s %12s %9s\n",
 			"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta")
 	}
 	regressions := 0
 	for _, k := range keys {
 		o, n := oldCells[k], newCells[k]
+		wl := k.workload
+		if k.shards > 0 {
+			wl = fmt.Sprintf("%s/s%d", k.workload, k.shards)
+			if k.crossPct > 0 {
+				wl += fmt.Sprintf("x%g%%", 100*k.crossPct)
+			}
+		}
 		delta := 0.0
 		if o.ThroughputK > 0 {
 			delta = 100 * (n.ThroughputK - o.ThroughputK) / o.ThroughputK
@@ -119,17 +143,26 @@ func main() {
 			mark += fmt.Sprintf("  [gomaxprocs %d -> %d]", o.GOMAXPROCS, n.GOMAXPROCS)
 		}
 		if allocGate {
-			fmt.Printf("%-11s %-10s %3d  %12.2f %12.2f %+8.1f%%  %9.3f %9.3f%s\n",
-				k.workload, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta,
+			fmt.Printf("%-18s %-10s %3d  %12.2f %12.2f %+8.1f%%  %9.3f %9.3f%s\n",
+				wl, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta,
 				o.AllocsPerTx, n.AllocsPerTx, mark)
 		} else {
-			fmt.Printf("%-11s %-10s %3d  %12.2f %12.2f %+8.1f%%%s\n",
-				k.workload, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta, mark)
+			fmt.Printf("%-18s %-10s %3d  %12.2f %12.2f %+8.1f%%%s\n",
+				wl, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta, mark)
 		}
 	}
 	unmatched := (len(oldCells) - len(keys)) + (len(newCells) - len(keys))
 	if unmatched > 0 {
+		shardedOnly := 0
+		for k := range newCells {
+			if _, ok := oldCells[k]; !ok && k.shards > 0 {
+				shardedOnly++
+			}
+		}
 		fmt.Printf("%d cell(s) present in only one report (grid changed); not compared\n", unmatched)
+		if shardedOnly > 0 {
+			fmt.Printf("  of those, %d are sharded-grid cells the older schema does not measure\n", shardedOnly)
+		}
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed beyond tolerance\n", regressions)

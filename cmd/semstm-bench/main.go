@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"semstm/internal/experiments"
+	"semstm/stm"
 )
 
 func main() {
@@ -56,6 +57,9 @@ func main() {
 		procs      = flag.Int("gomaxprocs", 0, "per-cell GOMAXPROCS: 0 matches each cell's thread count, > 0 pins a width (thread counts above it are clamped), < 0 keeps the process setting")
 		reps       = flag.Int("reps", 0, "baseline reps per cell, best-of-N (0 takes the default of 3)")
 		jsonPath   = flag.String("json", "", "write the micro-benchmark baseline as JSON to this path (BENCH_*.json)")
+		shardGate  = flag.Bool("shardgate", false, "run the shard-scaling gate (sharded bank+hashtable, 1 vs -shardgate-shards shards) and exit non-zero below -shardgate-min")
+		gateShards = flag.Int("shardgate-shards", 32, "shard count of the wide cell in the -shardgate comparison")
+		gateMin    = flag.Float64("shardgate-min", 8, "minimum throughput ratio (wide/1-shard) the -shardgate run must reach")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap (allocation) profile at exit to this file")
 	)
@@ -89,7 +93,7 @@ func main() {
 		}()
 	}
 
-	if *list || (*expID == "" && *jsonPath == "") {
+	if *list || (*expID == "" && *jsonPath == "" && !*shardGate) {
 		fmt.Println("Available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Panels, e.Title)
@@ -119,6 +123,38 @@ func main() {
 				continue // clamping may produce adjacent duplicates
 			}
 			cfg.Threads = append(cfg.Threads, n)
+		}
+	}
+
+	if *shardGate {
+		// The shard-scaling gate (scripts/check.sh): the n-shard cell of each
+		// workload, single-shard transactions only, must out-commit the 1-shard
+		// cell by at least -shardgate-min. NOrec is the gate engine — one
+		// global seqlock serializes its every commit against every reader, so
+		// it shows the largest clock-sharing cost and the gate has no slack to
+		// hide behind.
+		failed := false
+		for _, wl := range []string{"bank", "hashtable"} {
+			start := time.Now()
+			res, err := experiments.ShardScaling(cfg, wl, stm.NOrec, *gateShards)
+			if err != nil {
+				fatalf("shardgate: %v", err)
+			}
+			ok := res.Ratio >= *gateMin
+			verdict := "ok"
+			if !ok {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("shardgate %-9s %s: 1 shard %.1f ktx/s, %d shards %.1f ktx/s, ratio %.2fx (min %.1fx) %s [%v]\n",
+				wl, res.Algorithm, res.BaseK, res.Shards, res.ShardedK, res.Ratio, *gateMin, verdict,
+				time.Since(start).Round(time.Millisecond))
+		}
+		if failed {
+			os.Exit(1)
+		}
+		if *expID == "" && *jsonPath == "" {
+			return
 		}
 	}
 

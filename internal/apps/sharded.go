@@ -1,0 +1,332 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"semstm/internal/txds"
+	"semstm/stm"
+)
+
+// ShardedBank is the money-transfer benchmark over a sharded runtime
+// (DESIGN.md §11): accounts are distributed across the runtime's shards in
+// shard-affine blocks (stm.NewVarsOn), each transaction transfers between
+// accounts of one randomly chosen home shard, and with probability CrossPct
+// the transaction instead targets a second shard — every one of its
+// transfers then moves money across the shard boundary, exercising the
+// two-phase cross-shard commit. The transfer bodies are identical to Bank's
+// (semantic GTE overdraft check, Dec/Inc increments).
+type ShardedBank struct {
+	rt      *stm.Runtime
+	shards  [][]*stm.Var
+	initial int64
+	// CrossPct is the probability one transaction is cross-shard (the swept
+	// knob of the PR6 scaling grids: 0, 0.01, 0.10).
+	CrossPct float64
+	// Window is the width of the solvency scan run before each move: the
+	// payer's window of consecutive accounts is checked account-by-account
+	// with semantic GTE probes (the compliance-scan transaction of the bank
+	// benchmark). Under the semantic engines each probe is one "account is
+	// funded" fact that transfers almost never flip; the classical engines
+	// pin every scanned balance, so any concurrent commit on the same clock
+	// that touches the window aborts the scan — the contention the
+	// shard-scaling grid measures. Default 48.
+	Window int
+	// AuditPct is the probability one transaction is an audit instead of a
+	// transfer: a read-only sweep summing every account of the home shard —
+	// the balance transaction of the classical bank benchmark. Off by
+	// default (whole-shard read sets starve under contention); the
+	// correctness tests enable it for the in-flight conservation assert.
+	AuditPct float64
+	// auditFail latches a conservation violation an audit observed in-flight
+	// (only asserted while CrossPct == 0, when each shard's sum is invariant);
+	// Check reports it.
+	auditFail atomic.Int64
+	// tellers assigns each worker (identified by its rng) a home shard
+	// round-robin — the teller model the sharded runtime is designed for:
+	// work arrives partitioned by shard, and only the CrossPct fraction
+	// crosses a boundary.
+	tellers    sync.Map // *rand.Rand -> int
+	nextTeller atomic.Int64
+}
+
+// NewShardedBank creates a bank with perShard accounts on every shard of
+// rt (one shard when rt is not sharded), each holding initial units.
+func NewShardedBank(rt *stm.Runtime, perShard int, initial int64, crossPct float64) *ShardedBank {
+	n := rt.Shards()
+	if n < 1 {
+		n = 1
+	}
+	b := &ShardedBank{
+		rt:       rt,
+		shards:   make([][]*stm.Var, n),
+		initial:  initial,
+		CrossPct: crossPct,
+		Window:   48,
+	}
+	for s := range b.shards {
+		b.shards[s] = stm.NewVarsOn(s, perShard, initial)
+	}
+	return b
+}
+
+// Shards returns the number of account shards.
+func (b *ShardedBank) Shards() int { return len(b.shards) }
+
+// teller returns the worker's home shard, assigning one round-robin on
+// first use.
+func (b *ShardedBank) teller(rng *rand.Rand) int {
+	if v, ok := b.tellers.Load(rng); ok {
+		return v.(int)
+	}
+	id := int(b.nextTeller.Add(1)-1) % len(b.shards)
+	b.tellers.Store(rng, id)
+	return id
+}
+
+// ShardedTransfersPerTx is the fixed number of moves per sharded transfer
+// transaction.
+const ShardedTransfersPerTx = 8
+
+// Op runs one transfer transaction on the worker's home shard: each of its
+// moves first scans the payer's solvency window (Window consecutive
+// accounts, one semantic GTE probe per account), then performs the
+// overdraft-checked transfer. With probability CrossPct the transfer
+// targets land on a second shard instead, exercising the two-phase
+// cross-shard commit.
+func (b *ShardedBank) Op(rng *rand.Rand) {
+	home := b.teller(rng)
+	if b.AuditPct > 0 && rng.Float64() < b.AuditPct {
+		b.audit(home)
+		return
+	}
+	from, to := b.shards[home], b.shards[home]
+	if len(b.shards) > 1 && b.CrossPct > 0 && rng.Float64() < b.CrossPct {
+		dest := rng.Intn(len(b.shards) - 1)
+		if dest >= home {
+			dest++
+		}
+		to = b.shards[dest]
+	}
+	n, m2 := int64(len(from)), int64(len(to))
+	w := int64(b.Window)
+	if w < 1 || w > n {
+		w = 1
+	}
+	type mv struct{ from, to, amt int64 }
+	var buf [ShardedTransfersPerTx]mv
+	moves := buf[:]
+	for i := range moves {
+		moves[i] = mv{from: rng.Int63n(n), to: rng.Int63n(m2), amt: 1 + rng.Int63n(20)}
+	}
+	b.rt.Atomically(func(tx *stm.Tx) {
+		for _, m := range moves {
+			src, dst := from[m.from], to[m.to]
+			if src == dst {
+				continue
+			}
+			// Compliance scan: at least half of the payer's window must be
+			// funded. Each probe is an "account >= 1" fact under the
+			// semantic engines and a value pin under the classical ones.
+			funded := int64(0)
+			for j := int64(0); j < w; j++ {
+				if tx.GTE(from[(m.from+j)%n], 1) {
+					funded++
+				}
+			}
+			if funded < (w+1)/2 {
+				continue
+			}
+			if tx.GTE(src, m.amt) { // overdraft check
+				tx.Dec(src, m.amt)
+				tx.Inc(dst, m.amt)
+			}
+		}
+	})
+}
+
+// audit runs the balance transaction: sum every account of the home shard
+// inside one transaction. While no transfer crosses shards, opacity makes
+// the observed sum exactly the shard's invariant total — any deviation is a
+// serializability violation, latched for Check.
+func (b *ShardedBank) audit(home int) {
+	shard := b.shards[home]
+	var sum int64
+	b.rt.Atomically(func(tx *stm.Tx) {
+		sum = 0
+		for _, a := range shard {
+			sum += tx.Read(a)
+		}
+	})
+	if b.CrossPct == 0 {
+		if want := int64(len(shard)) * b.initial; sum != want {
+			b.auditFail.Store(sum - want)
+		}
+	}
+}
+
+// Check verifies conservation of money across every shard and the overdraft
+// invariant after the system quiesces.
+func (b *ShardedBank) Check() error {
+	if d := b.auditFail.Load(); d != 0 {
+		return fmt.Errorf("sharded bank: audit observed a non-invariant shard sum (off by %d)", d)
+	}
+	var sum, accounts int64
+	for s, shard := range b.shards {
+		for i, a := range shard {
+			v := a.Load()
+			if v < 0 {
+				return fmt.Errorf("sharded bank: shard %d account %d negative (%d)", s, i, v)
+			}
+			sum += v
+			accounts++
+		}
+	}
+	if want := accounts * b.initial; sum != want {
+		return fmt.Errorf("sharded bank: total %d, want %d", sum, want)
+	}
+	return nil
+}
+
+// ShardedHashtable is the open-addressing hashtable benchmark over a sharded
+// runtime: one table per shard (cells stamped with the shard's affinity),
+// each transaction runs its operation mix against a random home shard's
+// table, and with probability CrossPct the transaction instead migrates a
+// key between two shards' tables — a remove on one shard and an insert on
+// another inside one transaction, the cross-shard case.
+type ShardedHashtable struct {
+	rt     *stm.Runtime
+	tables []*txds.OpenTable
+	// OpsPerTx, InsertBias, UpdateBias, KeySpace mirror Hashtable's knobs.
+	OpsPerTx               int
+	InsertBias, UpdateBias float64
+	KeySpace               int64
+	// CrossPct is the probability one transaction is a cross-shard key
+	// migration instead of a home-shard operation mix.
+	CrossPct float64
+	// tellers assigns each worker a home shard round-robin, like
+	// ShardedBank's teller model.
+	tellers    sync.Map // *rand.Rand -> int
+	nextTeller atomic.Int64
+}
+
+// NewShardedHashtable creates one table of perShardCapacity cells on every
+// shard of rt, each prefilled to the same high load factor as the unsharded
+// benchmark so probe chains stay long.
+func NewShardedHashtable(rt *stm.Runtime, perShardCapacity int, crossPct float64) *ShardedHashtable {
+	n := rt.Shards()
+	if n < 1 {
+		n = 1
+	}
+	h := &ShardedHashtable{
+		rt:         rt,
+		tables:     make([]*txds.OpenTable, n),
+		OpsPerTx:   10,
+		InsertBias: 0.1,
+		UpdateBias: 0.4,
+		CrossPct:   crossPct,
+	}
+	for s := range h.tables {
+		h.tables[s] = txds.NewOpenTableOn(s, perShardCapacity)
+	}
+	cap := h.tables[0].Cap()
+	h.KeySpace = (3 * int64(cap)) / 4
+	rng := rand.New(rand.NewSource(42))
+	for _, t := range h.tables {
+		for t.SizeNT() < (cap*7)/12 {
+			k := 1 + rng.Int63n(h.KeySpace)
+			rt.Atomically(func(tx *stm.Tx) { t.Insert(tx, k) })
+		}
+	}
+	return h
+}
+
+// Shards returns the number of table shards.
+func (h *ShardedHashtable) Shards() int { return len(h.tables) }
+
+// teller returns the worker's home shard, assigning one round-robin on
+// first use.
+func (h *ShardedHashtable) teller(rng *rand.Rand) int {
+	if v, ok := h.tellers.Load(rng); ok {
+		return v.(int)
+	}
+	id := int(h.nextTeller.Add(1)-1) % len(h.tables)
+	h.tellers.Store(rng, id)
+	return id
+}
+
+// Op runs one transaction: an OpsPerTx operation mix on a random home
+// shard's table, or (with probability CrossPct) a key migration between two
+// shards' tables.
+func (h *ShardedHashtable) Op(rng *rand.Rand) {
+	home := h.teller(rng)
+	if len(h.tables) > 1 && h.CrossPct > 0 && rng.Float64() < h.CrossPct {
+		dest := rng.Intn(len(h.tables) - 1)
+		if dest >= home {
+			dest++
+		}
+		src, dst := h.tables[home], h.tables[dest]
+		key := 1 + rng.Int63n(h.KeySpace)
+		h.rt.Atomically(func(tx *stm.Tx) {
+			// Migrate: move the key to the destination shard when the source
+			// holds it, otherwise just record the (semantic) absence probes.
+			if src.Remove(tx, key) {
+				if !dst.Insert(tx, key) {
+					// Already present on the destination: put it back, so the
+					// multiset of keys is preserved.
+					src.Insert(tx, key)
+				}
+			}
+		})
+		return
+	}
+	t := h.tables[home]
+	type access struct {
+		key  int64
+		kind int // 0 lookup, 1 insert/remove, 2 update
+	}
+	var buf [opBufCap]access
+	ops := buf[:0]
+	if h.OpsPerTx <= opBufCap {
+		ops = buf[:h.OpsPerTx]
+	} else {
+		ops = make([]access, h.OpsPerTx)
+	}
+	for i := range ops {
+		ops[i].key = 1 + rng.Int63n(h.KeySpace)
+		switch p := rng.Float64(); {
+		case p < h.InsertBias:
+			ops[i].kind = 1
+		case p < h.InsertBias+h.UpdateBias:
+			ops[i].kind = 2
+		default:
+			ops[i].kind = 0
+		}
+	}
+	h.rt.Atomically(func(tx *stm.Tx) {
+		for _, op := range ops {
+			switch op.kind {
+			case 1:
+				if !t.Insert(tx, op.key) {
+					t.Remove(tx, op.key)
+				}
+			case 2:
+				t.Update(tx, op.key)
+			default:
+				t.Contains(tx, op.key)
+			}
+		}
+	})
+}
+
+// Check verifies every shard's table stayed structurally sane.
+func (h *ShardedHashtable) Check() error {
+	for s, t := range h.tables {
+		if t.SizeNT() > t.Cap() {
+			return fmt.Errorf("sharded hashtable: shard %d impossible size %d", s, t.SizeNT())
+		}
+	}
+	return nil
+}

@@ -88,6 +88,12 @@ type EngineDesc struct {
 	// HTMBacked reports whether the engine runs on the simulated best-effort
 	// hardware path.
 	HTMBacked bool
+	// TwoPhase reports whether the engine's descriptors implement the
+	// core.TwoPhase decomposed commit, the capability a sharded runtime
+	// needs to commit transactions that span engine instances. Engines
+	// without it can still be sharded when they are Irrevocable (a single
+	// serializing instance backs every shard).
+	TwoPhase bool
 	// Composite marks a policy engine that runs by delegating to other
 	// registered engines (Adaptive). Composite descriptors have no
 	// constructor of their own: New is nil and the facade provides the

@@ -19,10 +19,32 @@ type TxStats struct {
 	ValEntries  uint64 // entries re-checked by those passes
 	ClockAdopts uint64 // commit CAS failures resolved by adopting the newer clock
 	SpinWaits   uint64 // adaptive-waiter rounds spent on locked metadata
+
+	// Sharded-commit counters (DESIGN.md §11): cross-shard two-phase commits
+	// and the ticket-triggered whole-transaction revalidations that keep
+	// multi-shard snapshots opaque. Always zero on unsharded runtimes.
+	CrossCommits uint64 // commits that ran the two-phase cross-shard path
+	CrossRevals  uint64 // ticket-movement revalidations of a live multi-shard snapshot
 }
 
 // Reset zeroes the per-attempt counters.
 func (ts *TxStats) Reset() { *ts = TxStats{} }
+
+// Accumulate adds o's counters into ts. A sharded descriptor folds the
+// per-shard sub-descriptors' attempt counters into one TxStats with it.
+func (ts *TxStats) Accumulate(o *TxStats) {
+	ts.Reads += o.Reads
+	ts.Writes += o.Writes
+	ts.Compares += o.Compares
+	ts.Incs += o.Incs
+	ts.Promotes += o.Promotes
+	ts.Validations += o.Validations
+	ts.ValEntries += o.ValEntries
+	ts.ClockAdopts += o.ClockAdopts
+	ts.SpinWaits += o.SpinWaits
+	ts.CrossCommits += o.CrossCommits
+	ts.CrossRevals += o.CrossRevals
+}
 
 // Counter indices of the aggregate layout: commits and aborts first, then
 // the Table 3 operation categories in TxStats order, then the robustness
@@ -39,6 +61,8 @@ const (
 	cValEntries
 	cClockAdopts
 	cSpinWaits
+	cCrossCommits
+	cCrossRevals
 	cEscalations
 	cEngineSwitches
 	cReasonBase
@@ -97,6 +121,12 @@ func (sh *StatsShard) Merge(ts *TxStats, committed bool) {
 	if ts.SpinWaits != 0 {
 		sh.c[cSpinWaits].n.Add(ts.SpinWaits)
 	}
+	if ts.CrossCommits != 0 {
+		sh.c[cCrossCommits].n.Add(ts.CrossCommits)
+	}
+	if ts.CrossRevals != 0 {
+		sh.c[cCrossRevals].n.Add(ts.CrossRevals)
+	}
 }
 
 // CountAbortReason folds one abort's reason into the per-reason counters
@@ -152,6 +182,9 @@ type Snapshot struct {
 	Reads, Writes, Compares, Incs, Promotes uint64
 	// Commit-path scalability counters (DESIGN.md §8).
 	Validations, ValEntries, ClockAdopts, SpinWaits uint64
+	// Sharded-commit counters (DESIGN.md §11): cross-shard two-phase commits
+	// and ticket-triggered multi-shard revalidations.
+	CrossCommits, CrossRevals uint64
 	// Escalations counts transactions that, after repeated aborts, completed
 	// in the irrevocable serializing mode (the starvation escape hatch).
 	Escalations uint64
@@ -200,6 +233,8 @@ func (s *Stats) Snapshot() Snapshot {
 		ValEntries:     t[cValEntries],
 		ClockAdopts:    t[cClockAdopts],
 		SpinWaits:      t[cSpinWaits],
+		CrossCommits:   t[cCrossCommits],
+		CrossRevals:    t[cCrossRevals],
 		Escalations:    t[cEscalations],
 		EngineSwitches: t[cEngineSwitches],
 	}
@@ -232,6 +267,8 @@ func (sn Snapshot) Sub(old Snapshot) Snapshot {
 		ValEntries:     sn.ValEntries - old.ValEntries,
 		ClockAdopts:    sn.ClockAdopts - old.ClockAdopts,
 		SpinWaits:      sn.SpinWaits - old.SpinWaits,
+		CrossCommits:   sn.CrossCommits - old.CrossCommits,
+		CrossRevals:    sn.CrossRevals - old.CrossRevals,
 		Escalations:    sn.Escalations - old.Escalations,
 		EngineSwitches: sn.EngineSwitches - old.EngineSwitches,
 	}

@@ -64,3 +64,34 @@ type TxImpl interface {
 	// irrevocable escalation mode, which must not abort.
 	SetFaultPlan(*FaultPlan)
 }
+
+// TwoPhase is the decomposed commit a sharded runtime drives when one
+// transaction spans several engine instances (DESIGN.md §11). A descriptor
+// implementing it splits Commit into:
+//
+//	Prepare  — acquire this instance's commit locks (orec write locks,
+//	           the seqlock) with bounded waiting, aborting via the usual
+//	           panic sentinel on timeout or conflict. After Prepare returns,
+//	           no other transaction can commit into this instance until
+//	           Publish or Cleanup runs.
+//	Validate — with every participating instance prepared (so the global
+//	           write-set is locked), re-validate this instance's reads,
+//	           compare-sets, and deferred-increment preconditions against
+//	           its per-shard start version. Aborts via the sentinel; must
+//	           leave held locks for Cleanup to release.
+//	Validate may also be called while the transaction is still live (no
+//	           locks held) to re-certify the instance's snapshot after a
+//	           cross-shard commit elsewhere; implementations extend their
+//	           snapshot where the algorithm allows it.
+//	Publish  — write back, advance this instance's clock, and release the
+//	           locks. Must not fail: every failure mode belongs to Prepare
+//	           or Validate.
+//
+// A failed Prepare/Validate unwinds through the runtime, which calls Cleanup
+// on every participant; Cleanup must therefore release whatever Prepare
+// acquired (in addition to its usual duties).
+type TwoPhase interface {
+	Prepare()
+	Validate()
+	Publish()
+}

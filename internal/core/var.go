@@ -8,33 +8,63 @@ import "sync/atomic"
 //
 // Each Var carries an allocation-time identifier used by version-based
 // algorithms (TL2 and S-TL2) to index their ownership-record table, mirroring
-// how native STMs hash raw addresses. The struct is padded to a cache line so
-// that adjacent Vars in an array do not false-share.
+// how native STMs hash raw addresses, and a shard assignment used by sharded
+// runtimes to route the variable to one of N independent engine instances.
+// The struct is padded to a cache line so that adjacent Vars in an array do
+// not false-share.
 type Var struct {
-	val atomic.Int64
-	id  uint64
-	_   [48]byte
+	val   atomic.Int64
+	id    uint64
+	shard uint32
+	_     [44]byte
 }
 
 // varID is the global allocation counter for Var identifiers. Identifiers
 // start at 1 so that the zero id can be reserved as "invalid".
 var varID atomic.Uint64
 
-// NewVar allocates a transactional variable with the given initial value.
+// NewVar allocates a transactional variable with the given initial value on
+// shard 0 (the only shard of an unsharded runtime).
 func NewVar(initial int64) *Var {
 	v := &Var{id: varID.Add(1)}
 	v.val.Store(initial)
 	return v
 }
 
+// NewVarOn allocates a transactional variable with the given initial value
+// and shard affinity. A sharded runtime routes every access to the variable
+// through the engine instance of its shard; unsharded runtimes ignore the
+// assignment. Negative shards panic — a Var's shard is an allocation-time
+// property, not a runtime hint.
+func NewVarOn(shard int, initial int64) *Var {
+	if shard < 0 {
+		panic("core: negative shard")
+	}
+	v := &Var{id: varID.Add(1), shard: uint32(shard)}
+	v.val.Store(initial)
+	return v
+}
+
 // NewVars allocates n transactional variables in one contiguous block, all
-// initialized to initial. The returned slice is suitable for large shared
-// structures (grids, tables, node pools).
+// initialized to initial and assigned to shard 0. The returned slice is
+// suitable for large shared structures (grids, tables, node pools).
 func NewVars(n int, initial int64) []*Var {
+	return NewVarsOn(0, n, initial)
+}
+
+// NewVarsOn allocates n transactional variables in one contiguous block, all
+// initialized to initial and assigned to the given shard — the allocation
+// helper for shard-affine structures (one block per shard keeps a shard's
+// variables on dense, private cache lines).
+func NewVarsOn(shard, n int, initial int64) []*Var {
+	if shard < 0 {
+		panic("core: negative shard")
+	}
 	block := make([]Var, n)
 	out := make([]*Var, n)
 	for i := range block {
 		block[i].id = varID.Add(1)
+		block[i].shard = uint32(shard)
 		if initial != 0 {
 			block[i].val.Store(initial)
 		}
@@ -45,6 +75,10 @@ func NewVars(n int, initial int64) []*Var {
 
 // ID returns the allocation-time identifier of the variable.
 func (v *Var) ID() uint64 { return v.id }
+
+// Shard returns the allocation-time shard assignment of the variable
+// (0 unless allocated with NewVarOn/NewVarsOn).
+func (v *Var) Shard() int { return int(v.shard) }
 
 // Load performs a non-transactional (racy) read of the variable. It is the
 // analogue of a plain memory load outside any transaction and is used for

@@ -59,6 +59,24 @@ type BaselineCell struct {
 	// GCPauseUS is the total stop-the-world GC pause time accumulated during
 	// the cell, in microseconds (schema v5; omitted when no GC ran).
 	GCPauseUS float64 `json:"gc_pause_us,omitempty"`
+	// Shards marks a sharded-runtime cell (schema v6): the runtime was built
+	// with stm.NewShardedRuntime(algo, Shards) and the workload distributed
+	// its state shard-affine. Zero (omitted) means the classic single-runtime
+	// cell, directly comparable with v5 reports.
+	Shards int `json:"shards,omitempty"`
+	// CrossPct is the fraction of transactions that deliberately crossed a
+	// shard boundary — the swept knob of the sharded grid (schema v6).
+	CrossPct float64 `json:"cross_pct,omitempty"`
+	// CrossCommits counts transactions that actually committed through the
+	// two-phase cross-shard path (schema v6).
+	CrossCommits uint64 `json:"cross_commits,omitempty"`
+	// CrossRevals counts ticket-driven live revalidations multi-shard
+	// transactions performed (schema v6).
+	CrossRevals uint64 `json:"cross_revals,omitempty"`
+	// YieldEvery is recorded per cell when it differs from the report-level
+	// setting (schema v6): the sharded grid runs under the interleave
+	// simulation while the classic grid keeps the v5 policy.
+	YieldEvery int `json:"yield_every,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -116,7 +134,7 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		yieldEvery = 0
 	}
 	rep := BaselineReport{
-		Schema:      "semstm-bench-baseline/v5",
+		Schema:      "semstm-bench-baseline/v6",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -178,6 +196,11 @@ func Baseline(cfg Config) (BaselineReport, error) {
 			}
 		}
 	}
+	sharded, err := shardedCells(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Cells = append(rep.Cells, sharded...)
 	return rep, nil
 }
 

@@ -245,6 +245,10 @@ type SweepConfig struct {
 	// 0 matches each cell's thread count, > 0 pins a width, < 0 leaves the
 	// process setting alone.
 	GOMAXPROCS int
+	// NewRuntime builds each cell's runtime; nil means stm.New. The sharded
+	// panels pass stm.NewShardedRuntime closures here, so the rest of the
+	// sweep machinery stays shard-agnostic.
+	NewRuntime func(stm.Algorithm) *stm.Runtime
 }
 
 // Sweep measures a whole panel. Each cell is built from scratch so the cells
@@ -255,9 +259,13 @@ func Sweep(title string, build Builder, cfg SweepConfig) (*Series, error) {
 	if len(algos) == 0 {
 		algos = stm.Algorithms()
 	}
+	newRuntime := cfg.NewRuntime
+	if newRuntime == nil {
+		newRuntime = stm.New
+	}
 	for _, a := range algos {
 		for _, th := range cfg.Threads {
-			rt := stm.New(a)
+			rt := newRuntime(a)
 			rt.SetYieldEvery(cfg.YieldEvery)
 			w := build(rt)
 			restore := ApplyProcs(cfg.GOMAXPROCS, th)

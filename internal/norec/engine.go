@@ -18,11 +18,17 @@ func (e engine) NewTx(cfg core.TxConfig) core.TxImpl {
 
 func (e engine) Quiescent() error { return e.g.Quiescent() }
 
+// ClockValue exposes the engine instance's sequence-lock value — the
+// per-shard "clock" probe sharded runtimes use to assert that single-shard
+// transactions never move another shard's commit metadata.
+func (e engine) ClockValue() uint64 { return e.g.Sequence() }
+
 func init() {
 	core.RegisterEngine(core.EngineDesc{
 		ID:           core.EngineNOrec,
 		Name:         "NOrec",
 		DisplayOrder: 0,
+		TwoPhase:     true,
 		New:          func() core.Engine { return engine{g: NewGlobal()} },
 	})
 	core.RegisterEngine(core.EngineDesc{
@@ -31,6 +37,7 @@ func init() {
 		DisplayOrder:  1,
 		Semantic:      true,
 		ComposedFacts: true,
+		TwoPhase:      true,
 		New:           func() core.Engine { return engine{g: NewGlobal(), semantic: true} },
 	})
 }

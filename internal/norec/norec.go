@@ -47,11 +47,22 @@ func (g *Global) Quiescent() error {
 	return nil
 }
 
+// twoPhaseWaitBound caps how many waiter rounds a two-phase participant
+// spends on an odd (writer-held) sequence lock before aborting. Unbounded
+// waiting is fine for the single-instance algorithm — the lock holder always
+// finishes — but a cross-shard participant may itself hold another shard's
+// lock, and two such participants waiting on each other's shards would
+// deadlock. Bounding the wait turns the cycle into an abort (counted under
+// ReasonOrecLocked, the "locked metadata" bucket) that the retry loop's
+// backoff then breaks.
+const twoPhaseWaitBound = 128
+
 // Tx is one NOrec transaction descriptor, reused across attempts.
 type Tx struct {
 	g        *Global
 	semantic bool
 	dedup    bool
+	locked   bool // holds the sequence lock (two-phase Prepare..Publish window)
 	snapshot uint64
 	// valSeq is the validation watermark (DESIGN.md §8): the sequence value
 	// at which the full read-set and expression-set were last known valid.
@@ -89,6 +100,7 @@ func (tx *Tx) Start() {
 	tx.exprs.Reset()
 	tx.writes.Reset()
 	tx.stats.Reset()
+	tx.locked = false
 	if tx.fp != nil {
 		tx.fp.Step(core.SiteStart)
 	}
@@ -118,11 +130,22 @@ func (tx *Tx) SetFaultPlan(p *core.FaultPlan) { tx.fp = p }
 // read-set was known valid and advances the valSeq watermark to it; when the
 // lock still reads the watermark the walk is skipped entirely (validation
 // coalescing, DESIGN.md §8). On semantic failure it aborts.
-func (tx *Tx) validate() uint64 {
+func (tx *Tx) validate() uint64 { return tx.validateLimit(0) }
+
+// validateLimit is validate with an optional bound on waiter rounds spent on
+// an odd lock (limit 0 waits forever — the single-instance behaviour; the
+// two-phase paths pass twoPhaseWaitBound and abort past it).
+func (tx *Tx) validateLimit(limit int) uint64 {
 	tx.waiter.Reset()
+	spins := 0
 	for {
 		time := tx.g.seq.Load()
 		if time&1 != 0 {
+			if limit > 0 {
+				if spins++; spins > limit {
+					core.AbortWith(core.ReasonOrecLocked)
+				}
+			}
 			tx.waiter.Wait()
 			tx.stats.SpinWaits++
 			continue
@@ -389,9 +412,72 @@ func (tx *Tx) Commit() {
 	tx.g.seq.Store(tx.snapshot + 2)
 }
 
-// Cleanup releases held resources after an abort. NOrec aborts only while
-// not holding the sequence lock, so there is nothing to release.
-func (tx *Tx) Cleanup() {}
+// Prepare acquires the sequence lock for a two-phase (cross-shard) commit —
+// the same CAS-from-snapshot loop as Commit, but with bounded waiting inside
+// the adopt-revalidate step so a participant that already holds another
+// shard's lock cannot deadlock against a symmetric participant. Read-only
+// participants (empty write-set) acquire nothing. A successful Prepare
+// leaves the lock odd until Publish or Cleanup.
+func (tx *Tx) Prepare() {
+	if tx.writes.Len() == 0 {
+		return
+	}
+	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
+		tx.stats.ClockAdopts++
+		tx.snapshot = tx.validateLimit(twoPhaseWaitBound)
+	}
+	tx.locked = true
+}
+
+// Validate re-certifies this instance's snapshot for a two-phase commit.
+// While the sequence lock is held (Prepare succeeded with writes), the
+// instance's memory cannot change — every commit into a shard's variables
+// goes through that shard's engine — and the CAS itself proved the read-set
+// valid at lock time, so there is nothing to check. A lock-free participant
+// (read-only on this shard, or a live multi-shard snapshot being re-certified
+// after a ticket movement) runs a bounded validation walk and adopts the
+// newer timestamp.
+func (tx *Tx) Validate() {
+	if tx.locked {
+		return
+	}
+	tx.snapshot = tx.validateLimit(twoPhaseWaitBound)
+}
+
+// Publish is phase 2 of the two-phase commit: apply the write-set (deferred
+// increments read memory here, safely — the lock serializes commits into
+// this instance) and release the lock two ticks later. It must not fail;
+// read-only participants do nothing.
+func (tx *Tx) Publish() {
+	if !tx.locked {
+		return
+	}
+	if tx.fp != nil {
+		tx.fp.CommitDelay() // stretch the publish window under the lock
+	}
+	for _, e := range tx.writes.Entries() {
+		if e.Kind == core.EntryInc {
+			e.Var.StoreNT(e.Var.Load() + e.Val)
+		} else {
+			e.Var.StoreNT(e.Val)
+		}
+	}
+	tx.locked = false
+	tx.g.seq.Store(tx.snapshot + 2)
+}
+
+// Cleanup releases held resources after an abort. The single-instance
+// algorithm aborts only while not holding the sequence lock; a two-phase
+// participant, however, can abort between Prepare and Publish (another
+// shard's validation failed), in which case the lock is restored to its
+// pre-Prepare value — no memory was written, so reverting the lock word is
+// indistinguishable from the lock never having been taken.
+func (tx *Tx) Cleanup() {
+	if tx.locked {
+		tx.locked = false
+		tx.g.seq.Store(tx.snapshot)
+	}
+}
 
 // AttemptStats exposes the per-attempt operation counters.
 func (tx *Tx) AttemptStats() *core.TxStats { return &tx.stats }

@@ -1,0 +1,477 @@
+// Package shard composes N independent instances of one concrete STM engine
+// into a single partitioned engine (DESIGN.md §11).
+//
+// Each instance — a "shard" — owns a full copy of the underlying algorithm's
+// global metadata: its own TL2 version clock and orec table, or its own NOrec
+// sequence lock. Variables carry a shard assignment stamped at allocation
+// (core.NewVarOn), and every barrier of a transaction routes to the instance
+// of its variable's shard. A transaction that touches a single shard runs
+// the underlying algorithm completely unchanged against that shard's private
+// metadata and commits with zero cross-shard traffic — disjoint shards never
+// share a cache line, which removes the single-clock commit serialization
+// that PR3–PR5 left in place ("the last structural scalability ceiling",
+// ROADMAP item 1).
+//
+// Transactions that span shards commit through a two-phase protocol built
+// from the core.TwoPhase decomposition the TL2 and NOrec families implement:
+//
+//	phase 1  Prepare every participating shard in ascending shard order
+//	         (global order ⇒ no lock-acquisition cycles), then Validate
+//	         every participant with all write locks held — reads,
+//	         compare-sets, and deferred-increment preconditions are checked
+//	         per shard against that shard's start version, generalizing the
+//	         S-TL2 phase-1 extension logic.
+//	phase 2  advance the engine-wide commit ticket (the single linearization
+//	         point), then Publish every shard — write-back plus lock
+//	         release, which the TwoPhase contract guarantees cannot fail.
+//
+// Live multi-shard snapshots stay opaque through the ticket: a transaction
+// becomes "multi" the moment it touches its second shard, snapshots the
+// ticket, and re-certifies every started shard whenever the ticket moves —
+// one shared load per barrier, the instrumentation budget the HyTM cost
+// analysis allows the cross-shard path (PAPERS.md). Single-shard
+// transactions never load the ticket at all, keeping the common path
+// progressive in the sense of the progressive-TM model (PAPERS.md).
+//
+// Irrevocable engines (SGL) cannot run the two-phase protocol — they take
+// their lock at Start and have no rollback — so a sharded irrevocable engine
+// degenerates to one serializing instance backing every shard. That keeps
+// the Adaptive ladder's last rung (and the starvation escalation path) valid
+// under sharding.
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"semstm/internal/core"
+)
+
+// shardCounters tracks one shard's commit mix on a private cache line:
+// single-shard commits routed entirely to this shard, and cross-shard
+// commits this shard participated in.
+type shardCounters struct {
+	single atomic.Uint64
+	cross  atomic.Uint64
+	_      [48]byte
+}
+
+// ShardSnapshot is a plain-value copy of one shard's commit counters.
+type ShardSnapshot struct {
+	SingleCommits uint64 `json:"single_commits"`
+	CrossCommits  uint64 `json:"cross_commits"`
+}
+
+// clockProber is the optional probe concrete engines expose so tests can
+// assert a shard's commit metadata never moved (tl2: version clock; norec:
+// sequence lock).
+type clockProber interface {
+	ClockValue() uint64
+}
+
+// Engine is the partitioned composite engine. It implements core.Engine, so
+// a runtime drives it exactly like a concrete engine; the partitioning is
+// invisible above this package.
+type Engine struct {
+	desc core.EngineDesc
+	subs []core.Engine
+	// n is the requested shard count (the routing/reporting width); eff is
+	// the number of engine instances actually backing it — equal to n for
+	// two-phase engines, 1 for irrevocable engines.
+	n, eff   int
+	counters []shardCounters
+	// ticket is the engine-wide cross-shard commit counter: bumped once per
+	// cross-shard commit between validation and publication, watched by live
+	// multi-shard transactions. Padded so the (cross-path-only) ticket line
+	// is never dragged into single-shard traffic.
+	_      core.PadWord
+	ticket atomic.Uint64
+	_      core.PadWord
+}
+
+// NewEngine partitions desc into nshards independent instances. It panics on
+// a composite descriptor (composition happens above sharding, in the facade),
+// on a shard count below 1, and on an engine that is neither two-phase nor
+// irrevocable — such an engine has no sound cross-shard commit.
+func NewEngine(desc core.EngineDesc, nshards int) *Engine {
+	if nshards < 1 {
+		panic(fmt.Sprintf("shard: invalid shard count %d", nshards))
+	}
+	if desc.Composite {
+		panic(fmt.Sprintf("shard: cannot shard composite engine %q", desc.Name))
+	}
+	eff := nshards
+	if desc.Irrevocable {
+		eff = 1 // one serializing instance backs every shard
+	} else if !desc.TwoPhase {
+		panic(fmt.Sprintf("shard: engine %q supports neither two-phase commit nor irrevocable sharding", desc.Name))
+	}
+	e := &Engine{
+		desc:     desc,
+		subs:     make([]core.Engine, eff),
+		n:        nshards,
+		eff:      eff,
+		counters: make([]shardCounters, eff),
+	}
+	for i := range e.subs {
+		e.subs[i] = desc.New()
+	}
+	return e
+}
+
+// NumShards reports the requested shard count.
+func (e *Engine) NumShards() int { return e.n }
+
+// Ticket exposes the cross-shard commit ticket (tests and diagnostics).
+func (e *Engine) Ticket() uint64 { return e.ticket.Load() }
+
+// shardOf maps a variable to its backing instance: the stamped shard
+// assignment, folded into range for out-of-range stamps (a Var allocated for
+// a wider runtime keeps working, just with less isolation).
+func (e *Engine) shardOf(v *core.Var) int {
+	if e.eff == 1 {
+		return 0
+	}
+	s := v.Shard()
+	if s >= e.eff {
+		s %= e.eff
+	}
+	return s
+}
+
+// Snapshots returns the per-shard commit counters, one entry per requested
+// shard (for an irrevocable engine all traffic folds into entry 0).
+func (e *Engine) Snapshots() []ShardSnapshot {
+	out := make([]ShardSnapshot, e.n)
+	for i := 0; i < e.eff; i++ {
+		out[i] = ShardSnapshot{
+			SingleCommits: e.counters[i].single.Load(),
+			CrossCommits:  e.counters[i].cross.Load(),
+		}
+	}
+	return out
+}
+
+// ClockValue probes shard s's commit metadata (version clock or sequence
+// lock). The second result is false when the underlying engine exposes no
+// probe or s is out of range.
+func (e *Engine) ClockValue(s int) (uint64, bool) {
+	if s < 0 || s >= e.eff {
+		return 0, false
+	}
+	if p, ok := e.subs[s].(clockProber); ok {
+		return p.ClockValue(), true
+	}
+	return 0, false
+}
+
+// Quiescent verifies every shard's metadata holds no leaked resources.
+func (e *Engine) Quiescent() error {
+	for i, sub := range e.subs {
+		if err := sub.Quiescent(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NewTx returns a sharded transaction descriptor. Sub-descriptors are
+// created lazily on first touch of their shard and cached for the
+// descriptor's lifetime, so the steady state allocates nothing.
+func (e *Engine) NewTx(cfg core.TxConfig) core.TxImpl {
+	return &Tx{
+		e:       e,
+		cfg:     cfg,
+		impls:   make([]core.TxImpl, e.eff),
+		two:     make([]core.TwoPhase, e.eff),
+		started: make([]bool, e.eff),
+		touched: make([]int, 0, e.eff),
+	}
+}
+
+// Tx is one sharded transaction descriptor. It implements core.TxImpl by
+// routing every barrier to the sub-descriptor of the variable's shard and
+// owns the cross-shard commit and the ticket-based opacity protocol.
+type Tx struct {
+	e   *Engine
+	cfg core.TxConfig
+	// impls caches the lazily-created sub-descriptors across attempts; two
+	// caches their TwoPhase view. started/touched are per-attempt: which
+	// shards this attempt entered, in first-touch order.
+	impls   []core.TxImpl
+	two     []core.TwoPhase
+	started []bool
+	touched []int
+	fp      *core.FaultPlan
+	// multi flips when the attempt touches its second shard; ticketSeen is
+	// the cross-commit ticket the current multi-shard snapshot is certified
+	// at.
+	multi      bool
+	ticketSeen uint64
+	stats      core.TxStats // own counters (cross commits / revalidations)
+	agg        core.TxStats // scratch for AttemptStats aggregation
+}
+
+// Start begins a fresh attempt. Sub-descriptors start lazily on first touch
+// (each shard snapshot is taken as late as possible — the per-shard start
+// versions of DESIGN.md §11), so Start only clears the routing state.
+func (tx *Tx) Start() {
+	for _, s := range tx.touched {
+		tx.started[s] = false
+	}
+	tx.touched = tx.touched[:0]
+	tx.multi = false
+	tx.stats.Reset()
+}
+
+// SetFaultPlan arms or disarms fault injection on every cached
+// sub-descriptor (and on ones created later).
+func (tx *Tx) SetFaultPlan(p *core.FaultPlan) {
+	tx.fp = p
+	for _, impl := range tx.impls {
+		if impl != nil {
+			impl.SetFaultPlan(p)
+		}
+	}
+}
+
+// subAt returns shard s's sub-descriptor, creating and/or starting it on
+// first touch of the attempt.
+func (tx *Tx) subAt(s int) core.TxImpl {
+	impl := tx.impls[s]
+	if impl == nil {
+		impl = tx.e.subs[s].NewTx(tx.cfg)
+		tx.impls[s] = impl
+		tx.two[s], _ = impl.(core.TwoPhase)
+		if tx.fp != nil {
+			impl.SetFaultPlan(tx.fp)
+		}
+	}
+	if !tx.started[s] {
+		tx.enter(s, impl)
+	}
+	return impl
+}
+
+// sub routes a variable to its shard's sub-descriptor.
+func (tx *Tx) sub(v *core.Var) core.TxImpl {
+	return tx.subAt(tx.e.shardOf(v))
+}
+
+// enter starts shard s's attempt. Entering the first shard is free; entering
+// any further shard makes the attempt multi-shard and must align the shard
+// snapshots: snapshot the ticket, start the new shard, then re-certify every
+// previously started shard (TwoPhase.Validate extends or aborts) and loop
+// until the ticket is stable — after which all started shards are known
+// mutually consistent at the observed ticket.
+func (tx *Tx) enter(s int, impl core.TxImpl) {
+	if len(tx.touched) == 0 {
+		tx.started[s] = true
+		tx.touched = append(tx.touched, s)
+		impl.Start()
+		return
+	}
+	t := tx.e.ticket.Load()
+	tx.multi = true
+	tx.started[s] = true
+	tx.touched = append(tx.touched, s)
+	impl.Start()
+	for {
+		for _, p := range tx.touched {
+			if p != s {
+				tx.two[p].Validate()
+			}
+		}
+		t2 := tx.e.ticket.Load()
+		if t2 == t {
+			tx.ticketSeen = t2
+			return
+		}
+		t = t2
+		tx.stats.CrossRevals++
+	}
+}
+
+// recheck is the per-barrier opacity hook of multi-shard attempts: when the
+// cross-commit ticket moved since the snapshot was certified, re-certify
+// every started shard. Single-shard attempts pay one predictable branch and
+// never load the ticket.
+func (tx *Tx) recheck() {
+	if !tx.multi {
+		return
+	}
+	t := tx.e.ticket.Load()
+	for t != tx.ticketSeen {
+		for _, p := range tx.touched {
+			tx.two[p].Validate()
+		}
+		tx.ticketSeen = t
+		tx.stats.CrossRevals++
+		t = tx.e.ticket.Load()
+	}
+}
+
+// Read routes the classical read barrier.
+func (tx *Tx) Read(v *core.Var) int64 {
+	tx.recheck()
+	return tx.sub(v).Read(v)
+}
+
+// Write routes the classical write barrier.
+func (tx *Tx) Write(v *core.Var, val int64) {
+	tx.recheck()
+	tx.sub(v).Write(v, val)
+}
+
+// Cmp routes the semantic conditional.
+func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
+	tx.recheck()
+	return tx.sub(v).Cmp(v, op, operand)
+}
+
+// CmpVars routes the address–address conditional. Operands on one shard
+// keep the single two-address fact; a pair that spans shards degrades to
+// value-pinning the right-hand side on its own shard (an EQ fact there) and
+// a one-address fact on the left shard — semantic facts cannot span engine
+// instances.
+func (tx *Tx) CmpVars(a *core.Var, op core.Op, b *core.Var) bool {
+	tx.recheck()
+	sa, sb := tx.e.shardOf(a), tx.e.shardOf(b)
+	if sa == sb {
+		return tx.subAt(sa).CmpVars(a, op, b)
+	}
+	operand := tx.subAt(sb).Read(b)
+	return tx.subAt(sa).Cmp(a, op, operand)
+}
+
+// CmpSum routes the arithmetic conditional. Addends on one shard keep the
+// composed sum fact; a sum that spans shards degrades to classical reads of
+// every addend (value-pinning), like the non-semantic baselines.
+func (tx *Tx) CmpSum(op core.Op, rhs int64, vars []*core.Var) bool {
+	tx.recheck()
+	if len(vars) == 0 {
+		return op.Eval(0, rhs)
+	}
+	s := tx.e.shardOf(vars[0])
+	same := true
+	for _, v := range vars[1:] {
+		if tx.e.shardOf(v) != s {
+			same = false
+			break
+		}
+	}
+	if same {
+		return tx.subAt(s).CmpSum(op, rhs, vars)
+	}
+	var sum int64
+	for _, v := range vars {
+		sum += tx.sub(v).Read(v)
+	}
+	return op.Eval(sum, rhs)
+}
+
+// CmpAny routes the composed disjunction. Clauses on one shard keep the
+// composed fact; clauses spanning shards degrade to per-clause semantic
+// conditionals with short-circuiting (each clause a fact on its own shard).
+func (tx *Tx) CmpAny(conds []core.Cond) bool {
+	tx.recheck()
+	if len(conds) == 0 {
+		return false
+	}
+	s := tx.e.shardOf(conds[0].Var)
+	same := true
+	for i := range conds[1:] {
+		if tx.e.shardOf(conds[1+i].Var) != s {
+			same = false
+			break
+		}
+	}
+	if same {
+		return tx.subAt(s).CmpAny(conds)
+	}
+	for _, c := range conds {
+		if tx.sub(c.Var).Cmp(c.Var, c.Op, c.Operand) {
+			return true
+		}
+	}
+	return false
+}
+
+// Inc routes the semantic increment.
+func (tx *Tx) Inc(v *core.Var, delta int64) {
+	tx.recheck()
+	tx.sub(v).Inc(v, delta)
+}
+
+// Commit publishes the attempt. A single-shard attempt commits through its
+// shard's unchanged engine commit — the zero-cross-traffic fast path; a
+// multi-shard attempt runs the two-phase protocol.
+func (tx *Tx) Commit() {
+	switch len(tx.touched) {
+	case 0:
+		// Empty transaction: no shard was entered; step the commit fault
+		// site directly so injected commit faults keep firing.
+		if tx.fp != nil {
+			tx.fp.Step(core.SiteCommit)
+		}
+		return
+	case 1:
+		s := tx.touched[0]
+		tx.impls[s].Commit()
+		tx.e.counters[s].single.Add(1)
+		return
+	}
+	tx.commitCross()
+}
+
+// commitCross is the two-phase cross-shard commit. Participants are
+// processed in ascending shard order — a global acquisition order, so two
+// cross-shard commits can never deadlock on each other's Prepare (and the
+// bounded waits inside Prepare/Validate break any residual wait cycle
+// against single-shard committers). The ticket advance between validation
+// and publication is the transaction's single linearization point.
+func (tx *Tx) commitCross() {
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCommit)
+	}
+	order := tx.touched
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, s := range order {
+		tx.two[s].Prepare()
+	}
+	for _, s := range order {
+		tx.two[s].Validate()
+	}
+	tx.e.ticket.Add(1)
+	for _, s := range order {
+		tx.two[s].Publish()
+	}
+	tx.stats.CrossCommits++
+	for _, s := range order {
+		tx.e.counters[s].cross.Add(1)
+	}
+}
+
+// Cleanup releases whatever the attempt's started shards hold — after a
+// barrier abort nothing is held, after a phase-1 abort each prepared shard
+// rolls its locks back. Sub-descriptor Cleanups are idempotent, so cleaning
+// participants that never prepared is safe.
+func (tx *Tx) Cleanup() {
+	for _, s := range tx.touched {
+		tx.impls[s].Cleanup()
+	}
+}
+
+// AttemptStats aggregates the attempt's counters: the descriptor's own
+// cross-shard counters plus every touched shard's sub-descriptor counters.
+func (tx *Tx) AttemptStats() *core.TxStats {
+	tx.agg = tx.stats
+	for _, s := range tx.touched {
+		tx.agg.Accumulate(tx.impls[s].AttemptStats())
+	}
+	return &tx.agg
+}

@@ -17,11 +17,17 @@ func (e engine) NewTx(cfg core.TxConfig) core.TxImpl {
 
 func (e engine) Quiescent() error { return e.g.Quiescent() }
 
+// ClockValue exposes the engine instance's version clock — the per-shard
+// "clock" probe sharded runtimes use to assert that single-shard
+// transactions never move another shard's commit metadata.
+func (e engine) ClockValue() uint64 { return e.g.Clock() }
+
 func init() {
 	core.RegisterEngine(core.EngineDesc{
 		ID:           core.EngineTL2,
 		Name:         "TL2",
 		DisplayOrder: 2,
+		TwoPhase:     true,
 		New:          func() core.Engine { return engine{g: NewGlobal()} },
 	})
 	core.RegisterEngine(core.EngineDesc{
@@ -32,6 +38,7 @@ func init() {
 		// S-TL2 records each evaluated clause of CmpAny as its own fact
 		// (per-orec versioning has no composed-fact representation), so
 		// ComposedFacts stays false.
-		New: func() core.Engine { return engine{g: NewGlobal(), semantic: true} },
+		TwoPhase: true,
+		New:      func() core.Engine { return engine{g: NewGlobal(), semantic: true} },
 	})
 }

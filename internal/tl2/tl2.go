@@ -25,6 +25,7 @@ type Tx struct {
 	writes       *core.WriteSet
 	fp           *core.FaultPlan // nil unless fault injection is armed
 	held         []heldLock
+	wv           uint64      // write version reserved by a two-phase Validate
 	lockIdx      []int       // scratch: orec indices to lock, reused across commits
 	waiter       core.Waiter // adaptive spin-then-yield backoff for locked orecs
 	stats        core.TxStats
@@ -545,6 +546,81 @@ func (tx *Tx) writeBack(wv uint64) {
 		h.o.word.Store(versionWord(wv))
 	}
 	tx.held = tx.held[:0]
+}
+
+// Prepare is phase 1 of the two-phase (cross-shard) commit: acquire the
+// write-set's orec locks, exactly as Commit does. The orec locks are
+// per-record, so — unlike NOrec's sequence lock — holding them does not
+// freeze the instance: disjoint commits into this shard proceed, which is
+// what keeps the single-shard path progressive while a cross-shard commit is
+// in flight.
+func (tx *Tx) Prepare() {
+	tx.wv = 0
+	if tx.writes.Len() == 0 {
+		return
+	}
+	tx.acquireWriteLocks()
+}
+
+// Validate re-certifies this instance's snapshot for a two-phase commit.
+//
+// A writer participant (Prepare acquired locks) runs the certification of
+// Commit — read-set validation and, with semantic facts, the CAS-certified
+// clock advance — and reserves its write version in tx.wv, so Publish is
+// left with only the infallible write-back. Advancing the per-shard clock
+// here, before the global linearization ticket, is harmless on abort: a
+// clock tick with no write-back only causes spurious revalidations.
+//
+// A lock-free participant (read-only on this shard, or a live multi-shard
+// snapshot being re-certified after a ticket movement) re-checks its reads
+// and facts against the per-shard start version; when the clock has not
+// moved since the snapshot the whole check is skipped.
+func (tx *Tx) Validate() {
+	if len(tx.held) != 0 {
+		if !tx.semantic || tx.compares.Len() == 0 {
+			wv := tx.g.clock.Add(1)
+			if wv != tx.startVersion+1 {
+				tx.validateReadSet()
+			}
+			tx.wv = wv
+			return
+		}
+		time := tx.g.clock.Load()
+		for {
+			if tx.startVersion != time {
+				tx.validateCompareSet()
+			}
+			if tx.g.clock.CompareAndSwap(time, time+1) {
+				if tx.startVersion != time {
+					tx.validateReadSet()
+				}
+				tx.wv = time + 1
+				return
+			}
+			tx.stats.ClockAdopts++
+			time = tx.g.clock.Load()
+		}
+	}
+	if tx.g.clock.Load() == tx.startVersion {
+		return
+	}
+	tx.validateReadSet()
+	if tx.semantic && tx.compares.Len() != 0 {
+		tx.validateCompareSet()
+	}
+}
+
+// Publish is phase 2: apply the write-set and release the orecs at the
+// version Validate reserved. It must not fail; lock-free participants do
+// nothing.
+func (tx *Tx) Publish() {
+	if len(tx.held) == 0 {
+		return
+	}
+	if tx.fp != nil {
+		tx.fp.CommitDelay() // stretch the publish window with the orecs held
+	}
+	tx.writeBack(tx.wv)
 }
 
 // Cleanup restores the pre-lock word of every orec still held by a failed

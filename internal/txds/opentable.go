@@ -45,14 +45,19 @@ type OpenTable struct {
 // NewOpenTable creates a table with capacity rounded up to a power of two.
 // The caller must keep the load factor well below 1; inserting into a full
 // table panics.
-func NewOpenTable(capacity int) *OpenTable {
+func NewOpenTable(capacity int) *OpenTable { return NewOpenTableOn(0, capacity) }
+
+// NewOpenTableOn creates a table whose cells all carry the given shard
+// affinity (stm.NewVarsOn), so a sharded runtime routes every probe of this
+// table to that shard's engine.
+func NewOpenTableOn(shard, capacity int) *OpenTable {
 	n := 1
 	for n < capacity {
 		n <<= 1
 	}
 	return &OpenTable{
-		vers: stm.NewVars(n, cellFree),
-		keys: stm.NewVars(n, 0),
+		vers: stm.NewVarsOn(shard, n, cellFree),
+		keys: stm.NewVarsOn(shard, n, 0),
 		mask: int64(n - 1),
 	}
 }

@@ -22,6 +22,11 @@
 #      captured and diffed against itself, so the BENCH_*.json plumbing and
 #      the regression (throughput + allocs/tx) gate are exercised on every
 #      check.
+#   7. the shard-scaling gate: the 32-shard sharded runtime, running
+#      single-shard transactions only, must out-commit the 1-shard cell by
+#      at least 8x on both micro-benchmarks (NOrec, 32 workers under the
+#      interleave simulation) — the PR6 acceptance bar defending the
+#      per-shard-clock design against accidental cross-shard coupling.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,5 +77,8 @@ SMOKE="$(mktemp -t bench_smoke.XXXXXX.json)"
 trap 'rm -f "$SMOKE"' EXIT
 go run ./cmd/semstm-bench -json "$SMOKE" -dur 40ms -threads 2 -reps 1 >/dev/null
 go run ./cmd/bench-compare "$SMOKE" "$SMOKE" >/dev/null
+
+echo "== shard-scaling gate (32 shards must be >= 8x the 1-shard cell) =="
+go run ./cmd/semstm-bench -shardgate -dur 200ms -reps 2
 
 echo "== ok =="

@@ -111,6 +111,13 @@ func (rt *Runtime) SetAdaptiveConfig(cfg AdaptiveConfig) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.cfg = cfg.withDefaults()
+	if rt.nshards > 0 {
+		for _, alg := range a.cfg.Ladder {
+			if d, ok := core.EngineFor(alg); ok && !d.TwoPhase && !d.Irrevocable {
+				panic(fmt.Sprintf("stm: adaptive ladder entry %v cannot be sharded", alg))
+			}
+		}
+	}
 	a.pos = 0
 	a.dwell = 0
 	a.last = rt.stats.Snapshot()

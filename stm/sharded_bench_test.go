@@ -1,0 +1,93 @@
+package stm_test
+
+// Sharded-runtime barrier benchmarks. They ride the BenchmarkBarrier* name
+// prefix on purpose: scripts/check.sh gates every BenchmarkBarrier*
+// sub-benchmark at exactly 0 allocs/op, so the sharded fast path (and the
+// two-phase cross-shard commit) inherit the repo's allocation discipline
+// mechanically.
+//
+// Run with:
+//
+//	go test ./stm -bench=BenchmarkBarrierSharded -benchtime=2s
+
+import (
+	"testing"
+
+	"semstm/stm"
+)
+
+// shardedBenchAlgos: the gate engine pair of the sharded grid — the
+// value-validating baseline and its semantic extension — plus the TL2 pair,
+// so both orec-based and seqlock-based two-phase paths are covered.
+var shardedBenchAlgos = []stm.Algorithm{stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2}
+
+func benchSharded(b *testing.B, nshards int, fn func(b *testing.B, rt *stm.Runtime)) {
+	for _, a := range shardedBenchAlgos {
+		b.Run(a.String(), func(b *testing.B) {
+			fn(b, stm.NewShardedRuntime(a, nshards))
+		})
+	}
+}
+
+// BenchmarkBarrierShardedSingleRead measures the sharded single-shard read
+// path: 16 reads confined to one shard of an 8-way partition — the routing
+// overhead on top of the classic BenchmarkBarrierReadEmptyWS shape.
+func BenchmarkBarrierShardedSingleRead(b *testing.B) {
+	benchSharded(b, 8, func(b *testing.B, rt *stm.Runtime) {
+		vars := stm.NewVarsOn(3, 16, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				for _, v := range vars {
+					sink += tx.Read(v)
+				}
+			})
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkBarrierShardedSingleMix measures the sharded single-shard
+// update path: semantic conditional + increments + write-back on one shard,
+// committing through that shard's engine unchanged.
+func BenchmarkBarrierShardedSingleMix(b *testing.B) {
+	benchSharded(b, 8, func(b *testing.B, rt *stm.Runtime) {
+		vars := stm.NewVarsOn(5, 8, 1000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				if tx.GTE(vars[0], 1) {
+					tx.Dec(vars[0], 1)
+					tx.Inc(vars[1], 1)
+				}
+				for _, v := range vars[2:] {
+					tx.Write(v, tx.Read(v)+1)
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkBarrierShardedCrossCommit measures the two-phase cross-shard
+// commit: a transfer whose source and destination live on different shards —
+// per-shard Prepare/Validate, the ticket advance, and per-shard Publish every
+// iteration.
+func BenchmarkBarrierShardedCrossCommit(b *testing.B) {
+	benchSharded(b, 8, func(b *testing.B, rt *stm.Runtime) {
+		src := stm.NewVarOn(1, 1<<40)
+		dst := stm.NewVarOn(6, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.Atomically(func(tx *stm.Tx) {
+				if tx.GTE(src, 1) {
+					tx.Dec(src, 1)
+					tx.Inc(dst, 1)
+				}
+			})
+		}
+	})
+}

@@ -42,6 +42,7 @@ import (
 
 	"semstm/internal/core"
 	"semstm/internal/htm"
+	"semstm/internal/shard"
 
 	// The backend packages register their engines into the core registry at
 	// init time; linking them here is what makes every algorithm selectable
@@ -81,6 +82,15 @@ func NewVar(initial int64) *Var { return core.NewVar(initial) }
 
 // NewVars allocates n transactional variables in one contiguous block.
 func NewVars(n int, initial int64) []*Var { return core.NewVars(n, initial) }
+
+// NewVarOn allocates a transactional variable with the given initial value
+// and shard affinity (see NewShardedRuntime). Unsharded runtimes ignore the
+// assignment.
+func NewVarOn(shard int, initial int64) *Var { return core.NewVarOn(shard, initial) }
+
+// NewVarsOn allocates n transactional variables in one contiguous block, all
+// assigned to the given shard.
+func NewVarsOn(shard, n int, initial int64) []*Var { return core.NewVarsOn(shard, n, initial) }
 
 // Algorithm selects the STM engine backing a Runtime. It aliases the core
 // registry's engine identifier: String(), Semantic(), and the set returned
@@ -156,6 +166,10 @@ type engineSlot struct {
 type Runtime struct {
 	algo  Algorithm
 	stats core.Stats
+	// nshards is 0 on classic runtimes (New) and the shard count on sharded
+	// runtimes (NewShardedRuntime) — where every engine instance is wrapped
+	// in a shard.Engine partition.
+	nshards int
 
 	// cur is the engine executing new attempts. Fixed runtimes store it once
 	// at construction; Adaptive runtimes replace it inside the quiescent
@@ -192,13 +206,43 @@ type Runtime struct {
 
 // New creates a runtime for the given algorithm. The algorithm must be
 // registered in the engine registry (every Algorithm constant is).
-func New(algo Algorithm) *Runtime {
+func New(algo Algorithm) *Runtime { return newRuntime(algo, 0) }
+
+// NewShardedRuntime creates a runtime whose engine is partitioned into
+// nshards independent instances — per-shard TL2 clocks and orec tables,
+// per-shard NOrec sequence locks (DESIGN.md §11). Variables carry a shard
+// assignment from NewVarOn/NewVarsOn; a transaction that touches one shard
+// runs the engine completely unchanged against that shard's private metadata,
+// and a transaction that spans shards commits through the two-phase
+// cross-shard protocol. The engine must support sharding: every concrete
+// engine of the TL2/NOrec families does (two-phase commit), SGL degenerates
+// to one serializing instance, and Adaptive requires a ladder of shardable
+// engines (the default ladder qualifies); other engines panic here.
+// NewShardedRuntime(algo, 1) is a valid single-partition runtime — useful as
+// the 1-shard cell of scaling measurements, since it pays the same routing
+// costs as wider partitions.
+func NewShardedRuntime(algo Algorithm, nshards int) *Runtime {
+	if nshards < 1 {
+		panic(fmt.Sprintf("stm: invalid shard count %d", nshards))
+	}
+	desc, ok := core.EngineFor(algo)
+	if !ok {
+		panic(fmt.Sprintf("stm: unknown algorithm %d", int(algo)))
+	}
+	if !desc.Composite && !desc.TwoPhase && !desc.Irrevocable {
+		panic(fmt.Sprintf("stm: engine %q cannot be sharded (no two-phase commit)", desc.Name))
+	}
+	return newRuntime(algo, nshards)
+}
+
+func newRuntime(algo Algorithm, nshards int) *Runtime {
 	desc, ok := core.EngineFor(algo)
 	if !ok {
 		panic(fmt.Sprintf("stm: unknown algorithm %d", int(algo)))
 	}
 	rt := &Runtime{
 		algo:          algo,
+		nshards:       nshards,
 		htmCapacity:   htm.DefaultCapacity,
 		htmRetries:    htm.DefaultMaxHWRetries,
 		htmSpurious:   htm.DefaultSpuriousPct,
@@ -226,7 +270,11 @@ func (rt *Runtime) engineFor(algo Algorithm) core.Engine {
 		if !ok || desc.Composite {
 			panic(fmt.Sprintf("stm: %v is not a concrete engine", algo))
 		}
-		rt.engines[algo] = desc.New()
+		if rt.nshards > 0 {
+			rt.engines[algo] = shard.NewEngine(desc, rt.nshards)
+		} else {
+			rt.engines[algo] = desc.New()
+		}
 	}
 	return rt.engines[algo]
 }
@@ -364,6 +412,69 @@ func (rt *Runtime) HTMStats() (fallbacks, hwAborts uint64) {
 // Stats returns a snapshot of the aggregate counters (commits, aborts, and
 // per-category operation counts — the raw material of Table 3).
 func (rt *Runtime) Stats() Snapshot { return rt.stats.Snapshot() }
+
+// Shards reports the runtime's shard count: 0 for classic runtimes, the
+// NewShardedRuntime count otherwise.
+func (rt *Runtime) Shards() int { return rt.nshards }
+
+// ShardStats is a point-in-time copy of one shard's commit counters.
+type ShardStats struct {
+	// SingleCommits counts transactions that touched only this shard and
+	// committed through its engine unchanged (the zero-cross-traffic path).
+	SingleCommits uint64
+	// CrossCommits counts two-phase cross-shard commits this shard
+	// participated in.
+	CrossCommits uint64
+}
+
+// ShardStats returns the per-shard commit counters, summed over every engine
+// instance the runtime has built (an Adaptive runtime accumulates across its
+// ladder rungs). It returns nil on classic runtimes.
+func (rt *Runtime) ShardStats() []ShardStats {
+	if rt.nshards == 0 {
+		return nil
+	}
+	out := make([]ShardStats, rt.nshards)
+	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
+	for _, eng := range rt.engines {
+		se, ok := eng.(*shard.Engine)
+		if !ok {
+			continue
+		}
+		for i, sn := range se.Snapshots() {
+			out[i].SingleCommits += sn.SingleCommits
+			out[i].CrossCommits += sn.CrossCommits
+		}
+	}
+	return out
+}
+
+// ShardTicket returns the cross-shard commit ticket, summed over every
+// sharded engine instance — zero exactly when no cross-shard commit has run.
+func (rt *Runtime) ShardTicket() uint64 {
+	var t uint64
+	rt.engMu.Lock()
+	defer rt.engMu.Unlock()
+	for _, eng := range rt.engines {
+		if se, ok := eng.(*shard.Engine); ok {
+			t += se.Ticket()
+		}
+	}
+	return t
+}
+
+// ShardClock probes shard s's commit metadata (TL2 version clock or NOrec
+// sequence lock) on the engine currently executing new attempts. The second
+// result is false on classic runtimes, out-of-range shards, and engines
+// without a clock probe. Routing tests use it to assert that single-shard
+// traffic never moves another shard's clock.
+func (rt *Runtime) ShardClock(s int) (uint64, bool) {
+	if se, ok := rt.cur.Load().eng.(*shard.Engine); ok {
+		return se.ClockValue(s)
+	}
+	return 0, false
+}
 
 // Atomically executes fn as one transaction, retrying on conflict until it
 // commits. The function may run several times; it must confine its side
