@@ -6,13 +6,16 @@
 //
 //	bench-compare [-max-regress 10] [-max-alloc-increase 0.25] OLD.json NEW.json
 //
-// Cells are matched by (workload, algorithm, threads, shards, cross_pct) —
-// the last two are zero on every pre-v6 cell, so v5 reports and the unsharded
-// grid of v6 reports line up key for key, and a v5↔v6 comparison gates the
-// classic grid while the sharded cells (which exist only from v6 on) are
-// simply listed as uncompared. Cells present in only one report — older
-// schemas sweep fewer thread counts and algorithms, pre-v6 reports have no
-// sharded grid — are counted but not compared. The exit status is 1 when any
+// Cells are matched by (workload, algorithm, threads, shards, cross_pct,
+// fsync_policy) — the last three are zero/empty on every pre-v6 cell, so
+// older reports and the classic grid of newer ones line up key for key: a
+// v5↔v6 comparison gates the classic grid, a v6↔v7 comparison additionally
+// gates the sharded grid while the durable cells (fsync_policy set, v7 on)
+// join the diff once both sides have them. Cells present in only one report
+// — older schemas sweep fewer thread counts and algorithms, pre-v6 reports
+// have no sharded grid, pre-v7 no durable grid — are listed explicitly as
+// added (NEW only) or removed (OLD only) rather than silently skipped, so a
+// shrunken grid is visible in the output. The exit status is 1 when any
 // matched cell's throughput dropped more than -max-regress percent, 0
 // otherwise.
 //
@@ -73,11 +76,14 @@ func main() {
 		// on pre-v6 cells and on the unsharded grid, keeping v5↔v6 keys aligned.
 		shards   int
 		crossPct float64
+		// fsyncPolicy separates the durable-grid cells of a v7 report from
+		// their volatile twins, which share every other coordinate by design.
+		fsyncPolicy string
 	}
 	index := func(r experiments.BaselineReport) map[key]experiments.BaselineCell {
 		m := make(map[key]experiments.BaselineCell, len(r.Cells))
 		for _, c := range r.Cells {
-			m[key{c.Workload, c.Algorithm, c.Threads, c.Shards, c.CrossPct}] = c
+			m[key{c.Workload, c.Algorithm, c.Threads, c.Shards, c.CrossPct, c.FsyncPolicy}] = c
 		}
 		return m
 	}
@@ -103,22 +109,23 @@ func main() {
 		if a.shards != b.shards {
 			return a.shards < b.shards
 		}
-		return a.crossPct < b.crossPct
+		if a.crossPct != b.crossPct {
+			return a.crossPct < b.crossPct
+		}
+		return a.fsyncPolicy < b.fsyncPolicy
 	})
 
 	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.1f%%\n",
 		flag.Arg(0), oldRep.Schema, flag.Arg(1), newRep.Schema, *maxRegress)
 	if allocGate {
 		fmt.Printf("allocation gate on: allocs/tx may grow at most %.2f per cell\n", *maxAllocIncrease)
-		fmt.Printf("%-18s %-10s %3s  %12s %12s %9s  %9s %9s\n",
+		fmt.Printf("%-22s %-10s %3s  %12s %12s %9s  %9s %9s\n",
 			"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta", "old al/tx", "new al/tx")
 	} else {
-		fmt.Printf("%-18s %-10s %3s  %12s %12s %9s\n",
+		fmt.Printf("%-22s %-10s %3s  %12s %12s %9s\n",
 			"workload", "algorithm", "thr", "old ktx/s", "new ktx/s", "delta")
 	}
-	regressions := 0
-	for _, k := range keys {
-		o, n := oldCells[k], newCells[k]
+	label := func(k key) string {
 		wl := k.workload
 		if k.shards > 0 {
 			wl = fmt.Sprintf("%s/s%d", k.workload, k.shards)
@@ -126,6 +133,15 @@ func main() {
 				wl += fmt.Sprintf("x%g%%", 100*k.crossPct)
 			}
 		}
+		if k.fsyncPolicy != "" {
+			wl += "/" + k.fsyncPolicy
+		}
+		return wl
+	}
+	regressions := 0
+	for _, k := range keys {
+		o, n := oldCells[k], newCells[k]
+		wl := label(k)
 		delta := 0.0
 		if o.ThroughputK > 0 {
 			delta = 100 * (n.ThroughputK - o.ThroughputK) / o.ThroughputK
@@ -143,27 +159,36 @@ func main() {
 			mark += fmt.Sprintf("  [gomaxprocs %d -> %d]", o.GOMAXPROCS, n.GOMAXPROCS)
 		}
 		if allocGate {
-			fmt.Printf("%-18s %-10s %3d  %12.2f %12.2f %+8.1f%%  %9.3f %9.3f%s\n",
+			fmt.Printf("%-22s %-10s %3d  %12.2f %12.2f %+8.1f%%  %9.3f %9.3f%s\n",
 				wl, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta,
 				o.AllocsPerTx, n.AllocsPerTx, mark)
 		} else {
-			fmt.Printf("%-18s %-10s %3d  %12.2f %12.2f %+8.1f%%%s\n",
+			fmt.Printf("%-22s %-10s %3d  %12.2f %12.2f %+8.1f%%%s\n",
 				wl, k.algo, k.threads, o.ThroughputK, n.ThroughputK, delta, mark)
 		}
 	}
-	unmatched := (len(oldCells) - len(keys)) + (len(newCells) - len(keys))
-	if unmatched > 0 {
-		shardedOnly := 0
-		for k := range newCells {
-			if _, ok := oldCells[k]; !ok && k.shards > 0 {
-				shardedOnly++
+	// Unmatched cells are listed explicitly, not silently skipped: a grid
+	// that shrank (a removed cell) is as much a finding as a regressed one,
+	// and an added cell documents what the new schema started measuring.
+	listOnly := func(in, other map[key]experiments.BaselineCell, heading, report string) {
+		var only []key
+		for k := range in {
+			if _, ok := other[k]; !ok {
+				only = append(only, k)
 			}
 		}
-		fmt.Printf("%d cell(s) present in only one report (grid changed); not compared\n", unmatched)
-		if shardedOnly > 0 {
-			fmt.Printf("  of those, %d are sharded-grid cells the older schema does not measure\n", shardedOnly)
+		if len(only) == 0 {
+			return
+		}
+		sort.Slice(only, func(i, j int) bool { return label(only[i])+only[i].algo < label(only[j])+only[j].algo })
+		fmt.Printf("%d cell(s) %s (present only in %s); not compared:\n", len(only), heading, report)
+		for _, k := range only {
+			fmt.Printf("  %s %-22s %-10s %3d thr  %.2f ktx/s\n",
+				heading, label(k), k.algo, k.threads, in[k].ThroughputK)
 		}
 	}
+	listOnly(newCells, oldCells, "added", "NEW")
+	listOnly(oldCells, newCells, "removed", "OLD")
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed beyond tolerance\n", regressions)
 		os.Exit(1)

@@ -20,8 +20,12 @@
 // escalation count, the per-cell allocation metrics allocs_per_tx /
 // bytes_per_tx / gc_pause_us from runtime.MemStats deltas, plus — on
 // adaptive cells — the online engine-switch count and the engine the cell
-// ended on) so perf and robustness PRs can diff against it. bench-compare
-// accepts reports of any schema (the allocation gate applies from v5 on).
+// ended on) so perf and robustness PRs can diff against it. From schema v6
+// the report also carries the sharded-runtime grid, and from v7 the durable
+// grid (bank over stm.OpenDurable, fsync policy × shard count, with the
+// wal_appends / wal_fsyncs / wal_group_size accounting per cell).
+// bench-compare accepts reports of any schema (the allocation gate applies
+// from v5 on).
 //
 // -cpuprofile and -memprofile write pprof profiles of whatever experiments
 // or baselines the invocation runs (see scripts/profile.sh), so a perf
@@ -60,6 +64,10 @@ func main() {
 		shardGate  = flag.Bool("shardgate", false, "run the shard-scaling gate (sharded bank+hashtable, 1 vs -shardgate-shards shards) and exit non-zero below -shardgate-min")
 		gateShards = flag.Int("shardgate-shards", 32, "shard count of the wide cell in the -shardgate comparison")
 		gateMin    = flag.Float64("shardgate-min", 8, "minimum throughput ratio (wide/1-shard) the -shardgate run must reach")
+		durGate    = flag.Bool("durgate", false, "run the durability-overhead gate (durable vs volatile sharded bank) and exit non-zero below -durgate-min")
+		durShards  = flag.Int("durgate-shards", 32, "shard count of the -durgate comparison")
+		durPolicy  = flag.String("durgate-policy", "interval", "fsync policy of the durable cell in the -durgate comparison")
+		durMin     = flag.Float64("durgate-min", 0.65, "minimum throughput ratio (durable/volatile) the -durgate run must reach")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap (allocation) profile at exit to this file")
 	)
@@ -93,7 +101,7 @@ func main() {
 		}()
 	}
 
-	if *list || (*expID == "" && *jsonPath == "" && !*shardGate) {
+	if *list || (*expID == "" && *jsonPath == "" && !*shardGate && !*durGate) {
 		fmt.Println("Available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Panels, e.Title)
@@ -151,6 +159,33 @@ func main() {
 				time.Since(start).Round(time.Millisecond))
 		}
 		if failed {
+			os.Exit(1)
+		}
+		if *expID == "" && *jsonPath == "" && !*durGate {
+			return
+		}
+	}
+
+	if *durGate {
+		// The durability-overhead gate (scripts/check.sh): the durable sharded
+		// bank under -durgate-policy must keep at least -durgate-min of the
+		// volatile cell's throughput at the same shape — the PR7 acceptance
+		// bar (interval fsync, 32 shards, within 35%).
+		start := time.Now()
+		res, err := experiments.DurableOverhead(cfg, *durShards, *durPolicy)
+		if err != nil {
+			fatalf("durgate: %v", err)
+		}
+		ok := res.Ratio >= *durMin
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("durgate %-9s %s: volatile %.1f ktx/s, durable(%s) %.1f ktx/s at %d shards, ratio %.2f (min %.2f) %s [appends %d, fsyncs %d, group %.1f] [%v]\n",
+			res.Workload, res.Algorithm, res.VolatileK, res.Policy, res.DurableK, res.Shards,
+			res.Ratio, *durMin, verdict, res.WALAppends, res.WALFsyncs, res.GroupSize,
+			time.Since(start).Round(time.Millisecond))
+		if !ok {
 			os.Exit(1)
 		}
 		if *expID == "" && *jsonPath == "" {

@@ -59,17 +59,30 @@ func NewShardedBank(rt *stm.Runtime, perShard int, initial int64, crossPct float
 	if n < 1 {
 		n = 1
 	}
-	b := &ShardedBank{
+	shards := make([][]*stm.Var, n)
+	for s := range shards {
+		shards[s] = stm.NewVarsOn(s, perShard, initial)
+	}
+	return NewShardedBankVars(rt, shards, initial, crossPct)
+}
+
+// NewShardedBankVars wires the bank over caller-allocated account blocks,
+// one per shard. This is the durable constructor: pass blocks built with
+// stm.Durable.Vars and the accounts carry their recovered balances, while
+// initial still names the per-account invariant total Check verifies —
+// conservation makes the two agree across any number of crash/recover
+// cycles.
+func NewShardedBankVars(rt *stm.Runtime, shards [][]*stm.Var, initial int64, crossPct float64) *ShardedBank {
+	if len(shards) == 0 {
+		panic("apps: sharded bank needs at least one account block")
+	}
+	return &ShardedBank{
 		rt:       rt,
-		shards:   make([][]*stm.Var, n),
+		shards:   shards,
 		initial:  initial,
 		CrossPct: crossPct,
 		Window:   48,
 	}
-	for s := range b.shards {
-		b.shards[s] = stm.NewVarsOn(s, perShard, initial)
-	}
-	return b
 }
 
 // Shards returns the number of account shards.

@@ -31,6 +31,13 @@ const (
 	ReasonSpurious
 	// ReasonExplicit: user code called Tx.Restart.
 	ReasonExplicit
+	// ReasonLogFail: the durable commit pipeline could not append the
+	// transaction's redo records to the write-ahead log (I/O failure). The
+	// attempt rolls back with its locks released and the retry loop
+	// escalates straight to the irrevocable serializing mode, where the
+	// commit proceeds volatile — the runtime degrades instead of panicking,
+	// and the WAL stays latched failed for the health probes to report.
+	ReasonLogFail
 	// NumReasons bounds the enum; arrays indexed by Reason use it.
 	NumReasons
 )
@@ -52,6 +59,8 @@ func (r Reason) String() string {
 		return "spurious"
 	case ReasonExplicit:
 		return "explicit"
+	case ReasonLogFail:
+		return "log-fail"
 	default:
 		return "invalid"
 	}

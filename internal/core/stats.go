@@ -25,6 +25,13 @@ type TxStats struct {
 	// multi-shard snapshots opaque. Always zero on unsharded runtimes.
 	CrossCommits uint64 // commits that ran the two-phase cross-shard path
 	CrossRevals  uint64 // ticket-movement revalidations of a live multi-shard snapshot
+
+	// Durable-pipeline counters (DESIGN.md §12): write-ahead-log frames this
+	// attempt appended (one per participating shard of a durable commit) and
+	// log-write failures it absorbed by degrading to the irrevocable
+	// volatile mode. Always zero on volatile runtimes.
+	WALAppends  uint64 // WAL frames appended by the attempt's commit
+	WALFailures uint64 // log-write failures degraded to ReasonLogFail
 }
 
 // Reset zeroes the per-attempt counters.
@@ -44,6 +51,8 @@ func (ts *TxStats) Accumulate(o *TxStats) {
 	ts.SpinWaits += o.SpinWaits
 	ts.CrossCommits += o.CrossCommits
 	ts.CrossRevals += o.CrossRevals
+	ts.WALAppends += o.WALAppends
+	ts.WALFailures += o.WALFailures
 }
 
 // Counter indices of the aggregate layout: commits and aborts first, then
@@ -63,6 +72,8 @@ const (
 	cSpinWaits
 	cCrossCommits
 	cCrossRevals
+	cWALAppends
+	cWALFailures
 	cEscalations
 	cEngineSwitches
 	cReasonBase
@@ -127,6 +138,12 @@ func (sh *StatsShard) Merge(ts *TxStats, committed bool) {
 	if ts.CrossRevals != 0 {
 		sh.c[cCrossRevals].n.Add(ts.CrossRevals)
 	}
+	if ts.WALAppends != 0 {
+		sh.c[cWALAppends].n.Add(ts.WALAppends)
+	}
+	if ts.WALFailures != 0 {
+		sh.c[cWALFailures].n.Add(ts.WALFailures)
+	}
 }
 
 // CountAbortReason folds one abort's reason into the per-reason counters
@@ -185,6 +202,9 @@ type Snapshot struct {
 	// Sharded-commit counters (DESIGN.md §11): cross-shard two-phase commits
 	// and ticket-triggered multi-shard revalidations.
 	CrossCommits, CrossRevals uint64
+	// Durable-pipeline counters (DESIGN.md §12): WAL frames appended by
+	// durable commits and log-write failures degraded to volatile commits.
+	WALAppends, WALFailures uint64
 	// Escalations counts transactions that, after repeated aborts, completed
 	// in the irrevocable serializing mode (the starvation escape hatch).
 	Escalations uint64
@@ -235,6 +255,8 @@ func (s *Stats) Snapshot() Snapshot {
 		SpinWaits:      t[cSpinWaits],
 		CrossCommits:   t[cCrossCommits],
 		CrossRevals:    t[cCrossRevals],
+		WALAppends:     t[cWALAppends],
+		WALFailures:    t[cWALFailures],
 		Escalations:    t[cEscalations],
 		EngineSwitches: t[cEngineSwitches],
 	}
@@ -269,6 +291,8 @@ func (sn Snapshot) Sub(old Snapshot) Snapshot {
 		SpinWaits:      sn.SpinWaits - old.SpinWaits,
 		CrossCommits:   sn.CrossCommits - old.CrossCommits,
 		CrossRevals:    sn.CrossRevals - old.CrossRevals,
+		WALAppends:     sn.WALAppends - old.WALAppends,
+		WALFailures:    sn.WALFailures - old.WALFailures,
 		Escalations:    sn.Escalations - old.Escalations,
 		EngineSwitches: sn.EngineSwitches - old.EngineSwitches,
 	}

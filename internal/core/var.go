@@ -15,8 +15,9 @@ import "sync/atomic"
 type Var struct {
 	val   atomic.Int64
 	id    uint64
+	dkey  uint64
 	shard uint32
-	_     [44]byte
+	_     [36]byte
 }
 
 // varID is the global allocation counter for Var identifiers. Identifiers
@@ -73,8 +74,30 @@ func NewVarsOn(shard, n int, initial int64) []*Var {
 	return out
 }
 
+// NewVarDurable allocates a transactional variable with a stable durable key
+// on the given shard. Allocation-time ids are process-local (they restart at
+// 1 on every run), so the durable runtime names logged variables by this
+// user-assigned key instead: the write-ahead log records carry dkeys and
+// Recover rebinds them to the freshly allocated Vars of the next process.
+// Key 0 is reserved — it marks a Var as volatile-only (never logged).
+func NewVarDurable(shard int, key uint64, initial int64) *Var {
+	if shard < 0 {
+		panic("core: negative shard")
+	}
+	if key == 0 {
+		panic("core: durable key 0 is reserved")
+	}
+	v := &Var{id: varID.Add(1), dkey: key, shard: uint32(shard)}
+	v.val.Store(initial)
+	return v
+}
+
 // ID returns the allocation-time identifier of the variable.
 func (v *Var) ID() uint64 { return v.id }
+
+// DurableKey returns the stable durable key of the variable, or 0 for a
+// volatile-only Var (one not allocated via NewVarDurable).
+func (v *Var) DurableKey() uint64 { return v.dkey }
 
 // Shard returns the allocation-time shard assignment of the variable
 // (0 unless allocated with NewVarOn/NewVarsOn).

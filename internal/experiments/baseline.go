@@ -77,6 +77,19 @@ type BaselineCell struct {
 	// setting (schema v6): the sharded grid runs under the interleave
 	// simulation while the classic grid keeps the v5 policy.
 	YieldEvery int `json:"yield_every,omitempty"`
+	// FsyncPolicy marks a durable-runtime cell (schema v7): the runtime was
+	// opened with stm.OpenDurable and every commit was written ahead to the
+	// semantic WAL under this group-commit fsync policy ("always",
+	// "interval", "none"). Empty (omitted) means the volatile cell the
+	// durable ones are compared against.
+	FsyncPolicy string `json:"fsync_policy,omitempty"`
+	// WALAppends / WALFsyncs are the cell's write-ahead-log frame and fsync
+	// counts; WALGroupSize is frames per batch — the group-commit
+	// amortization factor the fsync policies trade durability against
+	// (schema v7, durable cells only).
+	WALAppends   uint64  `json:"wal_appends,omitempty"`
+	WALFsyncs    uint64  `json:"wal_fsyncs,omitempty"`
+	WALGroupSize float64 `json:"wal_group_size,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -134,7 +147,7 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		yieldEvery = 0
 	}
 	rep := BaselineReport{
-		Schema:      "semstm-bench-baseline/v6",
+		Schema:      "semstm-bench-baseline/v7",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -201,6 +214,11 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		return rep, err
 	}
 	rep.Cells = append(rep.Cells, sharded...)
+	durable, err := durableCells(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Cells = append(rep.Cells, durable...)
 	return rep, nil
 }
 

@@ -41,11 +41,25 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"semstm/internal/core"
+	"semstm/internal/wal"
 )
+
+// Logger is the durable redo sink a shard engine drives (DESIGN.md §12) —
+// in production the wal.Set of the runtime's log directory. LogSingle
+// appends one single-shard commit's records to one shard's log; LogCross
+// appends one cross-shard commit's per-participant record subsets, tagged so
+// recovery applies them all-or-nothing. Both block until the frame is
+// durable per the set's fsync policy and return the log's latched error
+// once it has failed or crashed.
+type Logger interface {
+	LogSingle(shard int, recs []wal.Record) error
+	LogCross(parts []int, recs [][]wal.Record) error
+}
 
 // shardCounters tracks one shard's commit mix on a private cache line:
 // single-shard commits routed entirely to this shard, and cross-shard
@@ -87,7 +101,31 @@ type Engine struct {
 	_      core.PadWord
 	ticket atomic.Uint64
 	_      core.PadWord
+
+	// Durable pipeline (DESIGN.md §12): when a logger is installed, every
+	// barrier on a durable-keyed Var captures a semantic redo record and the
+	// commit paths append the records before publication. logFacts
+	// additionally captures single-variable cmp outcomes as self-checking
+	// fact records. walFailed latches after a real log I/O error: the
+	// failing attempt aborts with ReasonLogFail (escalating to the
+	// irrevocable mode), and every later commit skips logging — the runtime
+	// degrades to volatile instead of wedging on a dead disk.
+	logger    Logger
+	logFacts  bool
+	walFailed atomic.Bool
 }
+
+// SetLogger installs the durable redo sink. Call before the engine is
+// shared; a nil logger keeps the whole capture path to one pointer test per
+// barrier.
+func (e *Engine) SetLogger(l Logger, logFacts bool) {
+	e.logger = l
+	e.logFacts = logFacts
+}
+
+// WALFailed reports whether a log-write failure has latched the engine into
+// volatile degraded mode.
+func (e *Engine) WALFailed() bool { return e.walFailed.Load() }
 
 // NewEngine partitions desc into nshards independent instances. It panics on
 // a composite descriptor (composition happens above sharding, in the facade),
@@ -210,6 +248,13 @@ type Tx struct {
 	ticketSeen uint64
 	stats      core.TxStats // own counters (cross commits / revalidations)
 	agg        core.TxStats // scratch for AttemptStats aggregation
+
+	// Durable redo capture: per-shard record buffers filled by the barriers
+	// (lazily allocated on the first durable runtime attempt, recycled per
+	// attempt), plus scratch for assembling a cross-shard frame list.
+	redo     [][]wal.Record
+	logParts []int
+	logRecs  [][]wal.Record
 }
 
 // Start begins a fresh attempt. Sub-descriptors start lazily on first touch
@@ -218,10 +263,27 @@ type Tx struct {
 func (tx *Tx) Start() {
 	for _, s := range tx.touched {
 		tx.started[s] = false
+		if tx.redo != nil {
+			tx.redo[s] = tx.redo[s][:0]
+		}
 	}
 	tx.touched = tx.touched[:0]
 	tx.multi = false
 	tx.stats.Reset()
+}
+
+// capture appends one semantic redo record for v's shard. Volatile-only
+// variables (durable key 0) are never logged.
+func (tx *Tx) capture(v *core.Var, op wal.Op, aux uint8, val int64) {
+	k := v.DurableKey()
+	if k == 0 {
+		return
+	}
+	if tx.redo == nil {
+		tx.redo = make([][]wal.Record, tx.e.eff)
+	}
+	s := tx.e.shardOf(v)
+	tx.redo[s] = append(tx.redo[s], wal.Record{Op: op, Aux: aux, Key: k, Val: val})
 }
 
 // SetFaultPlan arms or disarms fault injection on every cached
@@ -321,12 +383,23 @@ func (tx *Tx) Read(v *core.Var) int64 {
 func (tx *Tx) Write(v *core.Var, val int64) {
 	tx.recheck()
 	tx.sub(v).Write(v, val)
+	if tx.e.logger != nil {
+		tx.capture(v, wal.OpWrite, 0, val)
+	}
 }
 
 // Cmp routes the semantic conditional.
 func (tx *Tx) Cmp(v *core.Var, op core.Op, operand int64) bool {
 	tx.recheck()
-	return tx.sub(v).Cmp(v, op, operand)
+	held := tx.sub(v).Cmp(v, op, operand)
+	if tx.e.logger != nil && tx.e.logFacts {
+		aux := uint8(op)
+		if held {
+			aux |= wal.FactHeld
+		}
+		tx.capture(v, wal.OpFact, aux, operand)
+	}
+	return held
 }
 
 // CmpVars routes the address–address conditional. Operands on one shard
@@ -397,10 +470,15 @@ func (tx *Tx) CmpAny(conds []core.Cond) bool {
 	return false
 }
 
-// Inc routes the semantic increment.
+// Inc routes the semantic increment. The redo record is the delta itself —
+// logging a deferred increment reads nothing, the low-level-semantics
+// property that keeps durable counter traffic validation- and read-free.
 func (tx *Tx) Inc(v *core.Var, delta int64) {
 	tx.recheck()
 	tx.sub(v).Inc(v, delta)
+	if tx.e.logger != nil {
+		tx.capture(v, wal.OpInc, 0, delta)
+	}
 }
 
 // Commit publishes the attempt. A single-shard attempt commits through its
@@ -417,11 +495,73 @@ func (tx *Tx) Commit() {
 		return
 	case 1:
 		s := tx.touched[0]
-		tx.impls[s].Commit()
+		if tx.e.logger != nil && !tx.e.walFailed.Load() && tx.redo != nil && len(tx.redo[s]) > 0 {
+			tx.commitSingleDurable(s)
+		} else {
+			tx.impls[s].Commit()
+		}
 		tx.e.counters[s].single.Add(1)
 		return
 	}
 	tx.commitCross()
+}
+
+// commitSingleDurable is the single-shard durable commit: decompose the
+// engine commit through its TwoPhase view so the log append lands between
+// validation (the commit is certain, locks held) and publication (nothing
+// is visible yet) — log-before-publish, the redo-WAL invariant. A crash
+// after the append but before Publish therefore replays to exactly the
+// published state; a crash before the append publishes nothing.
+func (tx *Tx) commitSingleDurable(s int) {
+	if tx.fp != nil {
+		tx.fp.Step(core.SiteCommit)
+	}
+	tp := tx.two[s]
+	if tp == nil {
+		// Irrevocable engine: it serializes globally and its commit cannot
+		// fail once reached, so the append itself is the decision point.
+		tx.logSingleFrame(s)
+		tx.crashPoint()
+		tx.impls[s].Commit()
+		return
+	}
+	tp.Prepare()
+	tp.Validate()
+	tx.logSingleFrame(s)
+	tx.crashPoint()
+	tp.Publish()
+}
+
+// logSingleFrame appends one shard's redo records, degrading on failure.
+func (tx *Tx) logSingleFrame(s int) {
+	if err := tx.e.logger.LogSingle(s, tx.redo[s]); err != nil {
+		tx.logFailed(err)
+	}
+	tx.stats.WALAppends++
+}
+
+// logFailed handles a log append error: a simulated crash unwinds as
+// process death (the runtime releases in-memory locks and re-throws); a
+// real I/O error latches the engine into volatile degraded mode and aborts
+// the attempt with ReasonLogFail, which the retry loop escalates straight
+// to the irrevocable serializing mode.
+func (tx *Tx) logFailed(err error) {
+	var ce *wal.CrashedError
+	if errors.As(err, &ce) {
+		core.CrashPanic(ce.Site)
+	}
+	tx.e.walFailed.Store(true)
+	tx.stats.WALFailures++
+	core.AbortWith(core.ReasonLogFail)
+}
+
+// crashPoint is the post-fsync/pre-publish crash-injection consult: the
+// records are durable, nothing is published, and recovery must replay the
+// commit all-or-nothing.
+func (tx *Tx) crashPoint() {
+	if tx.fp != nil && tx.fp.CrashHit(core.CrashPostFsyncPrePublish) {
+		core.CrashPanic(core.CrashPostFsyncPrePublish)
+	}
 }
 
 // commitCross is the two-phase cross-shard commit. Participants are
@@ -446,6 +586,17 @@ func (tx *Tx) commitCross() {
 	for _, s := range order {
 		tx.two[s].Validate()
 	}
+	// Log before the ticket: every participant's redo frame is appended
+	// (and made durable per policy) while the commit is still invisible, so
+	// the ticket advance below remains the transaction's single
+	// linearization point — a crash on either side of it is clean. Before
+	// the append: nothing logged, nothing published, the transaction never
+	// happened. After: recovery's cross-completeness cut sees every
+	// participant's frame and replays the commit whole.
+	if tx.e.logger != nil && !tx.e.walFailed.Load() && tx.redo != nil {
+		tx.logCrossFrames(order)
+		tx.crashPoint()
+	}
 	tx.e.ticket.Add(1)
 	for _, s := range order {
 		tx.two[s].Publish()
@@ -453,6 +604,32 @@ func (tx *Tx) commitCross() {
 	tx.stats.CrossCommits++
 	for _, s := range order {
 		tx.e.counters[s].cross.Add(1)
+	}
+}
+
+// logCrossFrames appends the cross-shard commit's per-participant record
+// subsets. Participants with no redo records (read-only on their shard, or
+// touching only volatile vars) get no frame; a commit whose writes all land
+// on one shard degenerates to a plain single-shard frame.
+func (tx *Tx) logCrossFrames(order []int) {
+	parts, recs := tx.logParts[:0], tx.logRecs[:0]
+	for _, s := range order {
+		if len(tx.redo[s]) > 0 {
+			parts = append(parts, s)
+			recs = append(recs, tx.redo[s])
+		}
+	}
+	tx.logParts, tx.logRecs = parts, recs
+	switch len(parts) {
+	case 0:
+		return
+	case 1:
+		tx.logSingleFrame(parts[0])
+	default:
+		if err := tx.e.logger.LogCross(parts, recs); err != nil {
+			tx.logFailed(err)
+		}
+		tx.stats.WALAppends += uint64(len(parts))
 	}
 }
 

@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// Set is the durable runtime's log set: one Log per shard plus the
+// engine-wide cross-commit id counter. It is the object the sharded commit
+// path drives (shard.Logger is its method set).
+type Set struct {
+	dir       string
+	logs      []*Log
+	crossCtr  atomic.Uint64
+	recovered *RecoveredState
+}
+
+// SetStats aggregates the group-commit accounting across shards, the
+// numbers the v7 bench schema exports per durable cell.
+type SetStats struct {
+	Appends uint64  // frames appended
+	Batches uint64  // group-commit batches written
+	Fsyncs  uint64  // fsyncs issued on the commit path
+	Group   float64 // mean frames per batch
+}
+
+// Open opens (creating or recovering) the log set under dir for nshards
+// shards. An existing directory is scanned and repaired — torn tails
+// truncated, incomplete cross-shard commits cut — and the replayed state is
+// available via Recovered; each shard then continues appending into a fresh
+// segment extending the surviving hash chain. The shard count is pinned by
+// a manifest written at creation; reopening with a different count fails
+// with ErrShardMismatch.
+func Open(dir string, nshards int, opt Options) (*Set, error) {
+	if nshards < 1 {
+		return nil, fmt.Errorf("wal: invalid shard count %d", nshards)
+	}
+	opt.fill(nshards)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := ensureManifest(dir, nshards); err != nil {
+		return nil, err
+	}
+	scans, rs, err := recoverScan(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{dir: dir, logs: make([]*Log, nshards), recovered: rs}
+	for i := range s.logs {
+		sd := shardDir(dir, i)
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return nil, err
+		}
+		sc := scans[i]
+		l, err := newLog(sd, i, sc.nextSeg, sc.nextSeq, sc.chain, opt)
+		if err != nil {
+			for _, open := range s.logs {
+				if open != nil {
+					open.close()
+				}
+			}
+			return nil, err
+		}
+		s.logs[i] = l
+	}
+	// Cross ids must never repeat across process lifetimes: an id reused
+	// after recovery could make an old orphaned frame look complete. Resume
+	// above every id the surviving logs carry.
+	var maxCross uint64
+	for _, sc := range scans {
+		for _, f := range sc.frames {
+			if f.crossID > maxCross {
+				maxCross = f.crossID
+			}
+		}
+	}
+	s.crossCtr.Store(maxCross)
+	return s, nil
+}
+
+// Recovered returns the state replayed when the set was opened.
+func (s *Set) Recovered() *RecoveredState { return s.recovered }
+
+// NumShards reports the manifest shard count.
+func (s *Set) NumShards() int { return len(s.logs) }
+
+// LogSingle appends one single-shard commit's records to shard's log and
+// blocks until they are durable per the policy.
+func (s *Set) LogSingle(shard int, recs []Record) error {
+	return s.logs[shard].Append(0, nil, recs)
+}
+
+// LogCross appends one cross-shard commit: each participant's log receives
+// that shard's record subset in a frame tagged with a fresh engine-wide
+// cross id and the full participant list. Recovery applies the commit only
+// if every participant's frame survived (crossCut), so a crash between the
+// per-shard appends — or an fsync loss on any one shard — cannot publish a
+// partial commit. parts must be ascending; recs[i] pairs with parts[i].
+func (s *Set) LogCross(parts []int, recs [][]Record) error {
+	id := s.crossCtr.Add(1)
+	for i, p := range parts {
+		if err := s.logs[p].Append(id, parts, recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectFailure latches err as every shard log's terminal error — the
+// deterministic stand-in for a dying disk that the degrade-path tests use.
+func (s *Set) InjectFailure(err error) {
+	for _, l := range s.logs {
+		l.fail(err)
+	}
+}
+
+// Stats sums the per-shard group-commit counters.
+func (s *Set) Stats() SetStats {
+	var st SetStats
+	for _, l := range s.logs {
+		f, b, fs := l.snapshotStats()
+		st.Appends += f
+		st.Batches += b
+		st.Fsyncs += fs
+	}
+	if st.Batches > 0 {
+		st.Group = float64(st.Appends) / float64(st.Batches)
+	}
+	return st
+}
+
+// Close seals every shard's log (final fsync + close). A crashed log keeps
+// its frozen bytes untouched.
+func (s *Set) Close() error {
+	var first error
+	for _, l := range s.logs {
+		if err := l.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// The manifest pins the shard count of a log directory (the record layout
+// is per-shard, so reopening at a different width would misroute keys).
+const manifestName = "manifest"
+
+func ensureManifest(dir string, nshards int) error {
+	path := filepath.Join(dir, manifestName)
+	if b, err := os.ReadFile(path); err == nil {
+		n, perr := parseManifest(string(b))
+		if perr != nil {
+			return perr
+		}
+		if n != nshards {
+			return fmt.Errorf("%w: manifest %d, requested %d", ErrShardMismatch, n, nshards)
+		}
+		return nil
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "swal v1\nshards %d\n", nshards); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func readManifest(dir string) (int, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return 0, err
+	}
+	return parseManifest(string(b))
+}
+
+func parseManifest(s string) (int, error) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2 || lines[0] != "swal v1" {
+		return 0, fmt.Errorf("%w: malformed manifest", ErrCorrupt)
+	}
+	var n int
+	if _, err := fmt.Sscanf(lines[1], "shards %d", &n); err != nil || n < 1 {
+		return 0, fmt.Errorf("%w: malformed manifest", ErrCorrupt)
+	}
+	return n, nil
+}

@@ -27,6 +27,13 @@
 #      at least 8x on both micro-benchmarks (NOrec, 32 workers under the
 #      interleave simulation) — the PR6 acceptance bar defending the
 #      per-shard-clock design against accidental cross-shard coupling.
+#   8. the crash-recovery matrix, quick subset: one deterministic seed of
+#      the chaos suite under the site-paired fsync policies (run
+#      scripts/crash_matrix.sh for the full seeds x sites x policies sweep).
+#   9. the durability-overhead gate: the durable sharded bank under the
+#      "interval" fsync policy must keep >= 0.65 of the volatile cell's
+#      throughput at 32 shards — the PR7 acceptance bar defending the
+#      off-commit-path fsync design (background flusher, scaled window).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,7 +55,7 @@ go test ./...
 echo "== go vet ./... =="
 go vet ./...
 
-RACE_PKGS="./stm/... ./internal/core/... ./internal/norec/... ./internal/tl2/... ./internal/ringstm/... ./internal/htm/... ./internal/sgl/..."
+RACE_PKGS="./stm/... ./internal/core/... ./internal/norec/... ./internal/tl2/... ./internal/ringstm/... ./internal/htm/... ./internal/sgl/... ./internal/shard/... ./internal/wal/..."
 
 if [ "${CHECK_LONG:-0}" = "1" ]; then
     echo "== go test -race (full chaos sweep) =="
@@ -80,5 +87,11 @@ go run ./cmd/bench-compare "$SMOKE" "$SMOKE" >/dev/null
 
 echo "== shard-scaling gate (32 shards must be >= 8x the 1-shard cell) =="
 go run ./cmd/semstm-bench -shardgate -dur 200ms -reps 2
+
+echo "== crash-recovery matrix, quick subset (scripts/crash_matrix.sh for the sweep) =="
+sh scripts/crash_matrix.sh quick
+
+echo "== durability-overhead gate (durable interval >= 0.65x volatile at 32 shards) =="
+go run ./cmd/semstm-bench -durgate -dur 300ms -reps 2
 
 echo "== ok =="

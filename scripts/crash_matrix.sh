@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# crash_matrix.sh — sweep the crash-recovery chaos suite (stm/crashchaos_test.go)
+# over seeds × crash sites × fsync policies.
+#
+# The suite itself iterates every crash site (torn write, pre-fsync,
+# post-fsync-pre-publish) and every durable engine on each run; this script
+# adds the outer axes the in-tree defaults pin down:
+#   - SEMSTM_CRASH_SEED perturbs every cell's deterministic seed, moving the
+#     crash to a different commit in a different interleaving;
+#   - SEMSTM_CRASH_POLICY overrides the site-paired fsync policy, so every
+#     site is also exercised under the policies it is not paired with by
+#     default ("" keeps the in-tree pairing).
+#
+# Usage:
+#   scripts/crash_matrix.sh          full sweep: 5 seeds x 4 policy modes
+#   scripts/crash_matrix.sh quick    1 seed, site-paired policies only (the
+#                                    deterministic subset check.sh runs)
+#
+# Every run is race-instrumented; any invariant violation (conservation,
+# chain integrity, prefix consistency) fails the matrix immediately.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "quick" ]; then
+    SEEDS="1"
+    POLICIES="paired"
+else
+    SEEDS="1 2 3 4 5"
+    POLICIES="paired always interval none"
+fi
+
+for seed in $SEEDS; do
+    for pol in $POLICIES; do
+        if [ "$pol" = "paired" ]; then
+            override=""
+            label="site-paired"
+        else
+            override="$pol"
+            label="$pol"
+        fi
+        echo "== crash matrix: seed $seed, fsync policy $label =="
+        SEMSTM_CRASH_SEED="$seed" SEMSTM_CRASH_POLICY="$override" \
+            go test -race -count=1 -run 'TestCrashRecovery' ./stm/
+    done
+done
+echo "crash matrix passed"

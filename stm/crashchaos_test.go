@@ -1,0 +1,576 @@
+package stm_test
+
+// Crash-recovery chaos (DESIGN.md §12): run the bank and hashtable drivers
+// on a durable runtime with a deterministic crash armed at one injection
+// site, let the simulated process death freeze the log mid-commit, then
+// recover the directory and assert the three invariants of the suite —
+// conservation (money/keys are neither created nor destroyed by a crash),
+// chain integrity (recovery re-verifies every surviving frame against the
+// hash chain; OpenDurable fails otherwise), and prefix consistency (the
+// recovered state is exactly what some serial prefix of committed
+// transactions produces: no partial publish is ever observable).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"semstm/internal/apps"
+	"semstm/internal/core"
+	"semstm/stm"
+)
+
+const (
+	chaosShards   = 4
+	chaosPerShard = 24
+	chaosInitial  = 1000
+)
+
+// crashCells pairs every crash site with the fsync policy whose guarantees
+// it stresses hardest: a torn write under always (the strongest promise must
+// survive a half-written frame), a pre-fsync death under interval (the
+// window the policy explicitly admits losing), and a pre-publish death under
+// none (the fully-logged-but-unpublished commit must replay all-or-nothing
+// even with no fsync on the commit path).
+var crashCells = []struct {
+	site   stm.CrashSite
+	policy string
+}{
+	{stm.CrashTornWrite, "always"},
+	{stm.CrashPreFsync, "interval"},
+	{stm.CrashPostFsyncPrePublish, "none"},
+}
+
+// durableEngines is the crash-matrix engine set: both semantic engines, both
+// classical baselines, and the irrevocable SGL (which exercises the
+// log-then-commit branch of the durable single-shard path).
+var durableEngines = []stm.Algorithm{stm.SNOrec, stm.STL2, stm.NOrec, stm.TL2, stm.SGL}
+
+// Matrix sweep knobs (scripts/crash_matrix.sh): SEMSTM_CRASH_SEED perturbs
+// every cell's deterministic seed and SEMSTM_CRASH_POLICY overrides the
+// site-paired fsync policy for every cell, turning the fixed suite into a
+// seeds × sites × policies sweep. Unset, the suite is fully deterministic.
+func crashSeedOffset() uint64 {
+	n, err := strconv.ParseUint(os.Getenv("SEMSTM_CRASH_SEED"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n * 0x9E3779B97F4A7C15 // golden-ratio spread between adjacent seeds
+}
+
+func crashPolicy(def string) string {
+	if p := os.Getenv("SEMSTM_CRASH_POLICY"); p != "" {
+		return p
+	}
+	return def
+}
+
+// chaosBankVars allocates (first open) or recovers (reopen) the bank's
+// account blocks under stable durable keys.
+func chaosBankVars(d *stm.Durable) [][]*stm.Var {
+	out := make([][]*stm.Var, chaosShards)
+	for s := 0; s < chaosShards; s++ {
+		out[s] = d.Vars(s, uint64(s*chaosPerShard+1), chaosPerShard, chaosInitial)
+	}
+	return out
+}
+
+// checkBankVars asserts conservation and the overdraft invariant directly on
+// a recovered account set. Any prefix of a valid transfer history satisfies
+// both, so a violation means recovery produced a state no serial execution
+// could — a partial publish or a mis-replayed record.
+func checkBankVars(t *testing.T, tag string, shards [][]*stm.Var) {
+	t.Helper()
+	var sum, accounts int64
+	for s, block := range shards {
+		for i, v := range block {
+			x := v.Load()
+			if x < 0 {
+				t.Fatalf("%s: shard %d account %d negative (%d)", tag, s, i, x)
+			}
+			sum += x
+			accounts++
+		}
+	}
+	if want := accounts * chaosInitial; sum != want {
+		t.Fatalf("%s: conservation violated: total %d, want %d", tag, sum, want)
+	}
+}
+
+// runUntilCrash drives op from several workers until the armed crash fires.
+// The first worker to unwind with the crash sentinel stops the others;
+// stragglers mid-commit when the log freezes either finish against other
+// shards' logs (recovery treats their frames normally) or hit the latched
+// CrashedError and unwind too — both are legal post-mortem states for the
+// recovery scan.
+func runUntilCrash(t *testing.T, plan *stm.FaultPlan, seed uint64, op func(rng *rand.Rand)) {
+	t.Helper()
+	const workers = 4
+	var crashed atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)*31 + int64(id)))
+			for i := 0; i < 20000 && !crashed.Load(); i++ {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							crashed.Store(true)
+							if _, ok := core.IsCrash(r); !ok {
+								errc <- fmt.Errorf("worker %d: unexpected panic: %v", id, r)
+							}
+						}
+					}()
+					op(rng)
+				}()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if !plan.Crashed() {
+		t.Fatal("armed crash never fired — injection site unreachable from this workload")
+	}
+}
+
+// TestCrashRecoveryBank is the crash matrix over the bank driver: every
+// engine × every crash site, each cell crashing once, recovering twice, and
+// running post-recovery traffic in between to prove the repaired chain
+// extends cleanly.
+func TestCrashRecoveryBank(t *testing.T) {
+	for _, algo := range durableEngines {
+		for ci, cell := range crashCells {
+			t.Run(fmt.Sprintf("%v/%v", algo, cell.site), func(t *testing.T) {
+				dir := t.TempDir()
+				seed := uint64(0xC7A51+ci*131+int(algo)*17) + crashSeedOffset()
+				plan := stm.NewFaultPlan(seed).WithCrash(cell.site, int64(6+seed%13))
+				d, err := stm.OpenDurable(dir, algo, chaosShards,
+					stm.WithFsync(crashPolicy(cell.policy)), stm.WithCrashPlan(plan))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rt := d.Runtime()
+				rt.SetEscalateAfter(0)
+				bank := apps.NewShardedBankVars(rt, chaosBankVars(d), chaosInitial, 0.15)
+				bank.Window = 4
+				runUntilCrash(t, plan, seed, bank.Op)
+				d.Close()
+
+				d2, err := stm.OpenDurable(dir, algo, chaosShards, stm.WithFsync("always"))
+				if err != nil {
+					t.Fatalf("recovery refused the post-crash log: %v", err)
+				}
+				if cell.site == stm.CrashTornWrite && d2.Recovery().TornShards == 0 {
+					t.Error("torn-write crash left no torn tail for recovery to truncate")
+				}
+				vars2 := chaosBankVars(d2)
+				checkBankVars(t, "after recovery", vars2)
+
+				bank2 := apps.NewShardedBankVars(d2.Runtime(), vars2, chaosInitial, 0.15)
+				bank2.Window = 4
+				rng := rand.New(rand.NewSource(int64(seed)))
+				for i := 0; i < 300; i++ {
+					bank2.Op(rng)
+				}
+				checkBankVars(t, "after post-recovery traffic", vars2)
+				if err := d2.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				d3, err := stm.OpenDurable(dir, algo, chaosShards)
+				if err != nil {
+					t.Fatalf("second recovery refused the extended log: %v", err)
+				}
+				checkBankVars(t, "after second recovery", chaosBankVars(d3))
+				d3.Close()
+			})
+		}
+	}
+}
+
+// durTable is the durable hashtable driver: per shard, one size counter
+// (logged as increments) and a block of occupancy slots (logged as absolute
+// writes). Every transaction keeps counter and slots consistent, so after
+// recovery "size == occupied slots" on every shard is a direct partial-
+// publish detector — a frame applied halfway, or one half of a cross-shard
+// migration, breaks it immediately.
+type durTable struct {
+	rt    *stm.Runtime
+	size  []*stm.Var
+	slots [][]*stm.Var
+}
+
+const tableSlots = 32
+
+func makeDurTable(d *stm.Durable) *durTable {
+	dt := &durTable{
+		rt:    d.Runtime(),
+		size:  make([]*stm.Var, chaosShards),
+		slots: make([][]*stm.Var, chaosShards),
+	}
+	for s := 0; s < chaosShards; s++ {
+		base := uint64(1000 + s*(tableSlots+1))
+		dt.size[s] = d.Var(s, base, 0)
+		dt.slots[s] = d.Vars(s, base+1, tableSlots, 0)
+	}
+	return dt
+}
+
+func (dt *durTable) op(rng *rand.Rand) {
+	home := rng.Intn(chaosShards)
+	if rng.Float64() < 0.15 {
+		// Cross-shard migration: move an occupied slot to a free slot of
+		// another shard, adjusting both size counters in one transaction.
+		dest := rng.Intn(chaosShards - 1)
+		if dest >= home {
+			dest++
+		}
+		src := dt.slots[home][rng.Intn(tableSlots)]
+		dst := dt.slots[dest][rng.Intn(tableSlots)]
+		dt.rt.Atomically(func(tx *stm.Tx) {
+			if tx.Read(src) == 1 && tx.Read(dst) == 0 {
+				tx.Write(src, 0)
+				tx.Dec(dt.size[home], 1)
+				tx.Write(dst, 1)
+				tx.Inc(dt.size[dest], 1)
+			}
+		})
+		return
+	}
+	slot := dt.slots[home][rng.Intn(tableSlots)]
+	dt.rt.Atomically(func(tx *stm.Tx) {
+		if tx.Read(slot) == 0 {
+			tx.Write(slot, 1)
+			tx.Inc(dt.size[home], 1)
+		} else {
+			tx.Write(slot, 0)
+			tx.Dec(dt.size[home], 1)
+		}
+	})
+}
+
+func (dt *durTable) check(t *testing.T, tag string) {
+	t.Helper()
+	for s := range dt.slots {
+		var occupied int64
+		for i, v := range dt.slots[s] {
+			x := v.Load()
+			if x != 0 && x != 1 {
+				t.Fatalf("%s: shard %d slot %d holds %d, want 0 or 1", tag, s, i, x)
+			}
+			occupied += x
+		}
+		if got := dt.size[s].Load(); got != occupied {
+			t.Fatalf("%s: shard %d size counter %d but %d occupied slots — partial publish",
+				tag, s, got, occupied)
+		}
+	}
+}
+
+// TestCrashRecoveryHashtable runs the crash cells over the slot/counter
+// driver on both semantic engines: the size-versus-slots invariant is the
+// sharpest zero-partial-publish assertion in the suite.
+func TestCrashRecoveryHashtable(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.SNOrec, stm.STL2} {
+		for ci, cell := range crashCells {
+			t.Run(fmt.Sprintf("%v/%v", algo, cell.site), func(t *testing.T) {
+				dir := t.TempDir()
+				seed := uint64(0x4A5B+ci*97+int(algo)*13) + crashSeedOffset()
+				plan := stm.NewFaultPlan(seed).WithCrash(cell.site, int64(5+seed%11))
+				d, err := stm.OpenDurable(dir, algo, chaosShards,
+					stm.WithFsync(crashPolicy(cell.policy)), stm.WithCrashPlan(plan))
+				if err != nil {
+					t.Fatal(err)
+				}
+				d.Runtime().SetEscalateAfter(0)
+				dt := makeDurTable(d)
+				runUntilCrash(t, plan, seed, dt.op)
+				d.Close()
+
+				d2, err := stm.OpenDurable(dir, algo, chaosShards)
+				if err != nil {
+					t.Fatalf("recovery refused the post-crash log: %v", err)
+				}
+				dt2 := makeDurTable(d2)
+				dt2.check(t, "after recovery")
+				rng := rand.New(rand.NewSource(int64(seed)))
+				for i := 0; i < 300; i++ {
+					dt2.op(rng)
+				}
+				dt2.check(t, "after post-recovery traffic")
+				if err := d2.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				d3, err := stm.OpenDurable(dir, algo, chaosShards)
+				if err != nil {
+					t.Fatalf("second recovery refused the extended log: %v", err)
+				}
+				makeDurTable(d3) // replays and re-verifies the chain
+				d3.Close()
+			})
+		}
+	}
+}
+
+// TestDurableRoundTrip is the no-crash baseline: commit, close cleanly,
+// reopen, and every durable variable carries its exact pre-close value —
+// including an increment-only counter resolved against its initial.
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := stm.OpenDurable(dir, stm.SNOrec, 2, stm.WithFsync("always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := d.Runtime()
+	a := d.Var(0, 1, 100)
+	b := d.Var(1, 2, 200)
+	ctr := d.Var(0, 3, 1000) // increment-only: recovery must resolve delta+initial
+	for i := 0; i < 10; i++ {
+		rt.Atomically(func(tx *stm.Tx) {
+			tx.Inc(a, -3)
+			tx.Inc(b, 3)
+			tx.Inc(ctr, 7)
+		})
+	}
+	rt.Atomically(func(tx *stm.Tx) { tx.Write(a, 42) })
+	st := d.WALStats()
+	if st.Appends == 0 || st.Fsyncs == 0 {
+		t.Fatalf("durable commits produced no WAL activity: %+v", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := stm.OpenDurable(dir, stm.SNOrec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rec := d2.Recovery(); rec.Frames == 0 || rec.TornShards != 0 || rec.CutFrames != 0 {
+		t.Fatalf("clean close recovered oddly: %+v", rec)
+	}
+	if got := d2.Var(0, 1, 100).Load(); got != 42 {
+		t.Fatalf("a recovered as %d, want 42", got)
+	}
+	if got := d2.Var(1, 2, 200).Load(); got != 230 {
+		t.Fatalf("b recovered as %d, want 230", got)
+	}
+	if got := d2.Var(0, 3, 1000).Load(); got != 1070 {
+		t.Fatalf("ctr recovered as %d, want 1070", got)
+	}
+}
+
+// TestDurableLogFailureDegrades verifies the graceful-degradation contract:
+// a latched log failure turns into one AbortLogFail + immediate irrevocable
+// escalation for the transaction that hit it, and the runtime keeps
+// committing volatile afterwards. Reopening then recovers exactly the
+// pre-failure prefix — the commits the log acknowledged.
+func TestDurableLogFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	d, err := stm.OpenDurable(dir, stm.STL2, 2, stm.WithFsync("always"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := d.Runtime()
+	v := d.Var(0, 1, 0)
+	for i := 0; i < 5; i++ {
+		rt.Atomically(func(tx *stm.Tx) { tx.Inc(v, 1) })
+	}
+	d.InjectLogFailure(errors.New("simulated disk death"))
+	for i := 0; i < 5; i++ {
+		rt.Atomically(func(tx *stm.Tx) { tx.Inc(v, 1) }) // must still commit
+	}
+	if v.Load() != 10 {
+		t.Fatalf("degraded runtime lost commits: %d, want 10", v.Load())
+	}
+	if !d.WALFailed() {
+		t.Fatal("WALFailed not latched after injected log failure")
+	}
+	sn := rt.Stats()
+	if sn.WALFailures == 0 {
+		t.Fatalf("no WALFailures accounted: %+v", sn)
+	}
+	if sn.Escalations == 0 {
+		t.Fatal("log failure did not escalate the failing transaction")
+	}
+	d.Close()
+
+	d2, err := stm.OpenDurable(dir, stm.STL2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	// Only the five pre-failure commits were durable; the degraded five were
+	// volatile by contract.
+	if got := d2.Var(0, 1, 0).Load(); got != 5 {
+		t.Fatalf("recovered %d, want the 5 pre-failure commits", got)
+	}
+}
+
+// TestOpenDurableErrors pins the constructor's failure modes: bad shard
+// counts and policies, engines without a shardable commit, manifest
+// mismatch on reopen, and durable-key misuse.
+func TestOpenDurableErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := stm.OpenDurable(dir, stm.SNOrec, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := stm.OpenDurable(dir, stm.SNOrec, 2, stm.WithFsync("sometimes")); err == nil {
+		t.Error("unknown fsync policy accepted")
+	}
+	if _, err := stm.OpenDurable(dir, stm.HTM, 2); err == nil {
+		t.Error("non-shardable engine accepted")
+	}
+	d, err := stm.OpenDurable(dir, stm.SNOrec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Var(0, 7, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate durable key did not panic")
+			}
+		}()
+		d.Var(1, 7, 0)
+	}()
+	d.Close()
+	if _, err := stm.OpenDurable(dir, stm.SNOrec, 4); err == nil {
+		t.Error("shard-count mismatch against the manifest accepted")
+	}
+}
+
+// TestAtomicallyCtxCancelCrossShardPhaseOne closes the PR6 coverage gap:
+// cancellation arriving while a cross-shard commit is inside phase 1 —
+// locks acquired, ticket not yet taken. Every attempt reads a probe var and
+// then hands a disturber goroutine a turn to overwrite it before the commit
+// starts, so phase-1 validation deterministically fails with both shards'
+// locks held and must roll them back. The context is cancelled
+// synchronously inside one of those doomed attempts (so it is already set
+// while that attempt holds its phase-1 locks). The runtime must (a) return
+// the context error with nothing published, and (b) leave no shard lock
+// behind — proven by committing over the same shards immediately after.
+func TestAtomicallyCtxCancelCrossShardPhaseOne(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.SNOrec, stm.STL2, stm.NOrec, stm.TL2} {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := stm.NewShardedRuntime(algo, 4)
+			rt.SetEscalateAfter(0)
+			a := stm.NewVarOn(0, 5)
+			b := stm.NewVarOn(1, 7)
+			probe := stm.NewVarOn(0, 0)
+			step := make(chan struct{})
+			ack := make(chan struct{})
+			stop := make(chan struct{})
+			var disturber sync.WaitGroup
+			disturber.Add(1)
+			go func() {
+				defer disturber.Done()
+				for {
+					select {
+					case <-step:
+						rt.Atomically(func(tx *stm.Tx) { tx.Inc(probe, 1) })
+						ack <- struct{}{}
+					case <-stop:
+						return
+					}
+				}
+			}()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var attempts atomic.Int32
+			err := rt.AtomicallyCtx(ctx, func(tx *stm.Tx) {
+				tx.Read(probe)
+				tx.Inc(a, 1)
+				tx.Inc(b, 1)
+				if attempts.Add(1) == 4 {
+					// Already-cancelled context, attempt still in flight: the
+					// coming phase 1 runs with cancellation pending.
+					cancel()
+				}
+				step <- struct{}{} // disturber bumps probe: phase 1 must abort
+				<-ack
+			})
+			close(stop)
+			disturber.Wait()
+			if err == nil || !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled, got %v", err)
+			}
+			if got := attempts.Load(); got < 4 {
+				t.Fatalf("only %d attempts ran; cancellation never overlapped phase 1", got)
+			}
+			if a.Load() != 5 || b.Load() != 7 {
+				t.Fatalf("cancelled cross-shard transaction published partially: a=%d b=%d",
+					a.Load(), b.Load())
+			}
+			// Leak probe: with the disturber gone, a cross-shard commit over
+			// the same two shards succeeds immediately — unless a phase-1
+			// abort above leaked a lock, which would starve it to budget
+			// exhaustion or hang its bounded waits.
+			if err := rt.TryAtomically(func(tx *stm.Tx) {
+				tx.Inc(a, 1)
+				tx.Inc(b, 1)
+			}); err != nil {
+				t.Fatalf("cross-shard commit after cancellation failed — leaked phase-1 lock? %v", err)
+			}
+			if a.Load() != 6 || b.Load() != 8 {
+				t.Fatalf("leak probe published partially: a=%d b=%d", a.Load(), b.Load())
+			}
+		})
+	}
+}
+
+// TestFaultSiteExhaustiveness asserts every registered injection point —
+// barrier fault sites, the validation and commit-delay streams, and all
+// three crash sites — is consulted by one representative durable workload.
+// A site nothing consults is a dead injection point: either the
+// instrumentation hook was dropped in a refactor or a new site was
+// registered without wiring, and this test catches both as the list grows.
+func TestFaultSiteExhaustiveness(t *testing.T) {
+	plan := stm.NewFaultPlan(0xE4A) // inert: no fault armed, only observation
+	d, err := stm.OpenDurable(t.TempDir(), stm.STL2, 2,
+		stm.WithFsync("always"), stm.WithCrashPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rt := d.Runtime()
+	vars := d.Vars(0, 1, 4, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				rt.Atomically(func(tx *stm.Tx) {
+					tx.Read(vars[0])
+					if tx.GTE(vars[1], 1) { // semantic cmp barrier
+						tx.Inc(vars[2], 1)
+					}
+					tx.Write(vars[3], int64(id*1000+i))
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for site, n := range plan.SiteObservations() {
+		if n == 0 {
+			t.Errorf("injection site %q was never consulted — dead instrumentation", site)
+		}
+	}
+	if got, want := len(plan.SiteObservations()), len(core.FaultSiteNames()); got != want {
+		t.Fatalf("observation map has %d sites, registry names %d", got, want)
+	}
+}

@@ -51,6 +51,24 @@ const (
 	AbortSpurious = core.ReasonSpurious
 	// AbortExplicit: user code called Tx.Restart.
 	AbortExplicit = core.ReasonExplicit
+	// AbortLogFail: a durable runtime could not append the commit's redo
+	// records to the write-ahead log. The retry loop escalates the next
+	// attempt straight to the irrevocable serializing mode and the runtime
+	// continues volatile (Durable.WALFailed reports the latched failure).
+	AbortLogFail = core.ReasonLogFail
+)
+
+// CrashSite identifies a crash-injection point on the durable commit
+// pipeline; arm one with FaultPlan.WithCrash on a durable runtime's plan.
+type CrashSite = core.CrashSite
+
+// The injectable crash sites (see the core package for their exact
+// semantics): death before the batch fsync, death midway through a record
+// write, and death after the records are durable but before publication.
+const (
+	CrashPreFsync            = core.CrashPreFsync
+	CrashTornWrite           = core.CrashTornWrite
+	CrashPostFsyncPrePublish = core.CrashPostFsyncPrePublish
 )
 
 // FaultPlan deterministically injects faults (spurious aborts, forced
@@ -230,7 +248,12 @@ func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 		}
 		entered := false
 		if !escalated {
-			if escAfter > 0 && attempt >= escAfter {
+			// A log-write failure escalates immediately: the WAL is latched
+			// failed, so the retry would succeed anyway, but the irrevocable
+			// mode guarantees the degraded commit completes right now
+			// instead of re-entering the optimistic scrum.
+			logFailed := attempt > 0 && tx.lastReason == core.ReasonLogFail
+			if logFailed || (escAfter > 0 && attempt >= escAfter) {
 				escalated = true
 				rt.esc.acquire()
 				if adaptive {

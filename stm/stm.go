@@ -193,6 +193,13 @@ type Runtime struct {
 	yieldEvery int
 	esc        escalator // quiesce protocol of the irrevocable mode and of engine switches
 
+	// walLogger is the durable redo sink installed on every sharded engine
+	// instance the runtime builds (OpenDurable); nil on volatile runtimes.
+	// walFacts additionally logs single-variable cmp outcomes as
+	// self-checking fact records.
+	walLogger shard.Logger
+	walFacts  bool
+
 	// Ablation and tuning knobs, set before the runtime is shared.
 	dedupReads    bool
 	noExtend      bool
@@ -206,7 +213,7 @@ type Runtime struct {
 
 // New creates a runtime for the given algorithm. The algorithm must be
 // registered in the engine registry (every Algorithm constant is).
-func New(algo Algorithm) *Runtime { return newRuntime(algo, 0) }
+func New(algo Algorithm) *Runtime { return newRuntime(algo, 0, nil, false) }
 
 // NewShardedRuntime creates a runtime whose engine is partitioned into
 // nshards independent instances — per-shard TL2 clocks and orec tables,
@@ -232,10 +239,10 @@ func NewShardedRuntime(algo Algorithm, nshards int) *Runtime {
 	if !desc.Composite && !desc.TwoPhase && !desc.Irrevocable {
 		panic(fmt.Sprintf("stm: engine %q cannot be sharded (no two-phase commit)", desc.Name))
 	}
-	return newRuntime(algo, nshards)
+	return newRuntime(algo, nshards, nil, false)
 }
 
-func newRuntime(algo Algorithm, nshards int) *Runtime {
+func newRuntime(algo Algorithm, nshards int, logger shard.Logger, logFacts bool) *Runtime {
 	desc, ok := core.EngineFor(algo)
 	if !ok {
 		panic(fmt.Sprintf("stm: unknown algorithm %d", int(algo)))
@@ -243,6 +250,8 @@ func newRuntime(algo Algorithm, nshards int) *Runtime {
 	rt := &Runtime{
 		algo:          algo,
 		nshards:       nshards,
+		walLogger:     logger,
+		walFacts:      logFacts,
 		htmCapacity:   htm.DefaultCapacity,
 		htmRetries:    htm.DefaultMaxHWRetries,
 		htmSpurious:   htm.DefaultSpuriousPct,
@@ -271,7 +280,11 @@ func (rt *Runtime) engineFor(algo Algorithm) core.Engine {
 			panic(fmt.Sprintf("stm: %v is not a concrete engine", algo))
 		}
 		if rt.nshards > 0 {
-			rt.engines[algo] = shard.NewEngine(desc, rt.nshards)
+			se := shard.NewEngine(desc, rt.nshards)
+			if rt.walLogger != nil {
+				se.SetLogger(rt.walLogger, rt.walFacts)
+			}
+			rt.engines[algo] = se
 		} else {
 			rt.engines[algo] = desc.New()
 		}
