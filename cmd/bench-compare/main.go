@@ -30,6 +30,19 @@
 // are annotated, since a throughput delta between different scheduler widths
 // measures the width, not the code. They still count toward the regression
 // gate — a committed baseline refresh is expected to keep widths stable.
+//
+// -known-drift FILE loads a JSON array of cell keys with notes — cells whose
+// throughput on this host is known to drift for reasons outside the code
+// (frequency scaling, a noisy CI neighbor). A throughput regression in a
+// listed cell is still measured and printed, annotated with the note, but
+// does not fail the exit status: the list marks drift, it never hides it.
+// The allocation gate is exempt from the list — allocs/tx is deterministic,
+// so host drift cannot explain an allocation regression. Entries that match
+// no compared cell, or whose cell no longer regresses, are called out as
+// stale so the list shrinks instead of accreting. Entry fields mirror the
+// cell key: {"workload", "algorithm", "threads", "shards", "cross_pct",
+// "fsync_policy", "note"}; unset fields default to the classic-grid zero
+// values, keeping entries as terse as the cells they mark.
 package main
 
 import (
@@ -49,6 +62,8 @@ func main() {
 		"maximum tolerated throughput drop per cell, in percent")
 	maxAllocIncrease := flag.Float64("max-alloc-increase", 0.25,
 		"maximum tolerated allocs/tx increase per cell (absolute; v5 reports only)")
+	knownDrift := flag.String("known-drift", "",
+		"JSON file of cell keys whose throughput regressions are known host drift: marked in the output, excluded from the exit status")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bench-compare [-max-regress PCT] [-max-alloc-increase N] OLD.json NEW.json")
@@ -88,6 +103,23 @@ func main() {
 		return m
 	}
 	oldCells, newCells := index(oldRep), index(newRep)
+
+	// The known-drift list marks cells, it never hides them: a listed cell's
+	// regression is still measured and printed, it just doesn't fail the run.
+	// driftSeen/driftRegressed track which entries earned their keep so stale
+	// ones are called out below.
+	drift := map[key]string{}
+	driftSeen := map[key]bool{}
+	driftRegressed := map[key]bool{}
+	if *knownDrift != "" {
+		entries, err := loadDrift(*knownDrift)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, e := range entries {
+			drift[key{e.Workload, e.Algorithm, e.Threads, e.Shards, e.CrossPct, e.FsyncPolicy}] = e.Note
+		}
+	}
 
 	var keys []key
 	for k := range oldCells {
@@ -138,18 +170,27 @@ func main() {
 		}
 		return wl
 	}
-	regressions := 0
+	regressions, drifted := 0, 0
 	for _, k := range keys {
 		o, n := oldCells[k], newCells[k]
 		wl := label(k)
+		if _, ok := drift[k]; ok {
+			driftSeen[k] = true
+		}
 		delta := 0.0
 		if o.ThroughputK > 0 {
 			delta = 100 * (n.ThroughputK - o.ThroughputK) / o.ThroughputK
 		}
 		mark := ""
 		if o.ThroughputK > 0 && delta < -*maxRegress {
-			mark = "  REGRESSION"
-			regressions++
+			if note, ok := drift[k]; ok {
+				mark = fmt.Sprintf("  regression (known drift: %s)", note)
+				driftRegressed[k] = true
+				drifted++
+			} else {
+				mark = "  REGRESSION"
+				regressions++
+			}
 		}
 		if allocGate && n.AllocsPerTx-o.AllocsPerTx > *maxAllocIncrease {
 			mark += "  ALLOC-REGRESSION"
@@ -189,11 +230,68 @@ func main() {
 	}
 	listOnly(newCells, oldCells, "added", "NEW")
 	listOnly(oldCells, newCells, "removed", "OLD")
+	// Stale drift entries are warnings, not errors: they mean the list has
+	// outlived the drift it documented and should shrink.
+	var driftKeys []key
+	for k := range drift {
+		driftKeys = append(driftKeys, k)
+	}
+	sort.Slice(driftKeys, func(i, j int) bool {
+		return label(driftKeys[i])+driftKeys[i].algo < label(driftKeys[j])+driftKeys[j].algo
+	})
+	for _, k := range driftKeys {
+		switch {
+		case !driftSeen[k]:
+			fmt.Fprintf(os.Stderr, "bench-compare: warning: known-drift entry %s %s x%d matches no compared cell (stale?)\n",
+				label(k), k.algo, k.threads)
+		case !driftRegressed[k]:
+			fmt.Fprintf(os.Stderr, "bench-compare: warning: known-drift entry %s %s x%d no longer regresses; consider removing it\n",
+				label(k), k.algo, k.threads)
+		}
+	}
+	if drifted > 0 {
+		fmt.Printf("%d cell(s) regressed within known drift (marked above, not failing)\n", drifted)
+	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "bench-compare: %d cell(s) regressed beyond tolerance\n", regressions)
 		os.Exit(1)
 	}
 	fmt.Printf("ok: no cell regressed beyond tolerance (%d compared)\n", len(keys))
+}
+
+// driftEntry is one -known-drift record; its fields mirror the cell-matching
+// key, with unset fields defaulting to the classic-grid zero values.
+type driftEntry struct {
+	Workload    string  `json:"workload"`
+	Algorithm   string  `json:"algorithm"`
+	Threads     int     `json:"threads"`
+	Shards      int     `json:"shards"`
+	CrossPct    float64 `json:"cross_pct"`
+	FsyncPolicy string  `json:"fsync_policy"`
+	Note        string  `json:"note"`
+}
+
+// loadDrift reads a -known-drift file: a JSON array of driftEntry records,
+// each of which must say what it marks and why.
+func loadDrift(path string) ([]driftEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []driftEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for i, e := range entries {
+		if e.Workload == "" || e.Algorithm == "" || e.Threads == 0 {
+			return nil, fmt.Errorf("%s: entry %d needs workload, algorithm and threads", path, i)
+		}
+		if e.Note == "" {
+			return nil, fmt.Errorf("%s: entry %d (%s %s x%d) has no note — a drift mark must say why",
+				path, i, e.Workload, e.Algorithm, e.Threads)
+		}
+	}
+	return entries, nil
 }
 
 // schemaVersion extracts the numeric suffix of a schema string like

@@ -21,9 +21,13 @@
 // bytes_per_tx / gc_pause_us from runtime.MemStats deltas, plus — on
 // adaptive cells — the online engine-switch count and the engine the cell
 // ended on) so perf and robustness PRs can diff against it. From schema v6
-// the report also carries the sharded-runtime grid, and from v7 the durable
+// the report also carries the sharded-runtime grid, from v7 the durable
 // grid (bank over stm.OpenDurable, fsync policy × shard count, with the
-// wal_appends / wal_fsyncs / wal_group_size accounting per cell).
+// wal_appends / wal_fsyncs / wal_group_size accounting per cell), and from
+// v8 the progressive-hybrid grid ({hashtable-rm, hashtable, bank} × {S-HTM,
+// HyTM-mid, HyTM}, with the per-path commit split hw_fast_commits /
+// hw_middle_commits, the hw_capacity_aborts bucket, and the engine-level
+// hw_fallbacks / hw_aborts tallies per cell).
 // bench-compare accepts reports of any schema (the allocation gate applies
 // from v5 on).
 //
@@ -68,6 +72,9 @@ func main() {
 		durShards  = flag.Int("durgate-shards", 32, "shard count of the -durgate comparison")
 		durPolicy  = flag.String("durgate-policy", "interval", "fsync policy of the durable cell in the -durgate comparison")
 		durMin     = flag.Float64("durgate-min", 0.65, "minimum throughput ratio (durable/volatile) the -durgate run must reach")
+		hybGate    = flag.Bool("hybridgate", false, "run the instrumentation-cost gate (capacity-edge hashtable scan, HyTM fast path vs classic fully instrumented HTM) and exit non-zero below -hybridgate-min")
+		hybThreads = flag.Int("hybridgate-threads", 1, "thread count of the -hybridgate comparison")
+		hybMin     = flag.Float64("hybridgate-min", 1.5, "minimum throughput ratio (fast-path/instrumented) the -hybridgate run must reach")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap (allocation) profile at exit to this file")
 	)
@@ -101,7 +108,7 @@ func main() {
 		}()
 	}
 
-	if *list || (*expID == "" && *jsonPath == "" && !*shardGate && !*durGate) {
+	if *list || (*expID == "" && *jsonPath == "" && !*shardGate && !*durGate && !*hybGate) {
 		fmt.Println("Available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Panels, e.Title)
@@ -161,7 +168,7 @@ func main() {
 		if failed {
 			os.Exit(1)
 		}
-		if *expID == "" && *jsonPath == "" && !*durGate {
+		if *expID == "" && *jsonPath == "" && !*durGate && !*hybGate {
 			return
 		}
 	}
@@ -185,6 +192,39 @@ func main() {
 			res.Workload, res.Algorithm, res.VolatileK, res.Policy, res.DurableK, res.Shards,
 			res.Ratio, *durMin, verdict, res.WALAppends, res.WALFsyncs, res.GroupSize,
 			time.Since(start).Round(time.Millisecond))
+		if !ok {
+			os.Exit(1)
+		}
+		if *expID == "" && *jsonPath == "" && !*hybGate {
+			return
+		}
+	}
+
+	if *hybGate {
+		// The instrumentation-cost gate (scripts/check.sh): on the
+		// capacity-edge hashtable scan, HyTM with its uninstrumented fast path
+		// must out-commit classic fully instrumented HTM by at least
+		// -hybridgate-min — the PR8 acceptance bar. The scan cell makes the
+		// gap structural rather than a wall-clock delta: the tail of
+		// value-pinning instrumentation's per-barrier footprint overflows
+		// the simulated tracking budget, and overflowing transactions burn
+		// the retry ladder, back off, and finish irrevocably, while the fast
+		// path's first-touch footprint fits and commits in hardware. A run
+		// where the fast path never committed proves nothing about
+		// instrumentation cost, so it fails outright.
+		start := time.Now()
+		res, err := experiments.HybridGate(cfg, *hybThreads)
+		if err != nil {
+			fatalf("hybridgate: %v", err)
+		}
+		ok := res.Ratio >= *hybMin && res.FastCommits > 0
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("hybridgate %-12s x%d: instrumented %.1f ktx/s, fast-path %.1f ktx/s, ratio %.2fx (min %.1fx), fast commits %d %s [%v]\n",
+			res.Workload, res.Threads, res.InstK, res.FastK, res.Ratio, *hybMin,
+			res.FastCommits, verdict, time.Since(start).Round(time.Millisecond))
 		if !ok {
 			os.Exit(1)
 		}

@@ -50,14 +50,65 @@ func NewHashtable(rt *stm.Runtime, capacity int) *Hashtable {
 	return h
 }
 
+// NewReadMostlyHashtable creates the read-dominated variant of the benchmark:
+// 90% lookups, 10% in-place refreshes, no insert/remove churn. This is the
+// regime where an uninstrumented hardware fast path pays for itself — nearly
+// every barrier is a probe read whose bookkeeping the fast path sheds — so it
+// is the workload of the instrumentation-cost ablation and the -hybridgate CI
+// gate (DESIGN.md §13). Zero churn is deliberate twice over: structurally,
+// removals leave tombstones that lengthen every probe chain over the run, so
+// a churning cell measures table aging (and, once chains outgrow the
+// simulated HTM capacity, only the software slow path) rather than barrier
+// cost; and behaviorally, refreshes keep the epoch moving without changing
+// table shape, which is exactly the traffic the fast path's epoch
+// subscription must survive.
+// The variant also doubles OpsPerTx: read-mostly transactions in the wild
+// are scans, and a 20-operation footprint — still far inside the simulated
+// tracking budget — is where the instrumented paths' O(footprint)
+// revalidation cost separates cleanly from the fast path's flat epoch check.
+func NewReadMostlyHashtable(rt *stm.Runtime, capacity int) *Hashtable {
+	h := NewHashtable(rt, capacity)
+	h.OpsPerTx = 20
+	h.InsertBias = 0
+	h.UpdateBias = 0.1
+	return h
+}
+
+// NewScanHashtable creates the capacity-edge scan variant: the read-mostly
+// mix (90% lookups, 10% refreshes, zero churn) with a 64-operation footprint,
+// sized so that value-pinning instrumentation — one read-set entry per
+// barrier, ~230-240 per transaction across the probe chains — straddles a
+// simulated HTM budget of ~256 tracked locations. The straddle is the
+// point: a few percent of classic-HTM transactions overflow, and each one
+// burns its whole hardware retry budget (the footprint cannot shrink by
+// retrying), trips the contention manager's exponential backoff, and
+// finishes irrevocably — a cascade expensive enough to collapse the cell
+// several-fold. The instrumented semantic paths fold repeated probe facts
+// per location and fit; the uninstrumented fast path tracks only distinct
+// first-touches and fits with the least per-barrier work. This is the
+// paper's capacity argument — semantic facts shrink the tracked set, so
+// S-HTM survives footprints that break value-based HTM — carried one tier
+// further down: no facts at all track less still.
+func NewScanHashtable(rt *stm.Runtime, capacity int) *Hashtable {
+	h := NewReadMostlyHashtable(rt, capacity)
+	h.OpsPerTx = 64
+	return h
+}
+
 // opBufCap is the per-Op stack buffer size shared by the drivers whose
 // operation count is configurable: common OpsPerTx values run without a
 // per-transaction heap allocation (the harness drives millions of Ops, and a
 // driver-side allocation per transaction would dominate every allocs/tx
 // measurement of the STM itself); larger configurations fall back to make.
-const opBufCap = 16
+const opBufCap = 64
 
-// Op runs one transaction of OpsPerTx table operations.
+// Op runs one transaction of OpsPerTx table operations. Keys and kinds come
+// from one splitmix64 stream seeded per transaction off the harness rng: the
+// driver sits between the harness and every barrier it measures, so its
+// per-op cost must stay negligible next to the barrier cost — two rand.Rand
+// virtual calls per op (key + kind) were a measurable slice of the
+// instrumentation-ablation cells, where the barriers themselves are a few
+// nanoseconds.
 func (h *Hashtable) Op(rng *rand.Rand) {
 	type access struct {
 		key  int64
@@ -70,12 +121,22 @@ func (h *Hashtable) Op(rng *rand.Rand) {
 	} else {
 		ops = make([]access, h.OpsPerTx)
 	}
+	insCut := uint64(h.InsertBias * (1 << 32))
+	updCut := uint64((h.InsertBias + h.UpdateBias) * (1 << 32))
+	x := rng.Uint64()
 	for i := range ops {
-		ops[i].key = 1 + rng.Int63n(h.KeySpace)
-		switch p := rng.Float64(); {
-		case p < h.InsertBias:
+		x += 0x9E3779B97F4A7C15 // splitmix64
+		z := x
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		ops[i].key = 1 + int64((z>>32)%uint64(h.KeySpace))
+		switch p := z & 0xFFFFFFFF; {
+		case p < insCut:
 			ops[i].kind = 1
-		case p < h.InsertBias+h.UpdateBias:
+		case p < updCut:
 			ops[i].kind = 2
 		}
 	}

@@ -38,6 +38,22 @@ const (
 	// commit proceeds volatile — the runtime degrades instead of panicking,
 	// and the WAL stays latched failed for the health probes to report.
 	ReasonLogFail
+	// ReasonHWConflict: a hardware path of the progressive HyTM engine lost
+	// its conflict-detection epoch — another commit (hardware or software)
+	// published while the attempt speculated. Unlike ReasonValidation it is
+	// typed separately because it drives the per-path demotion policy: the
+	// uninstrumented fast path cannot tell a real conflict from a benign
+	// one (it keeps no read-set), so repeated hw-conflicts demote the
+	// transaction to the instrumented middle path rather than marking the
+	// data genuinely contended.
+	ReasonHWConflict
+	// ReasonHWCapacity: a hardware path of the progressive HyTM engine
+	// overflowed the simulated tracking buffers. It demotes immediately
+	// (retrying the same footprint on the same path cannot succeed): the
+	// fast path falls to the instrumented middle path, whose facts and
+	// deferred increments shrink the tracked set, and the middle path falls
+	// to the unbounded software slow path.
+	ReasonHWCapacity
 	// NumReasons bounds the enum; arrays indexed by Reason use it.
 	NumReasons
 )
@@ -61,6 +77,10 @@ func (r Reason) String() string {
 		return "explicit"
 	case ReasonLogFail:
 		return "log-fail"
+	case ReasonHWConflict:
+		return "hw-conflict"
+	case ReasonHWCapacity:
+		return "hw-capacity"
 	default:
 		return "invalid"
 	}

@@ -16,6 +16,9 @@ type EngineID int
 // The registered engine identifiers. The first nine preserve the numeric
 // values of the pre-registry stm.Algorithm constants; EngineAdaptive is the
 // composite policy engine that switches between concrete engines online.
+// The progressive HyTM pair is appended after it — numeric values only ever
+// grow, since the committed BENCH_*.json baselines refer to engines by name
+// but the IDs index fixed-size arrays throughout the runtime.
 const (
 	EngineNOrec EngineID = iota
 	EngineSNOrec
@@ -27,6 +30,15 @@ const (
 	EngineRing
 	EngineSRing
 	EngineAdaptive
+	// EngineHyTM is the progressive hybrid engine (DESIGN.md §13): an
+	// uninstrumented hardware fast path, an instrumented hardware middle
+	// path, and a software slow path, with typed-abort-driven demotion.
+	EngineHyTM
+	// EngineHyTMMid is the same engine with the fast path forced off — every
+	// hardware attempt starts on the instrumented middle path. It is the
+	// instrumentation-cost ablation cell the EXPERIMENTS.md table compares
+	// EngineHyTM against.
+	EngineHyTMMid
 	// NumEngines bounds the enum; arrays indexed by EngineID use it.
 	NumEngines
 )
@@ -46,6 +58,13 @@ type TxConfig struct {
 	HTMCapacity int
 	HTMRetries  int
 	HTMSpurious float64
+	// NoIrrevocable disables an engine's in-engine irrevocable fallback
+	// (HTM family). Sharded runtimes set it: an irrevocable attempt writes
+	// in place, which cannot roll back when another shard's Prepare aborts
+	// a cross-shard commit, so under sharding the hybrid engines retry on
+	// their software slow path and progress comes from the runtime-level
+	// escalation gate instead.
+	NoIrrevocable bool
 	// Seed decorrelates descriptor-local RNG streams (HTM family).
 	Seed int64
 }
@@ -88,6 +107,12 @@ type EngineDesc struct {
 	// HTMBacked reports whether the engine runs on the simulated best-effort
 	// hardware path.
 	HTMBacked bool
+	// ProgressiveHTM reports whether the engine implements the three-path
+	// progressive HyTM structure (uninstrumented fast path, instrumented
+	// middle path, software slow path) with typed-abort demotion — the
+	// capability the adaptive policy's capacity-escalation rule and the
+	// hybrid benchmark grid key on.
+	ProgressiveHTM bool
 	// TwoPhase reports whether the engine's descriptors implement the
 	// core.TwoPhase decomposed commit, the capability a sharded runtime
 	// needs to commit transactions that span engine instances. Engines

@@ -196,6 +196,9 @@ func (ws *WriteSet) tableInsert(id uint64, slot int32) {
 // Get returns a pointer to the entry for v, or nil if v is not in the set.
 // The pointer stays valid until the next Put or Reset.
 func (ws *WriteSet) Get(v *Var) *WriteEntry {
+	if len(ws.entries) == 0 {
+		return nil // read-only so far: cheaper than computing the signature
+	}
 	m := sigMask(v.id)
 	if ws.sig&m != m {
 		return nil // signature miss: definitely not buffered

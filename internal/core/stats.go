@@ -32,6 +32,14 @@ type TxStats struct {
 	// volatile mode. Always zero on volatile runtimes.
 	WALAppends  uint64 // WAL frames appended by the attempt's commit
 	WALFailures uint64 // log-write failures degraded to ReasonLogFail
+
+	// Progressive-HyTM path counters (DESIGN.md §13): which hardware tier a
+	// committed attempt ran on. A commit sets at most one of them; slow-path
+	// (software) commits set neither, so fast + middle + slow = Commits.
+	// Always zero off the HyTM engines.
+	HWFastCommits   uint64 // commits on the uninstrumented hardware fast path
+	HWMiddleCommits uint64 // commits on the instrumented hardware middle path
+	StickyStarts    uint64 // logical transactions the telemetry ladder started on the middle path
 }
 
 // Reset zeroes the per-attempt counters.
@@ -53,6 +61,9 @@ func (ts *TxStats) Accumulate(o *TxStats) {
 	ts.CrossRevals += o.CrossRevals
 	ts.WALAppends += o.WALAppends
 	ts.WALFailures += o.WALFailures
+	ts.HWFastCommits += o.HWFastCommits
+	ts.HWMiddleCommits += o.HWMiddleCommits
+	ts.StickyStarts += o.StickyStarts
 }
 
 // Counter indices of the aggregate layout: commits and aborts first, then
@@ -74,6 +85,9 @@ const (
 	cCrossRevals
 	cWALAppends
 	cWALFailures
+	cHWFastCommits
+	cHWMiddleCommits
+	cStickyStarts
 	cEscalations
 	cEngineSwitches
 	cReasonBase
@@ -144,6 +158,15 @@ func (sh *StatsShard) Merge(ts *TxStats, committed bool) {
 	if ts.WALFailures != 0 {
 		sh.c[cWALFailures].n.Add(ts.WALFailures)
 	}
+	if ts.HWFastCommits != 0 {
+		sh.c[cHWFastCommits].n.Add(ts.HWFastCommits)
+	}
+	if ts.HWMiddleCommits != 0 {
+		sh.c[cHWMiddleCommits].n.Add(ts.HWMiddleCommits)
+	}
+	if ts.StickyStarts != 0 {
+		sh.c[cStickyStarts].n.Add(ts.StickyStarts)
+	}
 }
 
 // CountAbortReason folds one abort's reason into the per-reason counters
@@ -205,6 +228,12 @@ type Snapshot struct {
 	// Durable-pipeline counters (DESIGN.md §12): WAL frames appended by
 	// durable commits and log-write failures degraded to volatile commits.
 	WALAppends, WALFailures uint64
+	// Progressive-HyTM path counters (DESIGN.md §13): commits that ran on
+	// the uninstrumented hardware fast path and on the instrumented hardware
+	// middle path (the remainder of Commits ran the software slow path), and
+	// logical transactions the telemetry ladder started directly on the
+	// middle path because the fast path's recent failure rate disqualified it.
+	HWFastCommits, HWMiddleCommits, StickyStarts uint64
 	// Escalations counts transactions that, after repeated aborts, completed
 	// in the irrevocable serializing mode (the starvation escape hatch).
 	Escalations uint64
@@ -242,23 +271,26 @@ func (s *Stats) Snapshot() Snapshot {
 		}
 	}
 	sn := Snapshot{
-		Commits:        t[cCommits],
-		Aborts:         t[cAborts],
-		Reads:          t[cReads],
-		Writes:         t[cWrites],
-		Compares:       t[cCompares],
-		Incs:           t[cIncs],
-		Promotes:       t[cPromotes],
-		Validations:    t[cValidations],
-		ValEntries:     t[cValEntries],
-		ClockAdopts:    t[cClockAdopts],
-		SpinWaits:      t[cSpinWaits],
-		CrossCommits:   t[cCrossCommits],
-		CrossRevals:    t[cCrossRevals],
-		WALAppends:     t[cWALAppends],
-		WALFailures:    t[cWALFailures],
-		Escalations:    t[cEscalations],
-		EngineSwitches: t[cEngineSwitches],
+		Commits:         t[cCommits],
+		Aborts:          t[cAborts],
+		Reads:           t[cReads],
+		Writes:          t[cWrites],
+		Compares:        t[cCompares],
+		Incs:            t[cIncs],
+		Promotes:        t[cPromotes],
+		Validations:     t[cValidations],
+		ValEntries:      t[cValEntries],
+		ClockAdopts:     t[cClockAdopts],
+		SpinWaits:       t[cSpinWaits],
+		CrossCommits:    t[cCrossCommits],
+		CrossRevals:     t[cCrossRevals],
+		WALAppends:      t[cWALAppends],
+		WALFailures:     t[cWALFailures],
+		HWFastCommits:   t[cHWFastCommits],
+		HWMiddleCommits: t[cHWMiddleCommits],
+		StickyStarts:    t[cStickyStarts],
+		Escalations:     t[cEscalations],
+		EngineSwitches:  t[cEngineSwitches],
 	}
 	copy(sn.AbortReasons[:], t[cReasonBase:])
 	return sn
@@ -278,23 +310,26 @@ func (sn Snapshot) AbortRate() float64 {
 // measurements to a benchmark interval.
 func (sn Snapshot) Sub(old Snapshot) Snapshot {
 	d := Snapshot{
-		Commits:        sn.Commits - old.Commits,
-		Aborts:         sn.Aborts - old.Aborts,
-		Reads:          sn.Reads - old.Reads,
-		Writes:         sn.Writes - old.Writes,
-		Compares:       sn.Compares - old.Compares,
-		Incs:           sn.Incs - old.Incs,
-		Promotes:       sn.Promotes - old.Promotes,
-		Validations:    sn.Validations - old.Validations,
-		ValEntries:     sn.ValEntries - old.ValEntries,
-		ClockAdopts:    sn.ClockAdopts - old.ClockAdopts,
-		SpinWaits:      sn.SpinWaits - old.SpinWaits,
-		CrossCommits:   sn.CrossCommits - old.CrossCommits,
-		CrossRevals:    sn.CrossRevals - old.CrossRevals,
-		WALAppends:     sn.WALAppends - old.WALAppends,
-		WALFailures:    sn.WALFailures - old.WALFailures,
-		Escalations:    sn.Escalations - old.Escalations,
-		EngineSwitches: sn.EngineSwitches - old.EngineSwitches,
+		Commits:         sn.Commits - old.Commits,
+		Aborts:          sn.Aborts - old.Aborts,
+		Reads:           sn.Reads - old.Reads,
+		Writes:          sn.Writes - old.Writes,
+		Compares:        sn.Compares - old.Compares,
+		Incs:            sn.Incs - old.Incs,
+		Promotes:        sn.Promotes - old.Promotes,
+		Validations:     sn.Validations - old.Validations,
+		ValEntries:      sn.ValEntries - old.ValEntries,
+		ClockAdopts:     sn.ClockAdopts - old.ClockAdopts,
+		SpinWaits:       sn.SpinWaits - old.SpinWaits,
+		CrossCommits:    sn.CrossCommits - old.CrossCommits,
+		CrossRevals:     sn.CrossRevals - old.CrossRevals,
+		WALAppends:      sn.WALAppends - old.WALAppends,
+		WALFailures:     sn.WALFailures - old.WALFailures,
+		HWFastCommits:   sn.HWFastCommits - old.HWFastCommits,
+		HWMiddleCommits: sn.HWMiddleCommits - old.HWMiddleCommits,
+		StickyStarts:    sn.StickyStarts - old.StickyStarts,
+		Escalations:     sn.Escalations - old.Escalations,
+		EngineSwitches:  sn.EngineSwitches - old.EngineSwitches,
 	}
 	for i := range d.AbortReasons {
 		d.AbortReasons[i] = sn.AbortReasons[i] - old.AbortReasons[i]

@@ -90,6 +90,20 @@ type BaselineCell struct {
 	WALAppends   uint64  `json:"wal_appends,omitempty"`
 	WALFsyncs    uint64  `json:"wal_fsyncs,omitempty"`
 	WALGroupSize float64 `json:"wal_group_size,omitempty"`
+	// Progressive-hybrid counters (schema v8, HTM-backed cells only).
+	// HWFastCommits / HWMiddleCommits split commits by hardware path —
+	// uninstrumented fast path vs instrumented middle path; the remainder
+	// committed through the software slow path. HWCapacityAborts is the
+	// "hw-capacity" bucket of AbortReasons surfaced as a first-class column
+	// (it is the footprint signal the adaptive ladder escalates on).
+	// HWFallbacks / HWAborts are the engine-level tallies from
+	// Runtime.HTMStats(): irrevocable-fallback acquisitions and failed
+	// hardware attempts. All omitted when zero, keeping v7 cells byte-stable.
+	HWFastCommits    uint64 `json:"hw_fast_commits,omitempty"`
+	HWMiddleCommits  uint64 `json:"hw_middle_commits,omitempty"`
+	HWCapacityAborts uint64 `json:"hw_capacity_aborts,omitempty"`
+	HWFallbacks      uint64 `json:"hw_fallbacks,omitempty"`
+	HWAborts         uint64 `json:"hw_aborts,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -147,7 +161,7 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		yieldEvery = 0
 	}
 	rep := BaselineReport{
-		Schema:      "semstm-bench-baseline/v7",
+		Schema:      "semstm-bench-baseline/v8",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -219,6 +233,11 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		return rep, err
 	}
 	rep.Cells = append(rep.Cells, durable...)
+	hybrid, err := hybridCells(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Cells = append(rep.Cells, hybrid...)
 	return rep, nil
 }
 

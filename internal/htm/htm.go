@@ -38,6 +38,55 @@ const (
 	DefaultSpuriousPct = 0.5
 )
 
+// Write-record ring geometry (progressive engine only, DESIGN.md §13).
+//
+// Every committed writer stamps its write-set into the ring slot of its
+// commit epoch before releasing the sequence lock. That is the simulation of
+// hardware conflict detection: real HTM aborts a speculating transaction only
+// when a cache line it touched is invalidated, not whenever *any* core
+// commits. The uninstrumented fast path keeps a local read signature (two
+// bits per first-touch, no read-set) and, when the epoch moves, tests each
+// recorded write of the intervening commits for Bloom *membership* in that
+// signature — all-misses means the moved epoch can be adopted and the attempt
+// survives. Membership (both bits set) rather than signature intersection
+// (any bit shared) is deliberate: write-sets here are a handful of locations,
+// and an intersection test's false-positive rate is per *bit* — at a
+// 100-location read footprint it would fire on several percent of disjoint
+// commits, drowning the true conflict rate — while membership of an exact
+// write record is per *location*, (2n/m)^2 ~ 0.1% at the same density. The
+// false positives that remain are indistinguishable from the false sharing of
+// a line-granular conflict detector: a safe, spurious-looking hardware abort.
+const (
+	// sigWords x 64 = 4096 read-signature bits, sized for the simulated
+	// capacity bound: a fast-path attempt may track up to Capacity locations
+	// at two bits each while keeping the membership false-positive rate per
+	// recorded write around 0.1% (the sizing argument RingSTM makes for its
+	// filters, adapted to membership tests).
+	sigWords = 64
+	sigBits  = sigWords * 64
+	// sigCap is the largest write-set recorded exactly; a wider commit (or
+	// an irrevocable fallback, whose in-place writes were never buffered)
+	// stamps sigWide instead, which every behind-the-epoch fast attempt
+	// treats as a certain conflict.
+	sigCap  = 64
+	sigWide = ^uint64(0)
+	// sigSlots is the ring depth in epochs. A reader that has fallen more
+	// than sigMaxLag epochs behind can no longer prove its slots were not
+	// recycled and must abort conservatively — the simulated analogue of a
+	// hardware transaction outliving its speculation resources.
+	sigSlots  = 256
+	sigMaxLag = sigSlots - 1
+	// sigIDMix is the Fibonacci multiplier hashing variable identities into
+	// bit positions (same constant the core sets use for their filters).
+	sigIDMix = 0x9E3779B97F4A7C15
+)
+
+// sigBitsFor returns the two Bloom bit positions for a variable identity.
+func sigBitsFor(id uint64) (uint64, uint64) {
+	h := id * sigIDMix
+	return h >> 52, (h >> 40) & (sigBits - 1) // top 12 bits, next 12 bits
+}
+
 // Global is the state shared by all transactions of one HTM runtime: a
 // timestamped sequence lock serving both as the commit serializer of
 // hardware transactions and as the fallback lock they subscribe to. The lock
@@ -49,6 +98,19 @@ type Global struct {
 	_         core.PadWord
 	fallbacks atomic.Uint64
 	hwAborts  atomic.Uint64
+
+	// sigs is the per-epoch write-record ring of the progressive engine:
+	// slot (epoch>>1) & (sigSlots-1) holds the write-set of the commit that
+	// released the sequence lock at that (even) epoch. Word 0 of a slot is
+	// the record length (or sigWide for an unknown write-set); words 1..n
+	// are the written variable identities, exact — a typical commit writes
+	// a handful of locations, so both stamping and scanning touch a few
+	// words. Entries past the length are stale leftovers from the slot's
+	// previous occupant and are never read. Stamped while the lock is held,
+	// so slot stores never race each other; readers guard against mid-scan
+	// recycling by re-checking the lock after the scan. Classic
+	// (non-progressive) transactions never consult it.
+	sigs [sigSlots][1 + sigCap]atomic.Uint64
 }
 
 // NewGlobal returns a fresh runtime state.
@@ -61,6 +123,9 @@ func (g *Global) Fallbacks() uint64 { return g.fallbacks.Load() }
 // or spurious).
 func (g *Global) HWAborts() uint64 { return g.hwAborts.Load() }
 
+// Sequence exposes the sequence-lock value (tests and shard clock probes).
+func (g *Global) Sequence() uint64 { return g.seq.Load() }
+
 // Quiescent verifies the fallback/sequence lock is not leaked: at a
 // quiescent point it must be even (no irrevocable transaction running).
 func (g *Global) Quiescent() error {
@@ -68,6 +133,31 @@ func (g *Global) Quiescent() error {
 		return fmt.Errorf("htm: fallback lock leaked (seq=%d)", s)
 	}
 	return nil
+}
+
+// stampSig records the write-set for the commit that will release the
+// sequence lock at the (even) value release. Called with the lock held: the
+// slot overwrite cannot race another stamp, and the release store that makes
+// the epoch observable happens after, so any reader that sees the new epoch
+// also sees its record.
+func (g *Global) stampSig(release uint64, ws *core.WriteSet) {
+	slot := &g.sigs[(release>>1)&(sigSlots-1)]
+	es := ws.Entries()
+	if len(es) > sigCap {
+		slot[0].Store(sigWide)
+		return
+	}
+	for i, e := range es {
+		slot[1+i].Store(e.Var.ID())
+	}
+	slot[0].Store(uint64(len(es)))
+}
+
+// stampSigAll records the unknown-write-set sentinel: an irrevocable fallback
+// wrote memory in place, so its write-set was never buffered and every
+// concurrent fast attempt that read anything must conservatively abort.
+func (g *Global) stampSigAll(release uint64) {
+	g.sigs[(release>>1)&(sigSlots-1)][0].Store(sigWide)
 }
 
 // Tx is one hybrid transaction descriptor.

@@ -213,10 +213,45 @@ func (e *Engine) Quiescent() error {
 	return nil
 }
 
+// hwReporter is the per-shard view of the facade's HTM telemetry probe.
+type hwReporter interface {
+	Fallbacks() uint64
+	HWAborts() uint64
+}
+
+// Fallbacks sums the hardware-fallback tallies over the shards whose
+// sub-engine exposes them (zero for software engines).
+func (e *Engine) Fallbacks() uint64 {
+	var n uint64
+	for _, sub := range e.subs {
+		if r, ok := sub.(hwReporter); ok {
+			n += r.Fallbacks()
+		}
+	}
+	return n
+}
+
+// HWAborts sums the hardware-abort tallies over the shards whose sub-engine
+// exposes them.
+func (e *Engine) HWAborts() uint64 {
+	var n uint64
+	for _, sub := range e.subs {
+		if r, ok := sub.(hwReporter); ok {
+			n += r.HWAborts()
+		}
+	}
+	return n
+}
+
 // NewTx returns a sharded transaction descriptor. Sub-descriptors are
 // created lazily on first touch of their shard and cached for the
 // descriptor's lifetime, so the steady state allocates nothing.
 func (e *Engine) NewTx(cfg core.TxConfig) core.TxImpl {
+	// No sub-engine may fall back to an in-engine irrevocable mode: an
+	// irrevocable attempt writes in place, which cannot roll back when
+	// another shard's Prepare aborts a cross-shard commit. Progress comes
+	// from the runtime-level escalation gate instead.
+	cfg.NoIrrevocable = true
 	return &Tx{
 		e:       e,
 		cfg:     cfg,

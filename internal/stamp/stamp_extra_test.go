@@ -135,3 +135,47 @@ func TestYadaTermination(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestVacationHybridGate gates the Vacation workload on the progressive
+// hybrid engines specifically — the additional STAMP cell of the tier-1 run
+// that exercises the fast/middle/slow demotion ladder under real transaction
+// shapes (deep tree traversals that strain the uninstrumented path's
+// capacity, semantic bookings that fit the middle path's facts). Asserts the
+// workload invariants, that both hardware paths actually committed work, and
+// that every abort carries a valid typed reason.
+func TestVacationHybridGate(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.HyTM, stm.HyTMMid} {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := stm.New(algo)
+			// Roomy capacity: reservations traverse BSTs, so the fast path
+			// needs headroom to commit at all; the overflowing sessions are
+			// exactly what the demotion ladder is for.
+			rt.ConfigureHTM(512, 4, 0.5)
+			v := NewVacation(rt, 64)
+			if err := drive(v, 4, 120); err != nil {
+				t.Fatal(err)
+			}
+			sn := rt.Stats()
+			if sn.HWFastCommits+sn.HWMiddleCommits == 0 {
+				t.Fatalf("no hardware-path commits: %+v", sn)
+			}
+			if algo == stm.HyTMMid && sn.HWFastCommits != 0 {
+				t.Fatalf("HyTM-mid took %d fast-path commits", sn.HWFastCommits)
+			}
+			if algo == stm.HyTM && sn.HWFastCommits == 0 {
+				t.Fatal("HyTM never committed on the uninstrumented fast path")
+			}
+			var reasonSum uint64
+			for _, n := range sn.AbortReasons {
+				reasonSum += n
+			}
+			if reasonSum != sn.Aborts {
+				t.Fatalf("reason buckets (%d) do not account for all aborts (%d)",
+					reasonSum, sn.Aborts)
+			}
+			if err := rt.CheckQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

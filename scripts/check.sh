@@ -34,6 +34,12 @@
 #      "interval" fsync policy must keep >= 0.65 of the volatile cell's
 #      throughput at 32 shards — the PR7 acceptance bar defending the
 #      off-commit-path fsync design (background flusher, scaled window).
+#  10. the instrumentation-cost gate: on the capacity-edge hashtable scan,
+#      HyTM's uninstrumented fast path must out-commit classic fully
+#      instrumented HTM by >= 1.5x — the PR8 acceptance bar defending the
+#      progressive fast path (the instrumented engine's tracked footprint
+#      overflows the simulated hardware budget; the fast path's first-touch
+#      footprint fits and commits in hardware).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -93,5 +99,8 @@ sh scripts/crash_matrix.sh quick
 
 echo "== durability-overhead gate (durable interval >= 0.65x volatile at 32 shards) =="
 go run ./cmd/semstm-bench -durgate -dur 300ms -reps 2
+
+echo "== instrumentation-cost gate (HyTM fast path >= 1.5x classic HTM on the scan cell) =="
+go run ./cmd/semstm-bench -hybridgate -dur 300ms -reps 2
 
 echo "== ok =="

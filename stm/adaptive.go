@@ -44,11 +44,34 @@ type AdaptiveConfig struct {
 	DeescalatePct float64
 	// MinDwell is how many judged windows the policy must sit out after a
 	// switch before it may switch again (default 2), damping oscillation.
+	// De-escalating *into* an HTM-backed rung doubles the dwell: hardware
+	// tiers are the most expensive rungs to be wrong about (a capacity-bound
+	// workload aborts every attempt before telemetry catches up), so
+	// re-entry is deliberately sticky.
 	MinDwell int
+	// CapacityEscalatePct is the capacity-abort percentage (HTM tracked-set
+	// or ring overflow, including the progressive engine's hw-capacity
+	// demotions) at or above which the policy escalates off an HTM-backed
+	// rung even when total contention sits below EscalatePct (default 10).
+	// Capacity aborts are footprint, not contention: retrying the same
+	// transactions on the same hardware tier cannot help, so the ladder
+	// moves to a software rung at a much lower threshold. Negative disables
+	// the rule; it never applies on software rungs.
+	CapacityEscalatePct float64
 	// Ladder is the escalation order, most optimistic first (default
 	// S-NOrec, S-TL2, SGL). Every entry must be a registered concrete
 	// engine; the runtime starts on Ladder[0].
 	Ladder []Algorithm
+}
+
+// HybridLadder returns the escalation order for runtimes that should start
+// on the progressive HyTM tiers: HyTM (uninstrumented fast path first),
+// HyTM-mid (instrumentation always on), then the software ladder S-NOrec,
+// S-TL2, SGL. It is not the default — engine mixes with no hardware story
+// keep the software ladder — but it is the ladder the contention-ramp and
+// hybrid benchmarks run.
+func HybridLadder() []Algorithm {
+	return []Algorithm{HyTM, HyTMMid, SNOrec, STL2, SGL}
 }
 
 // withDefaults fills zero-valued fields and validates the ladder.
@@ -67,6 +90,9 @@ func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
 	}
 	if c.MinDwell == 0 {
 		c.MinDwell = 2
+	}
+	if c.CapacityEscalatePct == 0 {
+		c.CapacityEscalatePct = 10
 	}
 	if len(c.Ladder) == 0 {
 		c.Ladder = []Algorithm{SNOrec, STL2, SGL}
@@ -166,7 +192,17 @@ func contentionAborts(d core.Snapshot) uint64 {
 	return d.AbortReasons[core.ReasonValidation] +
 		d.AbortReasons[core.ReasonCmpFlip] +
 		d.AbortReasons[core.ReasonOrecLocked] +
-		d.AbortReasons[core.ReasonCapacity]
+		d.AbortReasons[core.ReasonCapacity] +
+		d.AbortReasons[core.ReasonHWConflict] +
+		d.AbortReasons[core.ReasonHWCapacity]
+}
+
+// capacityAborts counts the aborts of a snapshot window that indicate the
+// footprint outgrew a bounded resource — the signal the capacity-escalation
+// rule keys on when the current rung is HTM-backed.
+func capacityAborts(d core.Snapshot) uint64 {
+	return d.AbortReasons[core.ReasonCapacity] +
+		d.AbortReasons[core.ReasonHWCapacity]
 }
 
 // maybeAdapt runs one policy evaluation: judge the abort mix since the last
@@ -191,9 +227,19 @@ func (rt *Runtime) maybeAdapt() {
 		return
 	}
 	pct := 100 * float64(contentionAborts(d)) / float64(sample)
+	onHW := engineIsHTMBacked(a.cfg.Ladder[a.pos])
+	capPct := 0.0
+	if onHW {
+		capPct = 100 * float64(capacityAborts(d)) / float64(sample)
+	}
 	var target int
 	switch {
 	case pct >= a.cfg.EscalatePct && a.pos+1 < len(a.cfg.Ladder):
+		target = a.pos + 1
+	case onHW && a.cfg.CapacityEscalatePct >= 0 &&
+		capPct >= a.cfg.CapacityEscalatePct && a.pos+1 < len(a.cfg.Ladder):
+		// Capacity aborts are footprint, not contention: leave the hardware
+		// tier at a much lower threshold than the conflict rule.
 		target = a.pos + 1
 	case a.cfg.DeescalatePct >= 0 && pct <= a.cfg.DeescalatePct && a.pos > 0:
 		target = a.pos - 1
@@ -201,9 +247,22 @@ func (rt *Runtime) maybeAdapt() {
 		return
 	}
 	if rt.switchTo(a.cfg.Ladder[target], false) {
+		down := target < a.pos
 		a.pos = target
 		a.dwell = a.cfg.MinDwell
+		if down && engineIsHTMBacked(a.cfg.Ladder[target]) {
+			// Sticky re-entry: being wrong about a hardware tier is the most
+			// expensive mistake the ladder can make.
+			a.dwell = 2 * a.cfg.MinDwell
+		}
 	}
+}
+
+// engineIsHTMBacked reports whether the registered engine runs on the
+// simulated hardware path.
+func engineIsHTMBacked(alg Algorithm) bool {
+	d, ok := core.EngineFor(alg)
+	return ok && d.HTMBacked
 }
 
 // SwitchEngine forces an Adaptive runtime onto the given engine through the
@@ -304,7 +363,7 @@ func init() {
 	core.RegisterEngine(core.EngineDesc{
 		ID:           core.EngineAdaptive,
 		Name:         "Adaptive",
-		DisplayOrder: 9,
+		DisplayOrder: 11,
 		// The default ladder is all-semantic, and semantic calls are honored
 		// as facts whenever the current engine supports them.
 		Semantic:  true,

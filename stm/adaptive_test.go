@@ -118,6 +118,111 @@ func TestAdaptiveDeescalates(t *testing.T) {
 	}
 }
 
+// TestAdaptiveHybridLadderRamp drives the five-rung hybrid ladder through a
+// full contention cycle: start on the progressive HyTM tier, escalate off
+// the hardware rungs when a conflict storm makes the typed hardware aborts
+// dominate, then walk back down into the HTM tiers once the workload goes
+// quiet — the "ladder demonstrably reaches the HTM tiers" acceptance check.
+func TestAdaptiveHybridLadderRamp(t *testing.T) {
+	t.Run("EscalatesOffHardware", func(t *testing.T) {
+		rt := stm.New(stm.Adaptive)
+		rt.SetAdaptiveConfig(stm.AdaptiveConfig{
+			Epoch:         8,
+			MinSample:     32,
+			EscalatePct:   10,
+			DeescalatePct: -1, // one-way ramp: the quiet storm tail must not walk back
+			MinDwell:      1,
+			Ladder:        stm.HybridLadder(),
+		})
+		rt.ConfigureHTM(64, 4, 0) // deterministic hardware: no spurious noise
+		rt.SetYieldEvery(1)
+		if got := rt.CurrentAlgorithm(); got != stm.HyTM {
+			t.Fatalf("initial engine %v, want hybrid ladder head %v", got, stm.HyTM)
+		}
+
+		// Contention storm — classical RMW on one cell. On the fast path
+		// every interleaved commit is a typed hw-conflict, so the storm must
+		// push the runtime off the hardware rungs.
+		const workers, per = 8, 300
+		hot := stm.NewVar(0)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					rt.Atomically(func(tx *stm.Tx) { tx.Write(hot, tx.Read(hot)+1) })
+				}
+			}()
+		}
+		wg.Wait()
+		sn := rt.Stats()
+		if got := hot.Load(); got != workers*per {
+			t.Fatalf("counter = %d, want %d", got, workers*per)
+		}
+		if sn.EngineSwitches == 0 {
+			t.Fatalf("storm triggered no escalation (aborts=%d, %.1f%%)",
+				sn.Aborts, sn.AbortRate())
+		}
+		cur := rt.CurrentAlgorithm()
+		if cur == stm.HyTM || !adaptiveLadderHas(rt, cur) {
+			t.Fatalf("after the storm the engine is %v; want a higher ladder rung", cur)
+		}
+		hwAborts := sn.AbortReasons[stm.AbortHWConflict] +
+			sn.AbortReasons[stm.AbortHWCapacity]
+		if hwAborts == 0 {
+			t.Fatal("storm produced no typed hardware aborts on the hybrid tier")
+		}
+		if sn.HWFastCommits == 0 {
+			t.Fatal("the hybrid rung never committed on its fast path")
+		}
+		if err := rt.CheckQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("switches=%d final=%v hwAborts=%d fast=%d middle=%d",
+			sn.EngineSwitches, cur, hwAborts, sn.HWFastCommits, sn.HWMiddleCommits)
+	})
+
+	t.Run("DeescalatesIntoHardware", func(t *testing.T) {
+		rt := stm.New(stm.Adaptive)
+		rt.SetAdaptiveConfig(stm.AdaptiveConfig{
+			Epoch:     8,
+			MinSample: 16,
+			MinDwell:  1,
+			Ladder:    stm.HybridLadder(),
+		})
+		rt.ConfigureHTM(64, 4, 0)
+		// Force the runtime up to the software tier, then run contention-free
+		// traffic: the policy must walk back down through HyTM-mid (paying
+		// the doubled hardware re-entry dwell) to the fast-path rung.
+		if err := rt.SwitchEngine(stm.SNOrec); err != nil {
+			t.Fatal(err)
+		}
+		hot := stm.NewVar(0)
+		const quiet = 6000
+		for i := 0; i < quiet; i++ {
+			rt.Atomically(func(tx *stm.Tx) { tx.Inc(hot, 1) })
+		}
+		if got := rt.CurrentAlgorithm(); got != stm.HyTM {
+			t.Fatalf("quiet traffic ended on %v; want the hybrid ladder head", got)
+		}
+		if got := hot.Load(); got != quiet {
+			t.Fatalf("counter = %d, want %d", got, quiet)
+		}
+		sn := rt.Stats()
+		// Forced switch plus at least S-NOrec→HyTM-mid→HyTM.
+		if sn.EngineSwitches < 3 {
+			t.Fatalf("EngineSwitches = %d, want >= 3", sn.EngineSwitches)
+		}
+		if sn.HWFastCommits == 0 {
+			t.Fatal("re-entered hybrid rung never committed on its fast path")
+		}
+		if err := rt.CheckQuiescent(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestAdaptiveManualSwitchChaos is the mid-switch safety test: with the
 // policy disabled, a driver goroutine forces engine switches across the
 // whole concrete-engine spectrum while workers hammer bank transfers under

@@ -186,6 +186,137 @@ func TestChaosTryAtomically(t *testing.T) {
 	})
 }
 
+// TestChaosHybridPaths storms the progressive HyTM engine's hardware paths
+// specifically: a fault plan firing spurious aborts mid-commit, a high
+// simulated spurious rate, and a tracking capacity small enough that real
+// transactions overflow it — so every demotion edge (fast→middle on
+// conflict/spurious budget, →middle and →slow on capacity) is exercised
+// under -race. Asserts conservation, exact commit accounting, that every
+// abort lands in a valid typed bucket, and that the per-path commit counters
+// stay consistent with the engine's configuration.
+func TestChaosHybridPaths(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.HyTM, stm.HyTMMid} {
+		t.Run(algo.String(), func(t *testing.T) {
+			workers, per := chaosScale(t)
+			rt := stm.New(algo)
+			// Capacity 6: the 3-location transfers fit every path, while the
+			// 16-addend audit sweep overflows the uninstrumented fast path
+			// (16 tracked reads) but fits the middle path as a single
+			// composed fact — the demotion edge the paper's primitives are
+			// for. 20% simulated spurious commit failures on top of the
+			// injected mid-commit aborts.
+			rt.ConfigureHTM(6, 2, 20)
+			rt.SetFaultPlan(stm.NewFaultPlan(0xB0B).
+				WithSpurious(stm.SiteCommit, 15).
+				WithSpurious(stm.SiteRead, 3).
+				WithValidationFail(5).
+				WithCommitDelay(1, 20*time.Microsecond))
+			rt.SetEscalateAfter(64)
+			const accounts, initial = 16, 1000
+			accts := stm.NewVars(accounts, initial)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					r := seed
+					next := func(n int64) int64 {
+						r = r*6364136223846793005 + 1442695040888963407
+						v := (r >> 33) % n
+						if v < 0 {
+							v += n
+						}
+						return v
+					}
+					for i := 0; i < per; i++ {
+						if i%8 == 7 {
+							// Audit sweep: footprint 16 on the fast path,
+							// one expression fact on the instrumented paths.
+							rt.Atomically(func(tx *stm.Tx) {
+								if !tx.CmpSum(stm.OpGTE, 0, accts...) {
+									t.Error("audit sweep saw a negative total")
+								}
+							})
+							continue
+						}
+						if i%16 == 3 {
+							// Batch rebalance: 8 distinct write entries
+							// overflow capacity 6 on *both* hardware paths,
+							// forcing the demotion chain down to the
+							// unbounded software slow path.
+							base := next(accounts-8) & ^int64(1)
+							rt.Atomically(func(tx *stm.Tx) {
+								for p := int64(0); p < 8; p += 2 {
+									tx.Inc(accts[base+p], -1)
+									tx.Inc(accts[base+p+1], 1)
+								}
+							})
+							continue
+						}
+						from := accts[next(accounts)]
+						to := accts[next(accounts)]
+						amt := next(50) + 1
+						rt.Atomically(func(tx *stm.Tx) {
+							if tx.GTE(from, amt) {
+								tx.Inc(from, -amt)
+								tx.Inc(to, amt)
+							}
+						})
+					}
+				}(int64(w) + 1)
+			}
+			wg.Wait()
+			var sum int64
+			for _, a := range accts {
+				sum += a.Load()
+			}
+			if sum != accounts*initial {
+				t.Fatalf("balance not conserved under hybrid faults: %d, want %d",
+					sum, accounts*initial)
+			}
+			sn := rt.Stats()
+			if want := uint64(workers * per); sn.Commits != want {
+				t.Fatalf("commits = %d, want %d", sn.Commits, want)
+			}
+			if sn.Aborts == 0 {
+				t.Fatal("storm injected nothing")
+			}
+			var reasonSum uint64
+			for _, n := range sn.AbortReasons {
+				reasonSum += n
+			}
+			if reasonSum != sn.Aborts {
+				t.Fatalf("reason buckets (%d) do not account for all aborts (%d)",
+					reasonSum, sn.Aborts)
+			}
+			hw := sn.AbortReasons[stm.AbortHWConflict] + sn.AbortReasons[stm.AbortHWCapacity]
+			if hw == 0 {
+				t.Fatal("no typed hardware aborts under a hardware storm")
+			}
+			if sn.HWFastCommits+sn.HWMiddleCommits > sn.Commits {
+				t.Fatalf("path commits (%d fast + %d middle) exceed total %d",
+					sn.HWFastCommits, sn.HWMiddleCommits, sn.Commits)
+			}
+			if sn.AbortReasons[stm.AbortHWCapacity] == 0 {
+				t.Fatal("batch rebalances never overflowed a hardware path")
+			}
+			if algo == stm.HyTM {
+				if sn.HWFastCommits == 0 {
+					t.Fatal("storm never committed on the fast path")
+				}
+			} else if sn.HWFastCommits != 0 {
+				t.Fatalf("HyTM-mid took %d fast-path commits", sn.HWFastCommits)
+			}
+			if sn.HWMiddleCommits == 0 {
+				t.Fatal("storm never committed on the instrumented middle path")
+			}
+			if err := rt.CheckQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestChaosDeterministicReplay runs the same single-threaded workload twice
 // under the same fault-plan seed and demands identical outcomes and
 // counters — the property that makes an injected failure reproducible. The

@@ -56,6 +56,13 @@ const (
 	// attempt straight to the irrevocable serializing mode and the runtime
 	// continues volatile (Durable.WALFailed reports the latched failure).
 	AbortLogFail = core.ReasonLogFail
+	// AbortHWConflict: a hardware path of the progressive HyTM engine lost
+	// its conflict-detection epoch. Repeated hw-conflicts demote the
+	// transaction one path down the fast → middle → slow ladder.
+	AbortHWConflict = core.ReasonHWConflict
+	// AbortHWCapacity: a hardware path of the progressive HyTM engine
+	// overflowed the simulated tracking buffers; demotes immediately.
+	AbortHWCapacity = core.ReasonHWCapacity
 )
 
 // CrashSite identifies a crash-injection point on the durable commit

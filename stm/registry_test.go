@@ -86,6 +86,18 @@ func TestRegistryCapabilityFlags(t *testing.T) {
 		Ring:     {false, false, false, false},
 		SRing:    {true, false, false, false},
 		Adaptive: {true, false, false, false},
+		HyTM:     {true, true, false, true},
+		HyTMMid:  {true, true, false, true},
+	}
+	for _, id := range []Algorithm{HyTM, HyTMMid} {
+		desc, ok := core.EngineFor(id)
+		if !ok {
+			t.Fatalf("%v not registered", id)
+		}
+		if !desc.ProgressiveHTM || !desc.TwoPhase {
+			t.Errorf("%s: ProgressiveHTM=%v TwoPhase=%v, want both true",
+				desc.Name, desc.ProgressiveHTM, desc.TwoPhase)
+		}
 	}
 	for id, w := range expect {
 		desc, ok := core.EngineFor(id)

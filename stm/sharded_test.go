@@ -15,8 +15,12 @@ import (
 )
 
 // shardableAlgos are the concrete two-phase engines a sharded runtime
-// composes — both classical/semantic pairs of the TL2 and NOrec families.
-var shardableAlgos = []stm.Algorithm{stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2}
+// composes — both classical/semantic pairs of the TL2 and NOrec families,
+// plus the progressive hybrid engines (whose irrevocable fallback the shard
+// layer disables in favor of the runtime escalation gate).
+var shardableAlgos = []stm.Algorithm{
+	stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2, stm.HyTM, stm.HyTMMid,
+}
 
 func eachShardable(t *testing.T, nshards int, f func(t *testing.T, rt *stm.Runtime)) {
 	t.Helper()
@@ -132,6 +136,7 @@ func TestShardedPhase1FaultInjection(t *testing.T) {
 	validReasons := map[string]bool{
 		"validation": true, "cmp-flip": true, "orec-locked": true,
 		"capacity": true, "spurious": true, "explicit": true,
+		"hw-conflict": true, "hw-capacity": true,
 	}
 	eachShardable(t, nshards, func(t *testing.T, rt *stm.Runtime) {
 		rt.SetFaultPlan(stm.NewFaultPlan(0x5A4D).

@@ -136,6 +136,17 @@ const (
 	// when the per-epoch abort-reason mix says a different concurrency
 	// control would win (see adaptive.go and DESIGN.md §9).
 	Adaptive = core.EngineAdaptive
+	// HyTM is the progressive hybrid engine (DESIGN.md §13): an
+	// uninstrumented hardware fast path (no read-set, no facts — one
+	// conflict-detection-epoch load per barrier), an instrumented hardware
+	// middle path that coexists with software transactions, and a software
+	// slow path, with typed abort reasons (AbortHWConflict, AbortHWCapacity)
+	// driving per-path demotion.
+	HyTM = core.EngineHyTM
+	// HyTMMid is HyTM with the fast path forced off — every hardware attempt
+	// starts on the instrumented middle path. It is the instrumentation-cost
+	// ablation cell the EXPERIMENTS.md hybrid table compares HyTM against.
+	HyTMMid = core.EngineHyTMMid
 
 	numAlgorithms = core.NumEngines
 )

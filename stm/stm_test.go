@@ -263,6 +263,8 @@ func TestAlgorithmMetadata(t *testing.T) {
 		stm.Ring:     {"RingSTM", false},
 		stm.SRing:    {"S-RingSTM", true},
 		stm.Adaptive: {"Adaptive", true},
+		stm.HyTM:     {"HyTM", true},
+		stm.HyTMMid:  {"HyTM-mid", true},
 	}
 	for a, w := range want {
 		if a.String() != w.name {
@@ -272,7 +274,7 @@ func TestAlgorithmMetadata(t *testing.T) {
 			t.Errorf("%s: Semantic() = %v", a, a.Semantic())
 		}
 	}
-	if len(stm.Algorithms()) != 10 {
+	if len(stm.Algorithms()) != 12 {
 		t.Errorf("Algorithms() lists %d", len(stm.Algorithms()))
 	}
 }

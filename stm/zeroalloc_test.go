@@ -21,6 +21,7 @@ import (
 var zeroAllocEngines = []stm.Algorithm{
 	stm.NOrec, stm.SNOrec, stm.TL2, stm.STL2,
 	stm.Ring, stm.SRing, stm.SGL, stm.HTM, stm.SHTM, stm.Adaptive,
+	stm.HyTM, stm.HyTMMid,
 }
 
 // assertZeroAllocs runs fn once to warm the descriptor pool, settles the
