@@ -7,11 +7,12 @@
 //	bench-compare [-max-regress 10] [-max-alloc-increase 0.25] OLD.json NEW.json
 //
 // Cells are matched by (workload, algorithm, threads, shards, cross_pct,
-// fsync_policy) — the last three are zero/empty on every pre-v6 cell, so
+// fsync_policy, snapshot_mode) — the trailing fields are zero/empty on every pre-v6 cell, so
 // older reports and the classic grid of newer ones line up key for key: a
 // v5↔v6 comparison gates the classic grid, a v6↔v7 comparison additionally
 // gates the sharded grid while the durable cells (fsync_policy set, v7 on)
-// join the diff once both sides have them. Cells present in only one report
+// and the snapshot-analytics cells (snapshot_mode set, v9 on) join the diff
+// once both sides have them. Cells present in only one report
 // — older schemas sweep fewer thread counts and algorithms, pre-v6 reports
 // have no sharded grid, pre-v7 no durable grid — are listed explicitly as
 // added (NEW only) or removed (OLD only) rather than silently skipped, so a
@@ -41,7 +42,7 @@
 // no compared cell, or whose cell no longer regresses, are called out as
 // stale so the list shrinks instead of accreting. Entry fields mirror the
 // cell key: {"workload", "algorithm", "threads", "shards", "cross_pct",
-// "fsync_policy", "note"}; unset fields default to the classic-grid zero
+// "fsync_policy", "snapshot_mode", "note"}; unset fields default to the classic-grid zero
 // values, keeping entries as terse as the cells they mark.
 package main
 
@@ -94,11 +95,14 @@ func main() {
 		// fsyncPolicy separates the durable-grid cells of a v7 report from
 		// their volatile twins, which share every other coordinate by design.
 		fsyncPolicy string
+		// snapshotMode separates the v9 snapshot-analytics twins — the
+		// privatized and instrumented scan cells share every other coordinate.
+		snapshotMode string
 	}
 	index := func(r experiments.BaselineReport) map[key]experiments.BaselineCell {
 		m := make(map[key]experiments.BaselineCell, len(r.Cells))
 		for _, c := range r.Cells {
-			m[key{c.Workload, c.Algorithm, c.Threads, c.Shards, c.CrossPct, c.FsyncPolicy}] = c
+			m[key{c.Workload, c.Algorithm, c.Threads, c.Shards, c.CrossPct, c.FsyncPolicy, c.SnapshotMode}] = c
 		}
 		return m
 	}
@@ -117,7 +121,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		for _, e := range entries {
-			drift[key{e.Workload, e.Algorithm, e.Threads, e.Shards, e.CrossPct, e.FsyncPolicy}] = e.Note
+			drift[key{e.Workload, e.Algorithm, e.Threads, e.Shards, e.CrossPct, e.FsyncPolicy, e.SnapshotMode}] = e.Note
 		}
 	}
 
@@ -144,7 +148,10 @@ func main() {
 		if a.crossPct != b.crossPct {
 			return a.crossPct < b.crossPct
 		}
-		return a.fsyncPolicy < b.fsyncPolicy
+		if a.fsyncPolicy != b.fsyncPolicy {
+			return a.fsyncPolicy < b.fsyncPolicy
+		}
+		return a.snapshotMode < b.snapshotMode
 	})
 
 	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.1f%%\n",
@@ -167,6 +174,9 @@ func main() {
 		}
 		if k.fsyncPolicy != "" {
 			wl += "/" + k.fsyncPolicy
+		}
+		if k.snapshotMode != "" {
+			wl += "/" + k.snapshotMode
 		}
 		return wl
 	}
@@ -262,13 +272,14 @@ func main() {
 // driftEntry is one -known-drift record; its fields mirror the cell-matching
 // key, with unset fields defaulting to the classic-grid zero values.
 type driftEntry struct {
-	Workload    string  `json:"workload"`
-	Algorithm   string  `json:"algorithm"`
-	Threads     int     `json:"threads"`
-	Shards      int     `json:"shards"`
-	CrossPct    float64 `json:"cross_pct"`
-	FsyncPolicy string  `json:"fsync_policy"`
-	Note        string  `json:"note"`
+	Workload     string  `json:"workload"`
+	Algorithm    string  `json:"algorithm"`
+	Threads      int     `json:"threads"`
+	Shards       int     `json:"shards"`
+	CrossPct     float64 `json:"cross_pct"`
+	FsyncPolicy  string  `json:"fsync_policy"`
+	SnapshotMode string  `json:"snapshot_mode"`
+	Note         string  `json:"note"`
 }
 
 // loadDrift reads a -known-drift file: a JSON array of driftEntry records,

@@ -27,7 +27,11 @@
 // v8 the progressive-hybrid grid ({hashtable-rm, hashtable, bank} × {S-HTM,
 // HyTM-mid, HyTM}, with the per-path commit split hw_fast_commits /
 // hw_middle_commits, the hw_capacity_aborts bucket, and the engine-level
-// hw_fallbacks / hw_aborts tallies per cell).
+// hw_fallbacks / hw_aborts tallies per cell), and from v9 the
+// snapshot-analytics grid (privatized vs instrumented scans per algorithm,
+// with the snapshot_mode tag and the retired / reclaimed epoch-lifecycle
+// counters) plus a reclaim-churn cell exercising the NewVar -> Retire
+// recycling path.
 // bench-compare accepts reports of any schema (the allocation gate applies
 // from v5 on).
 //
@@ -57,26 +61,32 @@ import (
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list available experiments and exit")
-		expID      = flag.String("exp", "", "experiment id to run, or \"all\"")
-		threads    = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
-		dur        = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
-		ops        = flag.Int("ops", 0, "total operations for execution-time experiments")
-		procs      = flag.Int("gomaxprocs", 0, "per-cell GOMAXPROCS: 0 matches each cell's thread count, > 0 pins a width (thread counts above it are clamped), < 0 keeps the process setting")
-		reps       = flag.Int("reps", 0, "baseline reps per cell, best-of-N (0 takes the default of 3)")
-		jsonPath   = flag.String("json", "", "write the micro-benchmark baseline as JSON to this path (BENCH_*.json)")
-		shardGate  = flag.Bool("shardgate", false, "run the shard-scaling gate (sharded bank+hashtable, 1 vs -shardgate-shards shards) and exit non-zero below -shardgate-min")
-		gateShards = flag.Int("shardgate-shards", 32, "shard count of the wide cell in the -shardgate comparison")
-		gateMin    = flag.Float64("shardgate-min", 8, "minimum throughput ratio (wide/1-shard) the -shardgate run must reach")
-		durGate    = flag.Bool("durgate", false, "run the durability-overhead gate (durable vs volatile sharded bank) and exit non-zero below -durgate-min")
-		durShards  = flag.Int("durgate-shards", 32, "shard count of the -durgate comparison")
-		durPolicy  = flag.String("durgate-policy", "interval", "fsync policy of the durable cell in the -durgate comparison")
-		durMin     = flag.Float64("durgate-min", 0.65, "minimum throughput ratio (durable/volatile) the -durgate run must reach")
-		hybGate    = flag.Bool("hybridgate", false, "run the instrumentation-cost gate (capacity-edge hashtable scan, HyTM fast path vs classic fully instrumented HTM) and exit non-zero below -hybridgate-min")
-		hybThreads = flag.Int("hybridgate-threads", 1, "thread count of the -hybridgate comparison")
-		hybMin     = flag.Float64("hybridgate-min", 1.5, "minimum throughput ratio (fast-path/instrumented) the -hybridgate run must reach")
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap (allocation) profile at exit to this file")
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		expID       = flag.String("exp", "", "experiment id to run, or \"all\"")
+		threads     = flag.String("threads", "", "comma-separated thread counts (default per experiment)")
+		dur         = flag.Duration("dur", 0, "per-cell duration for throughput experiments")
+		ops         = flag.Int("ops", 0, "total operations for execution-time experiments")
+		procs       = flag.Int("gomaxprocs", 0, "per-cell GOMAXPROCS: 0 matches each cell's thread count, > 0 pins a width (thread counts above it are clamped), < 0 keeps the process setting")
+		reps        = flag.Int("reps", 0, "baseline reps per cell, best-of-N (0 takes the default of 3)")
+		jsonPath    = flag.String("json", "", "write the micro-benchmark baseline as JSON to this path (BENCH_*.json)")
+		shardGate   = flag.Bool("shardgate", false, "run the shard-scaling gate (sharded bank+hashtable, 1 vs -shardgate-shards shards) and exit non-zero below -shardgate-min")
+		gateShards  = flag.Int("shardgate-shards", 32, "shard count of the wide cell in the -shardgate comparison")
+		gateMin     = flag.Float64("shardgate-min", 8, "minimum throughput ratio (wide/1-shard) the -shardgate run must reach")
+		durGate     = flag.Bool("durgate", false, "run the durability-overhead gate (durable vs volatile sharded bank) and exit non-zero below -durgate-min")
+		durShards   = flag.Int("durgate-shards", 32, "shard count of the -durgate comparison")
+		durPolicy   = flag.String("durgate-policy", "interval", "fsync policy of the durable cell in the -durgate comparison")
+		durMin      = flag.Float64("durgate-min", 0.65, "minimum throughput ratio (durable/volatile) the -durgate run must reach")
+		hybGate     = flag.Bool("hybridgate", false, "run the instrumentation-cost gate (capacity-edge hashtable scan, HyTM fast path vs classic fully instrumented HTM) and exit non-zero below -hybridgate-min")
+		hybThreads  = flag.Int("hybridgate-threads", 1, "thread count of the -hybridgate comparison")
+		hybMin      = flag.Float64("hybridgate-min", 1.5, "minimum throughput ratio (fast-path/instrumented) the -hybridgate run must reach")
+		privGate    = flag.Bool("privgate", false, "run the privatization-payoff gate (snapshot scan, privatized vs instrumented) and exit non-zero below -privgate-min")
+		privThreads = flag.Int("privgate-threads", 4, "writer thread count behind each scan loop of the -privgate comparison")
+		privMin     = flag.Float64("privgate-min", 5, "minimum scan-rate ratio (privatized/instrumented) the -privgate run must reach")
+		recGate     = flag.Bool("reclaimgate", false, "run the bounded-heap reclamation gate (retire-heavy churn, 3 sampling windows) and exit non-zero above -reclaimgate-growth")
+		recThreads  = flag.Int("reclaimgate-threads", 1, "churn thread count of the -reclaimgate run (1 keeps the measurement about the allocator: every descheduled pinned descriptor legitimately holds back reclamation, so wider churn on a narrow host measures scheduler quanta instead)")
+		recGrowth   = flag.Float64("reclaimgate-growth", 10, "maximum heap growth in percent from the first to the last -reclaimgate window")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap (allocation) profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -108,7 +118,7 @@ func main() {
 		}()
 	}
 
-	if *list || (*expID == "" && *jsonPath == "" && !*shardGate && !*durGate && !*hybGate) {
+	if *list || (*expID == "" && *jsonPath == "" && !*shardGate && !*durGate && !*hybGate && !*privGate && !*recGate) {
 		fmt.Println("Available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Panels, e.Title)
@@ -168,7 +178,7 @@ func main() {
 		if failed {
 			os.Exit(1)
 		}
-		if *expID == "" && *jsonPath == "" && !*durGate && !*hybGate {
+		if *expID == "" && *jsonPath == "" && !*durGate && !*hybGate && !*privGate && !*recGate {
 			return
 		}
 	}
@@ -195,7 +205,7 @@ func main() {
 		if !ok {
 			os.Exit(1)
 		}
-		if *expID == "" && *jsonPath == "" && !*hybGate {
+		if *expID == "" && *jsonPath == "" && !*hybGate && !*privGate && !*recGate {
 			return
 		}
 	}
@@ -225,6 +235,67 @@ func main() {
 		fmt.Printf("hybridgate %-12s x%d: instrumented %.1f ktx/s, fast-path %.1f ktx/s, ratio %.2fx (min %.1fx), fast commits %d %s [%v]\n",
 			res.Workload, res.Threads, res.InstK, res.FastK, res.Ratio, *hybMin,
 			res.FastCommits, verdict, time.Since(start).Round(time.Millisecond))
+		if !ok {
+			os.Exit(1)
+		}
+		if *expID == "" && *jsonPath == "" && !*privGate && !*recGate {
+			return
+		}
+	}
+
+	if *privGate {
+		// The privatization-payoff gate (scripts/check.sh): on the
+		// snapshot-analytics double buffer, a privatized scan — one tiny flip
+		// transaction plus uninstrumented loads — must complete full-buffer
+		// sums at least -privgate-min times faster than an instrumented
+		// read-only transaction over the same live writer load. This is the
+		// PR9 acceptance bar: the epoch/barrier machinery exists to make
+		// uninstrumented access safe, so it must be worth its price.
+		start := time.Now()
+		res, err := experiments.PrivatizationGate(cfg, *privThreads)
+		if err != nil {
+			fatalf("privgate: %v", err)
+		}
+		ok := res.Ratio >= *privMin
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("privgate snapshot %s x%d writers: instrumented %.1f scans/s, privatized %.1f scans/s, ratio %.2fx (min %.1fx) %s [%v]\n",
+			res.Algorithm, res.Threads, res.InstScans, res.PrivScans, res.Ratio, *privMin,
+			verdict, time.Since(start).Round(time.Millisecond))
+		if !ok {
+			os.Exit(1)
+		}
+		if *expID == "" && *jsonPath == "" && !*recGate {
+			return
+		}
+	}
+
+	if *recGate {
+		// The bounded-heap reclamation gate (scripts/check.sh): three
+		// identical windows of retire-heavy churn (NewVar -> transaction ->
+		// Retire), each followed by an epoch pump and a forced GC. The last
+		// window's live heap must stay within -reclaimgate-growth percent of
+		// the first (plus a fixed allocator-noise slack), and the reclaimer
+		// must actually have recycled cells — a leaked limbo list fails on
+		// growth, a disconnected reclaimer fails on the counter.
+		start := time.Now()
+		res, err := experiments.ReclaimGate(cfg, *recThreads)
+		if err != nil {
+			fatalf("reclaimgate: %v", err)
+		}
+		const slack = 8 << 20
+		ok := res.Bounded(*recGrowth, slack)
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("reclaimgate churn x%d: heap %.2f -> %.2f -> %.2f MB (growth %.1f%%, max %.0f%% + %dMB slack), retired %d, reclaimed %d %s [%v]\n",
+			*recThreads,
+			float64(res.Windows[0])/(1<<20), float64(res.Windows[1])/(1<<20), float64(res.Windows[2])/(1<<20),
+			res.GrowthPct(), *recGrowth, slack>>20, res.Retired, res.Reclaimed,
+			verdict, time.Since(start).Round(time.Millisecond))
 		if !ok {
 			os.Exit(1)
 		}

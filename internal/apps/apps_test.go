@@ -114,6 +114,47 @@ func TestHashtableAllReadsBecomeCompares(t *testing.T) {
 	}
 }
 
+func TestSnapshotAnalyticsConservation(t *testing.T) {
+	for _, privatized := range []bool{false, true} {
+		name := "instrumented"
+		if privatized {
+			name = "privatized"
+		}
+		t.Run(name, func(t *testing.T) {
+			eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+				s := NewSnapshotAnalytics(rt)
+				s.Privatized = privatized
+				if err := drive(s, 4, 200); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// TestSnapshotScanAgreement: at quiescence both scan modes must see the same
+// live-buffer total, and a privatized scan must drain exactly what the
+// instrumented scan just observed.
+func TestSnapshotScanAgreement(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	s := NewSnapshotAnalytics(rt)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		s.Inc(rng)
+	}
+	inst := s.ScanInstrumented()
+	priv := s.ScanPrivatized()
+	if inst != priv {
+		t.Fatalf("instrumented scan %d != privatized scan %d", inst, priv)
+	}
+	if got := s.ScanInstrumented(); got != 0 {
+		t.Fatalf("live buffer not empty after flip: %d", got)
+	}
+	if err := s.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQueueAppConservation(t *testing.T) {
 	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
 		q := NewQueueApp(rt, 64)

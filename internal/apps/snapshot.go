@@ -1,0 +1,159 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"semstm/stm"
+)
+
+// snapshotCells is the analytics buffer size: large enough that scan cost is
+// dominated by per-cell read barriers (the quantity the privatized-vs-
+// instrumented comparison measures), small enough that a scan is one short
+// transaction for the instrumented mode.
+const snapshotCells = 4096
+
+// SnapshotAnalytics is the privatization showcase workload (DESIGN.md §14):
+// writer transactions increment counters in the live half of a double buffer
+// while an analytics thread periodically snapshots the other half. The flip
+// commits through AtomicallyPrivatize, so when it returns the retired buffer
+// is private — the scanner reads it with plain Var.Load, no instrumentation,
+// no read-set, no validation — and can be zeroed in place for reuse.
+//
+// The instrumented alternative scans the live buffer inside an ordinary
+// read-only transaction, paying one tracked read barrier per cell. The ratio
+// of the two scan rates is the -privgate acceptance number: privatized
+// snapshot reads must run at least 5x faster than instrumented ones.
+type SnapshotAnalytics struct {
+	rt   *stm.Runtime
+	head *stm.Var      // index (0/1) of the buffer writers increment
+	bufs [2][]*stm.Var // double-buffered counters
+	n    int
+
+	// Privatized selects the scan mode Op's analytics slice uses.
+	Privatized bool
+	// IncsPerTx is the writer batch size (increments per transaction).
+	IncsPerTx int
+
+	// scanMu serializes scans: the flip-zero-collect sequence of a privatized
+	// scan must not interleave with another scan's flip.
+	scanMu    sync.Mutex
+	collected int64 // counts drained from retired buffers (under scanMu)
+	incs      atomic.Int64
+}
+
+// NewSnapshotAnalytics creates the workload over 2 x snapshotCells counters.
+func NewSnapshotAnalytics(rt *stm.Runtime) *SnapshotAnalytics {
+	return &SnapshotAnalytics{
+		rt:        rt,
+		head:      stm.NewVar(0),
+		bufs:      [2][]*stm.Var{stm.NewVars(snapshotCells, 0), stm.NewVars(snapshotCells, 0)},
+		n:         snapshotCells,
+		IncsPerTx: 8,
+	}
+}
+
+// Inc runs one writer transaction: IncsPerTx semantic increments on random
+// cells of the live buffer. Reading head transactionally is what makes the
+// privatized flip sound — a writer that loses the race with a flip fails
+// validation on head and retries against the new live buffer.
+func (s *SnapshotAnalytics) Inc(rng *rand.Rand) {
+	var idx [16]int
+	k := s.IncsPerTx
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for i := 0; i < k; i++ {
+		idx[i] = rng.Intn(s.n)
+	}
+	s.rt.Atomically(func(tx *stm.Tx) {
+		h := tx.Read(s.head)
+		for i := 0; i < k; i++ {
+			tx.Inc(s.bufs[h][idx[i]], 1)
+		}
+	})
+	s.incs.Add(int64(k))
+}
+
+// ScanPrivatized flips the double buffer with a privatizing commit, then
+// sums and zeroes the retired half uninstrumented. The two Load passes must
+// agree: after the barrier no doomed writer can still touch the buffer, so a
+// mismatch means the privatization fence leaked a zombie write.
+func (s *SnapshotAnalytics) ScanPrivatized() int64 {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	retired := int64(0)
+	s.rt.AtomicallyPrivatize(func(tx *stm.Tx) {
+		h := tx.Read(s.head)
+		tx.Write(s.head, 1-h)
+		retired = h
+	})
+	buf := s.bufs[retired]
+	var sum1, sum2 int64
+	for _, c := range buf {
+		sum1 += c.Load()
+	}
+	for _, c := range buf {
+		sum2 += c.Load()
+	}
+	if sum1 != sum2 {
+		panic(fmt.Sprintf("apps: privatized buffer still moving (%d != %d): zombie writer past the barrier", sum1, sum2))
+	}
+	for _, c := range buf {
+		c.StoreNT(0)
+	}
+	s.collected += sum1
+	return sum1
+}
+
+// ScanInstrumented sums the live buffer inside an ordinary read-only
+// transaction: one tracked read barrier per cell, full validation, and the
+// scan aborts and retries whenever a flip or (engine-dependent) a writer
+// commit invalidates it. It does not flip or drain.
+func (s *SnapshotAnalytics) ScanInstrumented() int64 {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	var sum int64
+	s.rt.Atomically(func(tx *stm.Tx) {
+		sum = 0
+		h := tx.Read(s.head)
+		for _, c := range s.bufs[h] {
+			sum += tx.Read(c)
+		}
+	})
+	return sum
+}
+
+// Op makes the workload drivable by the shared harness: most operations are
+// writer batches; every 64th is a scan in the configured mode.
+func (s *SnapshotAnalytics) Op(rng *rand.Rand) {
+	if rng.Intn(64) == 0 {
+		if s.Privatized {
+			s.ScanPrivatized()
+		} else {
+			s.ScanInstrumented()
+		}
+		return
+	}
+	s.Inc(rng)
+}
+
+// Check verifies conservation at quiescence: every increment is either still
+// in a buffer or was drained by a privatized scan.
+func (s *SnapshotAnalytics) Check() error {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	live := int64(0)
+	for b := 0; b < 2; b++ {
+		for _, c := range s.bufs[b] {
+			live += c.Load()
+		}
+	}
+	if got, want := live+s.collected, s.incs.Load(); got != want {
+		return fmt.Errorf("snapshot: conservation broken: live %d + collected %d = %d, want %d increments",
+			live, s.collected, got, want)
+	}
+	return nil
+}

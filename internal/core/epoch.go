@@ -1,0 +1,337 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch-based reclamation for retired Vars, plus the per-engine reader
+// tables the privatization barrier drains (DESIGN.md §14).
+//
+// The lifecycle problem: Vars are shared by address, engines index orec
+// tables off Var ids, and doomed ("zombie") transactions may hold stale
+// *Var pointers in their read/write sets long after a privatizing commit
+// unlinked the cell from every structure. Freeing — here, recycling through
+// the allocation free list so ids and memory are reused — is only safe once
+// no descriptor that could have captured the pointer is still running.
+//
+// The scheme is the classic three-bucket epoch design:
+//
+//   - a global epoch clock E (starting at 1 so that pin value 0 can mean
+//     "idle");
+//   - every transaction descriptor owns an EpochPin and pins the current
+//     epoch for the duration of each top-level Atomically (enter on the
+//     pooled-descriptor acquire, exit on release — the PR5 lifecycle hooks);
+//   - Retire(v) parks the cell on limbo bucket E%3;
+//   - the epoch may advance E -> E+1 once every registered pin is idle or
+//     pinned at E; at that moment bucket (E+2)%3 — the cells retired during
+//     epoch E-1, i.e. two full epochs ago — can no longer be referenced by
+//     any live descriptor and moves to the free list, where NewVar* recycles
+//     the cells id-intact.
+//
+// Safety of the two-epoch rule: a cell retired during epoch r was unlinked
+// before Retire ran, so only descriptors already running at r (pinned <= r)
+// can hold its address. Advancing r -> r+1 certifies every active pin is r;
+// advancing r+1 -> r+2 certifies every descriptor from epoch r has since
+// exited. The advance from E=r+1 frees bucket (E+2)%3 == r%3 — exactly those
+// cells.
+//
+// Enter uses pin-then-recheck: publish the pin, then confirm the clock did
+// not advance past the pinned value in between. Without the recheck a
+// descriptor could load E, stall, and publish the pin after an advance
+// already scanned the table — an unpinned window the reclaimer would miss.
+
+// epochClock is the global epoch. It starts at 1 (see init) so an EpochPin
+// value of 0 unambiguously means "descriptor idle".
+var epochClock atomic.Uint64
+
+func init() { epochClock.Store(1) }
+
+// epochAdvanceEvery is the amortization period of the automatic advance:
+// every N-th Retire attempts one epoch advance, so retire-heavy churn
+// reclaims itself without any caller-side pumping.
+const epochAdvanceEvery = 64
+
+// epochState is the mutex-guarded reclamation state. Pins are read
+// lock-free by the advance scan; everything else (pin registry, limbo
+// buckets, free list, counters) mutates under mu. The mutex is never taken
+// on a barrier path — only at descriptor registration, Retire, allocation
+// (free-list pop), and advance.
+var epochState struct {
+	mu    sync.Mutex
+	pins  []*EpochPin
+	limbo [3][]*Var
+	free  []*Var
+	// freeLen mirrors len(free) so allocation can skip the lock when the
+	// free list is empty (the common case of a growing workload).
+	freeLen atomic.Int64
+	// limboLen mirrors the total cells parked across the limbo buckets, so
+	// an allocation that finds the free list empty can tell "nothing to
+	// reclaim" (growing workload — stay off the lock) from "reclaimable
+	// cells are waiting on an advance" (churn outrunning the amortized
+	// advance — worth one allocate-triggered attempt).
+	limboLen atomic.Int64
+	// sinceAdvance counts Retires since the last advance attempt.
+	sinceAdvance int
+	// retired/reclaimed are lifetime counters for the stats probe and the
+	// -reclaimgate CI gate.
+	retired   uint64
+	reclaimed uint64
+}
+
+// EpochPin is one descriptor's published epoch. 0 means idle; otherwise it
+// holds the epoch the descriptor entered under. Padded so the advance scan
+// does not false-share with neighbouring pins.
+type EpochPin struct {
+	pin atomic.Uint64
+	_   PadWord
+}
+
+// RegisterEpochPin allocates and registers a pin with the global reclaimer.
+// Called once per pooled transaction descriptor (warm-up only, never on a
+// barrier path). Pins are never unregistered: pooled descriptors live as
+// long as their runtime, and an idle pin (0) costs the advance scan one
+// atomic load.
+func RegisterEpochPin() *EpochPin {
+	p := &EpochPin{}
+	epochState.mu.Lock()
+	epochState.pins = append(epochState.pins, p)
+	epochState.mu.Unlock()
+	return p
+}
+
+// Enter pins the current epoch for the duration of one top-level
+// transaction (all attempts included). Pin-then-recheck: the pin must be
+// visible before the epoch can be trusted, or a concurrent advance could
+// scan past this descriptor between the load and the store.
+func (p *EpochPin) Enter() {
+	for {
+		e := epochClock.Load()
+		p.pin.Store(e)
+		if epochClock.Load() == e {
+			return
+		}
+	}
+}
+
+// Exit releases the pin. The descriptor must not hold any *Var it obtained
+// transactionally past this point.
+func (p *EpochPin) Exit() { p.pin.Store(0) }
+
+// Retire parks v for epoch-deferred recycling. The caller asserts that v is
+// unreachable through every transactional structure — the contract
+// AtomicallyPrivatize establishes — and must not touch v afterwards. Double
+// retire panics: it is the use-after-free of this allocator.
+//
+// Every epochAdvanceEvery-th Retire attempts an epoch advance, so sustained
+// churn is self-reclaiming.
+func Retire(v *Var) {
+	if v == nil {
+		panic("core: Retire(nil)")
+	}
+	if !v.retired.CompareAndSwap(0, 1) {
+		panic("core: Var retired twice")
+	}
+	epochState.mu.Lock()
+	e := epochClock.Load()
+	epochState.limbo[e%3] = append(epochState.limbo[e%3], v)
+	epochState.limboLen.Add(1)
+	epochState.retired++
+	epochState.sinceAdvance++
+	if epochState.sinceAdvance >= epochAdvanceEvery {
+		epochState.sinceAdvance = 0
+		tryAdvanceLocked()
+	}
+	epochState.mu.Unlock()
+}
+
+// AdvanceEpoch attempts one epoch advance, reclaiming the expired limbo
+// bucket into the free list on success. It fails (returns false) while any
+// registered descriptor is still pinned to an older epoch. Exported as the
+// deterministic pump for tests and the -reclaimgate churn workload; regular
+// operation relies on the amortized advance inside Retire.
+func AdvanceEpoch() bool {
+	epochState.mu.Lock()
+	ok := tryAdvanceLocked()
+	epochState.mu.Unlock()
+	return ok
+}
+
+// tryAdvanceLocked advances the epoch if every pin is idle or current, then
+// moves the two-epochs-old limbo bucket to the free list. Caller holds
+// epochState.mu, which serializes advances; pins are read lock-free.
+func tryAdvanceLocked() bool {
+	e := epochClock.Load()
+	for _, p := range epochState.pins {
+		if v := p.pin.Load(); v != 0 && v != e {
+			return false
+		}
+	}
+	epochClock.Store(e + 1)
+	expired := &epochState.limbo[(e+2)%3]
+	if n := len(*expired); n > 0 {
+		epochState.free = append(epochState.free, *expired...)
+		epochState.freeLen.Add(int64(n))
+		epochState.limboLen.Add(int64(-n))
+		epochState.reclaimed += uint64(n)
+		*expired = (*expired)[:0]
+	}
+	return true
+}
+
+// popFreeVar pops a reclaimed cell off the free list, or returns nil when
+// none is available. The freeLen fast path keeps growing workloads (which
+// never retire) off the mutex entirely. An empty free list with cells
+// waiting in limbo triggers one advance attempt before giving up —
+// allocate-triggered reclamation: when churn outruns the amortized advance
+// inside Retire (e.g. a pinned descriptor sat descheduled through several
+// periods), the allocation that would otherwise mint a fresh cell is exactly
+// the moment reclaiming pays for its lock.
+func popFreeVar() *Var {
+	if epochState.freeLen.Load() == 0 && epochState.limboLen.Load() == 0 {
+		return nil
+	}
+	epochState.mu.Lock()
+	if len(epochState.free) == 0 {
+		tryAdvanceLocked()
+	}
+	n := len(epochState.free)
+	if n == 0 {
+		epochState.mu.Unlock()
+		return nil
+	}
+	v := epochState.free[n-1]
+	epochState.free[n-1] = nil
+	epochState.free = epochState.free[:n-1]
+	epochState.freeLen.Add(-1)
+	epochState.mu.Unlock()
+	return v
+}
+
+// EpochStats is the reclamation probe consumed by tests and the
+// -reclaimgate gate.
+type EpochStats struct {
+	// Epoch is the current global epoch.
+	Epoch uint64
+	// Retired / Reclaimed are lifetime Retire and free-list-return counts.
+	Retired, Reclaimed uint64
+	// Limbo is the number of cells parked across all three buckets; Free is
+	// the current free-list length.
+	Limbo, Free int
+}
+
+// ReadEpochStats snapshots the reclaimer's counters.
+func ReadEpochStats() EpochStats {
+	epochState.mu.Lock()
+	s := EpochStats{
+		Epoch:     epochClock.Load(),
+		Retired:   epochState.retired,
+		Reclaimed: epochState.reclaimed,
+		Free:      len(epochState.free),
+	}
+	for i := range epochState.limbo {
+		s.Limbo += len(epochState.limbo[i])
+	}
+	epochState.mu.Unlock()
+	return s
+}
+
+// VarIDWatermark returns the allocation counter's high-water mark — the
+// number of Var identities ever minted. Recycled allocations reuse retired
+// identities and do not move it; the unbounded-varID regression test pins
+// churn against this probe.
+func VarIDWatermark() uint64 { return varID.Load() }
+
+// ---------------------------------------------------------------------------
+// Reader tables: the per-engine quiescence surface of the privatization
+// barrier.
+
+// ReaderSlot publishes one descriptor's active snapshot to privatizing
+// committers. The stored value is snapshot+1 (0 = idle) so that snapshot 0
+// — a valid initial seqlock/clock value — is distinguishable from "not
+// running". Engines pin at Start (pin-then-recheck against their clock) and
+// move the pin forward at every snapshot-extension point; forward movement
+// needs no recheck, because a reader revalidated at snapshot s' is, by the
+// engine's own opacity argument, no longer a zombie with respect to any
+// commit at or before s'.
+type ReaderSlot struct {
+	v atomic.Uint64
+	_ PadWord
+}
+
+// Pin publishes snapshot w as this reader's active snapshot.
+func (s *ReaderSlot) Pin(w uint64) { s.v.Store(w + 1) }
+
+// Clear marks the reader idle. Idempotent; called from every commit and
+// cleanup path.
+func (s *ReaderSlot) Clear() { s.v.Store(0) }
+
+// ReaderTable is the per-engine-instance registry of reader slots. Slots
+// are allocated once per descriptor bind (warm-up only) and never removed;
+// an idle slot costs Drain one atomic load.
+type ReaderTable struct {
+	mu    sync.Mutex
+	slots []*ReaderSlot
+}
+
+// NewSlot allocates and registers a reader slot.
+func (t *ReaderTable) NewSlot() *ReaderSlot {
+	s := &ReaderSlot{}
+	t.mu.Lock()
+	t.slots = append(t.slots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Drain blocks until every registered reader is idle or pinned at snapshot
+// >= w — the quiescence point after which no in-flight transaction can
+// still observe state predating the commit that linearized at w. The caller
+// must have cleared its own slot (every engine Commit does) or Drain
+// deadlocks on it.
+//
+// Progress: readers always leave the waited-for state — they commit, abort
+// (the engine's validation against the post-w clock dooms genuine zombies),
+// or extend their snapshot past w; each of those re-pins forward or clears.
+// The scan re-reads the slot list every round so late-registered slots are
+// seen, and waits adaptively between rounds.
+func (t *ReaderTable) Drain(w uint64) {
+	var waiter Waiter
+	for {
+		if t.quiesced(w) {
+			return
+		}
+		waiter.Wait()
+	}
+}
+
+func (t *ReaderTable) quiesced(w uint64) bool {
+	t.mu.Lock()
+	slots := t.slots
+	t.mu.Unlock()
+	for _, s := range slots {
+		if v := s.v.Load(); v != 0 && v-1 < w {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// The privatizing commit variant.
+
+// Privatizer is the optional commit variant a TxImpl provides when its
+// engine supports privatization barriers. CommitPrivatize is Commit with
+// barrier semantics: after it returns normally, every concurrent
+// transaction that could have observed pre-commit state has finished or
+// revalidated past the commit, so the caller owns whatever the transaction
+// unlinked — plain Load/StoreNT, no instrumentation. It aborts exactly like
+// Commit (panic sentinel) and performs no drain in that case.
+//
+// PrivatizeBarrier is the drain alone, valid immediately after a successful
+// Commit/Publish on the same descriptor: the sharded runtime composes it
+// per participating shard so a cross-shard privatizing commit drains only
+// the engine instances it touched.
+type Privatizer interface {
+	CommitPrivatize()
+	PrivatizeBarrier()
+}

@@ -17,16 +17,43 @@ type Var struct {
 	id    uint64
 	dkey  uint64
 	shard uint32
-	_     [36]byte
+	// retired guards the epoch-reclamation lifecycle (epoch.go): 0 while the
+	// cell is live, 1 from Retire until the cell is recycled off the free
+	// list. Double retire panics — the use-after-free of this allocator.
+	retired atomic.Uint32
+	_       [32]byte
 }
 
 // varID is the global allocation counter for Var identifiers. Identifiers
-// start at 1 so that the zero id can be reserved as "invalid".
+// start at 1 so that the zero id can be reserved as "invalid". It is a
+// high-water mark, not a live count: reclaimed cells are recycled id-intact
+// (the id indexes engine orec tables, and a stable id keeps a recycled
+// cell's orec home stable), so steady-state churn through Retire does not
+// move it.
 var varID atomic.Uint64
 
+// recycleVar pops a reclaimed cell off the epoch free list and re-stamps
+// its allocation-time properties. The id is deliberately preserved. Returns
+// nil when the free list is empty.
+func recycleVar(shard int, key uint64, initial int64) *Var {
+	v := popFreeVar()
+	if v == nil {
+		return nil
+	}
+	v.dkey = key
+	v.shard = uint32(shard)
+	v.val.Store(initial)
+	v.retired.Store(0)
+	return v
+}
+
 // NewVar allocates a transactional variable with the given initial value on
-// shard 0 (the only shard of an unsharded runtime).
+// shard 0 (the only shard of an unsharded runtime), recycling a reclaimed
+// cell when one is available.
 func NewVar(initial int64) *Var {
+	if v := recycleVar(0, 0, initial); v != nil {
+		return v
+	}
 	v := &Var{id: varID.Add(1)}
 	v.val.Store(initial)
 	return v
@@ -40,6 +67,9 @@ func NewVar(initial int64) *Var {
 func NewVarOn(shard int, initial int64) *Var {
 	if shard < 0 {
 		panic("core: negative shard")
+	}
+	if v := recycleVar(shard, 0, initial); v != nil {
+		return v
 	}
 	v := &Var{id: varID.Add(1), shard: uint32(shard)}
 	v.val.Store(initial)
@@ -56,7 +86,9 @@ func NewVars(n int, initial int64) []*Var {
 // NewVarsOn allocates n transactional variables in one contiguous block, all
 // initialized to initial and assigned to the given shard — the allocation
 // helper for shard-affine structures (one block per shard keeps a shard's
-// variables on dense, private cache lines).
+// variables on dense, private cache lines). Block allocation deliberately
+// bypasses the recycle free list: contiguity is the point of the API, and
+// reclaimed cells are scattered.
 func NewVarsOn(shard, n int, initial int64) []*Var {
 	if shard < 0 {
 		panic("core: negative shard")
@@ -86,6 +118,9 @@ func NewVarDurable(shard int, key uint64, initial int64) *Var {
 	}
 	if key == 0 {
 		panic("core: durable key 0 is reserved")
+	}
+	if v := recycleVar(shard, key, initial); v != nil {
+		return v
 	}
 	v := &Var{id: varID.Add(1), dkey: key, shard: uint32(shard)}
 	v.val.Store(initial)

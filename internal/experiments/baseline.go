@@ -104,6 +104,17 @@ type BaselineCell struct {
 	HWCapacityAborts uint64 `json:"hw_capacity_aborts,omitempty"`
 	HWFallbacks      uint64 `json:"hw_fallbacks,omitempty"`
 	HWAborts         uint64 `json:"hw_aborts,omitempty"`
+	// SnapshotMode marks a snapshot-analytics cell (schema v9): "privatized"
+	// scans flip the double buffer with a privatizing commit and sum it
+	// uninstrumented, "instrumented" scans read the live buffer inside an
+	// ordinary transaction. Empty (omitted) on every other cell.
+	SnapshotMode string `json:"snapshot_mode,omitempty"`
+	// Retired / Reclaimed are the epoch reclaimer's counter deltas across the
+	// cell (schema v9): cells parked on the limbo lists and cells returned to
+	// the allocation free list. Non-zero only on cells that exercise the
+	// Var retirement lifecycle (snapshot, reclaim-churn).
+	Retired   uint64 `json:"retired,omitempty"`
+	Reclaimed uint64 `json:"reclaimed,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -161,7 +172,7 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		yieldEvery = 0
 	}
 	rep := BaselineReport{
-		Schema:      "semstm-bench-baseline/v8",
+		Schema:      "semstm-bench-baseline/v9",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -238,6 +249,11 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		return rep, err
 	}
 	rep.Cells = append(rep.Cells, hybrid...)
+	snapshot, err := snapshotCells(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Cells = append(rep.Cells, snapshot...)
 	return rep, nil
 }
 

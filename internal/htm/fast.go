@@ -93,6 +93,10 @@ func (tx *HyTx) fastAdoptLimit(limit int) {
 		}
 		tx.stats.ClockAdopts++
 		tx.snapshot = cur
+		// Forward pin movement: every intervening commit was proved
+		// signature-disjoint from the reads so far, so this attempt is no
+		// zombie with respect to any commit at or before cur.
+		tx.slot.Pin(cur)
 		return
 	}
 }
@@ -162,6 +166,8 @@ func (tx *HyTx) fastCommit() {
 	if tx.writes.Len() == 0 {
 		tx.noteFast(false)
 		tx.stats.HWFastCommits++
+		tx.lastW = tx.snapshot
+		tx.slot.Clear()
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
@@ -175,4 +181,6 @@ func (tx *HyTx) fastCommit() {
 	tx.g.seq.Store(tx.snapshot + 2)
 	tx.noteFast(false)
 	tx.stats.HWFastCommits++
+	tx.lastW = tx.snapshot + 2
+	tx.slot.Clear()
 }

@@ -111,6 +111,17 @@ type Global struct {
 	// recycling by re-checking the lock after the scan. Classic
 	// (non-progressive) transactions never consult it.
 	sigs [sigSlots][1 + sigCap]atomic.Uint64
+
+	// readers is the privatization-barrier surface (DESIGN.md §14): each
+	// descriptor publishes its subscribed snapshot in a slot here, and a
+	// privatizing committer drains the table to its release timestamp.
+	readers core.ReaderTable
+
+	// privatizing counts in-flight privatizing commits. While non-zero the
+	// progressive engine demotes new fast-path attempts to the instrumented
+	// middle path: the uninstrumented fast path publishes no snapshot and
+	// cannot be drained, so it must sit out the barrier window.
+	privatizing atomic.Int64
 }
 
 // NewGlobal returns a fresh runtime state.
@@ -177,6 +188,8 @@ type Tx struct {
 	exprs       *core.ExprSet
 	writes      *core.WriteSet
 	waiter      core.Waiter
+	slot        *core.ReaderSlot // published snapshot (privatization)
+	lastW       uint64           // release timestamp of the last commit
 	hwFailures  int
 	irrevocable bool
 	stats       core.TxStats
@@ -194,6 +207,7 @@ func NewTx(g *Global, semantic bool, seed int64) *Tx {
 		reads:        core.NewSemSet(),
 		exprs:        core.NewExprSet(),
 		writes:       core.NewWriteSet(),
+		slot:         g.readers.NewSlot(),
 	}
 }
 
@@ -230,8 +244,15 @@ func (tx *Tx) Start() {
 	for {
 		s := tx.g.seq.Load()
 		if s&1 == 0 {
-			tx.snapshot = s
-			return
+			// Pin-then-recheck (DESIGN.md §14): the pin must be visible
+			// before the snapshot can be trusted, or a privatizing committer
+			// could drain between the load and the pin publication.
+			tx.slot.Pin(s)
+			if tx.g.seq.Load() == s {
+				tx.snapshot = s
+				return
+			}
+			continue
 		}
 		tx.waiter.Wait() // subscribe: wait out fallback transactions
 		tx.stats.SpinWaits++
@@ -286,6 +307,9 @@ func (tx *Tx) validate() uint64 {
 			tx.abortHW(core.ReasonCmpFlip)
 		}
 		if time == tx.g.seq.Load() {
+			// Forward pin movement: validated at time, so no longer a zombie
+			// with respect to any commit at or before it.
+			tx.slot.Pin(time)
 			return time
 		}
 	}
@@ -499,8 +523,9 @@ func evalAny(conds []core.Cond) bool {
 // sequence lock exactly like a (bounded) NOrec writer.
 func (tx *Tx) Commit() {
 	if tx.irrevocable {
-		tx.g.seq.Add(1) // release: odd -> even
+		tx.lastW = tx.g.seq.Add(1) // release: odd -> even
 		tx.irrevocable = false
+		tx.slot.Clear()
 		return
 	}
 	tx.inject(core.SiteCommit)
@@ -508,6 +533,8 @@ func (tx *Tx) Commit() {
 		tx.abortHW(core.ReasonSpurious)
 	}
 	if tx.writes.Len() == 0 {
+		tx.lastW = tx.snapshot
+		tx.slot.Clear()
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
@@ -527,15 +554,38 @@ func (tx *Tx) Commit() {
 		}
 	}
 	tx.g.seq.Store(tx.snapshot + 2)
+	tx.lastW = tx.snapshot + 2
+	tx.slot.Clear()
+}
+
+// CommitPrivatize is Commit with privatization-barrier semantics
+// (core.Privatizer): the commit is bracketed by the privatizing counter so
+// the progressive engine's uninstrumented fast path sits out the window, and
+// after linearization every reader subscribed to a pre-commit snapshot is
+// waited out. An abort unwinds like Commit and performs no drain.
+func (tx *Tx) CommitPrivatize() {
+	tx.g.privatizing.Add(1)
+	defer tx.g.privatizing.Add(-1)
+	tx.Commit()
+	tx.g.readers.Drain(tx.lastW)
+}
+
+// PrivatizeBarrier re-runs the drain of the last successful Commit.
+func (tx *Tx) PrivatizeBarrier() {
+	tx.g.privatizing.Add(1)
+	defer tx.g.privatizing.Add(-1)
+	tx.g.readers.Drain(tx.lastW)
 }
 
 // Cleanup releases the fallback lock if an irrevocable attempt unwound via a
-// user panic (irrevocable attempts never abort on their own).
+// user panic (irrevocable attempts never abort on their own), and
+// un-publishes the reader slot.
 func (tx *Tx) Cleanup() {
 	if tx.irrevocable {
 		tx.g.seq.Add(1)
 		tx.irrevocable = false
 	}
+	tx.slot.Clear()
 }
 
 // AttemptStats exposes the per-attempt operation counters.

@@ -120,6 +120,8 @@ type HyTx struct {
 	lastFast  *core.Var        // fast path's last first-touch (repeat-probe dedup)
 	rsig      [sigWords]uint64 // fast path's read signature (fast.go)
 	waiter    core.Waiter
+	slot      *core.ReaderSlot // published snapshot (privatization)
+	lastW     uint64           // release timestamp of the last commit
 
 	irrevocable bool
 	locked      bool // two-phase Prepare..Publish window (sharded commits)
@@ -141,6 +143,7 @@ func NewHyTx(g *Global, noFast bool, seed int64) *HyTx {
 		reads:         core.NewSemSet(),
 		exprs:         core.NewExprSet(),
 		writes:        core.NewWriteSet(),
+		slot:          g.readers.NewSlot(),
 	}
 	tx.NewEpoch()
 	return tx
@@ -195,6 +198,13 @@ func (tx *HyTx) Start() {
 	}
 	tx.fastReads = 0
 	tx.locked = false
+	if tx.path == pathFast && tx.g.privatizing.Load() != 0 {
+		// A privatizing commit is in flight: sit the barrier window out on
+		// the instrumented middle path (htm.go: Global.privatizing). The
+		// ladder state is untouched — the next logical transaction probes the
+		// fast path again.
+		tx.path = pathMiddle
+	}
 	if tx.path == pathFast {
 		tx.lastFast = nil
 		tx.rsig = [sigWords]uint64{}
@@ -209,8 +219,15 @@ func (tx *HyTx) Start() {
 	for {
 		s := tx.g.seq.Load()
 		if s&1 == 0 {
-			tx.snapshot = s
-			return
+			// Pin-then-recheck (DESIGN.md §14): the pin must be visible
+			// before the snapshot can be trusted, or a privatizing committer
+			// could drain between the load and the pin publication.
+			tx.slot.Pin(s)
+			if tx.g.seq.Load() == s {
+				tx.snapshot = s
+				return
+			}
+			continue
 		}
 		tx.waiter.Wait() // subscribe: wait out fallback transactions
 		tx.stats.SpinWaits++
@@ -395,8 +412,9 @@ func (tx *HyTx) Commit() {
 		// epoch's signature is all-ones (every concurrent fast reader must
 		// conservatively abort).
 		tx.g.stampSigAll(tx.g.seq.Load() + 1)
-		tx.g.seq.Add(1) // release: odd -> even
+		tx.lastW = tx.g.seq.Add(1) // release: odd -> even
 		tx.irrevocable = false
+		tx.slot.Clear()
 		return
 	}
 	tx.inject(core.SiteCommit)
@@ -451,6 +469,26 @@ func (tx *HyTx) Cleanup() {
 		tx.g.seq.Store(tx.snapshot)
 		tx.locked = false
 	}
+	tx.slot.Clear()
+}
+
+// CommitPrivatize is Commit with privatization-barrier semantics
+// (core.Privatizer): the commit is bracketed by the privatizing counter —
+// demoting new fast-path attempts to the instrumented middle path for the
+// window — and after linearization every reader subscribed to a pre-commit
+// snapshot is waited out. An abort unwinds like Commit and performs no drain.
+func (tx *HyTx) CommitPrivatize() {
+	tx.g.privatizing.Add(1)
+	defer tx.g.privatizing.Add(-1)
+	tx.Commit()
+	tx.g.readers.Drain(tx.lastW)
+}
+
+// PrivatizeBarrier re-runs the drain of the last successful Commit/Publish.
+func (tx *HyTx) PrivatizeBarrier() {
+	tx.g.privatizing.Add(1)
+	defer tx.g.privatizing.Add(-1)
+	tx.g.readers.Drain(tx.lastW)
 }
 
 // AttemptStats exposes the per-attempt operation counters.

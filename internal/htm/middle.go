@@ -63,6 +63,9 @@ func (tx *HyTx) validateLimit(limit int) uint64 {
 			tx.conflict(core.ReasonCmpFlip)
 		}
 		if time == tx.g.seq.Load() {
+			// Forward pin movement: validated at time, so no longer a zombie
+			// with respect to any commit at or before it.
+			tx.slot.Pin(time)
 			return time
 		}
 	}
@@ -203,6 +206,8 @@ func (tx *HyTx) instCmpAny(conds []core.Cond) bool {
 func (tx *HyTx) instCommit() {
 	if tx.writes.Len() == 0 {
 		tx.countCommit()
+		tx.lastW = tx.snapshot
+		tx.slot.Clear()
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
@@ -218,4 +223,6 @@ func (tx *HyTx) instCommit() {
 	tx.publish()
 	tx.g.seq.Store(tx.snapshot + 2)
 	tx.countCommit()
+	tx.lastW = tx.snapshot + 2
+	tx.slot.Clear()
 }

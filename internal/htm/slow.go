@@ -88,6 +88,8 @@ func (tx *HyTx) Validate() {
 func (tx *HyTx) Publish() {
 	if !tx.locked {
 		tx.countCommit() // read-only participant
+		tx.lastW = tx.snapshot
+		tx.slot.Clear()
 		return
 	}
 	tx.g.stampSig(tx.snapshot+2, tx.writes) // fast readers check this epoch
@@ -98,4 +100,6 @@ func (tx *HyTx) Publish() {
 	tx.g.seq.Store(tx.snapshot + 2)
 	tx.locked = false
 	tx.countCommit()
+	tx.lastW = tx.snapshot + 2
+	tx.slot.Clear()
 }

@@ -29,6 +29,10 @@ import (
 type Global struct {
 	seq atomic.Uint64
 	_   core.PadWord
+	// readers is the privatization-barrier surface (DESIGN.md §14): every
+	// descriptor publishes its active snapshot in a slot here, and a
+	// privatizing committer drains the table to its commit timestamp.
+	readers core.ReaderTable
 }
 
 // NewGlobal returns a fresh, unlocked global sequence lock.
@@ -78,6 +82,11 @@ type Tx struct {
 	waiter core.Waiter
 	fp     *core.FaultPlan // nil unless fault injection is armed
 	stats  core.TxStats
+	// slot publishes the active snapshot to privatizing committers; lastW is
+	// the quiescence timestamp of the last successful commit — the sequence
+	// value from which PrivatizeBarrier drains.
+	slot  *core.ReaderSlot
+	lastW uint64
 }
 
 // NewTx returns a transaction descriptor bound to g. If semantic is true the
@@ -90,6 +99,7 @@ func NewTx(g *Global, semantic bool) *Tx {
 		reads:    core.NewSemSet(),
 		exprs:    core.NewExprSet(),
 		writes:   core.NewWriteSet(),
+		slot:     g.readers.NewSlot(),
 	}
 }
 
@@ -108,12 +118,19 @@ func (tx *Tx) Start() {
 	for {
 		s := tx.g.seq.Load()
 		if s&1 == 0 {
-			tx.snapshot = s
-			// The empty read-set is trivially valid here, so the watermark
-			// starts at the snapshot rather than carrying a value from the
-			// previous attempt.
-			tx.valSeq = s
-			return
+			// Pin-then-recheck: the reader slot must be visible before the
+			// snapshot can be trusted, or a privatizing committer could scan
+			// the table between our load and the pin and miss this reader.
+			tx.slot.Pin(s)
+			if tx.g.seq.Load() == s {
+				tx.snapshot = s
+				// The empty read-set is trivially valid here, so the watermark
+				// starts at the snapshot rather than carrying a value from the
+				// previous attempt.
+				tx.valSeq = s
+				return
+			}
+			continue
 		}
 		tx.waiter.Wait()
 		tx.stats.SpinWaits++
@@ -154,6 +171,7 @@ func (tx *Tx) validateLimit(limit int) uint64 {
 			// Nothing committed since the last full walk: every entry —
 			// including ones appended after that walk, each read at a stable
 			// sequence equal to the watermark — is known valid at this time.
+			tx.slot.Pin(time)
 			return time
 		}
 		if tx.fp != nil && tx.fp.ValidationFail() {
@@ -169,6 +187,9 @@ func (tx *Tx) validateLimit(limit int) uint64 {
 		}
 		if time == tx.g.seq.Load() {
 			tx.valSeq = time
+			// Forward pin movement needs no recheck: a read-set just proven
+			// valid at time is no zombie with respect to any commit <= time.
+			tx.slot.Pin(time)
 			return time
 		}
 	}
@@ -393,6 +414,8 @@ func (tx *Tx) Commit() {
 		tx.fp.Step(core.SiteCommit)
 	}
 	if tx.writes.Len() == 0 {
+		tx.lastW = tx.snapshot
+		tx.slot.Clear()
 		return
 	}
 	for !tx.g.seq.CompareAndSwap(tx.snapshot, tx.snapshot+1) {
@@ -410,7 +433,27 @@ func (tx *Tx) Commit() {
 		}
 	}
 	tx.g.seq.Store(tx.snapshot + 2)
+	// Quiescence timestamp: any reader that starts at (or extends past)
+	// snapshot+2 observed this commit's write-back.
+	tx.lastW = tx.snapshot + 2
+	tx.slot.Clear()
 }
+
+// CommitPrivatize is Commit with privatization-barrier semantics: after the
+// write-back is published it drains the reader table to the commit
+// timestamp, waiting out every in-flight transaction whose snapshot
+// predates it (the doomed zombies of the privatization literature). On
+// return the caller owns whatever the transaction unlinked. Aborts exactly
+// like Commit, in which case no drain runs.
+func (tx *Tx) CommitPrivatize() {
+	tx.Commit()
+	tx.g.readers.Drain(tx.lastW)
+}
+
+// PrivatizeBarrier is the drain alone, valid after a successful
+// Commit/Publish on this descriptor; the sharded runtime composes it per
+// touched shard.
+func (tx *Tx) PrivatizeBarrier() { tx.g.readers.Drain(tx.lastW) }
 
 // Prepare acquires the sequence lock for a two-phase (cross-shard) commit —
 // the same CAS-from-snapshot loop as Commit, but with bounded waiting inside
@@ -450,6 +493,8 @@ func (tx *Tx) Validate() {
 // read-only participants do nothing.
 func (tx *Tx) Publish() {
 	if !tx.locked {
+		tx.lastW = tx.snapshot
+		tx.slot.Clear()
 		return
 	}
 	if tx.fp != nil {
@@ -464,6 +509,8 @@ func (tx *Tx) Publish() {
 	}
 	tx.locked = false
 	tx.g.seq.Store(tx.snapshot + 2)
+	tx.lastW = tx.snapshot + 2
+	tx.slot.Clear()
 }
 
 // Cleanup releases held resources after an abort. The single-instance
@@ -477,6 +524,7 @@ func (tx *Tx) Cleanup() {
 		tx.locked = false
 		tx.g.seq.Store(tx.snapshot)
 	}
+	tx.slot.Clear()
 }
 
 // AttemptStats exposes the per-attempt operation counters.

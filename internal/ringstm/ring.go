@@ -38,6 +38,10 @@ type Global struct {
 	head atomic.Uint64 // number of commits; ring[i%ringSize] holds commit i
 	_    core.PadWord
 	ring [ringSize]entry
+	// readers is the privatization-barrier surface (DESIGN.md §14): each
+	// descriptor publishes its consistent point in a slot here, and a
+	// privatizing committer drains the table to its commit timestamp.
+	readers core.ReaderTable
 }
 
 // NewGlobal returns a fresh ring with no commits.
@@ -72,7 +76,9 @@ type Tx struct {
 	exprs    *core.ExprSet // expression facts (extension)
 	writes   *core.WriteSet
 	waiter   core.Waiter
-	fp       *core.FaultPlan // nil unless fault injection is armed
+	slot     *core.ReaderSlot // published consistent point (privatization)
+	lastW    uint64           // timestamp of the last commit (drain bound)
+	fp       *core.FaultPlan  // nil unless fault injection is armed
 	stats    core.TxStats
 }
 
@@ -84,6 +90,7 @@ func NewTx(g *Global, semantic bool) *Tx {
 		reads:    core.NewSemSet(),
 		exprs:    core.NewExprSet(),
 		writes:   core.NewWriteSet(),
+		slot:     g.readers.NewSlot(),
 	}
 }
 
@@ -104,12 +111,19 @@ func (tx *Tx) Start() {
 	tx.waiter.Reset()
 	for {
 		h := tx.g.head.Load()
-		if h == 0 || published(&tx.g.ring[h%ringSize], h) {
+		if h != 0 && !published(&tx.g.ring[h%ringSize], h) {
+			tx.waiter.Wait()
+			tx.stats.SpinWaits++
+			continue
+		}
+		// Pin-then-recheck: the pin must be visible before the snapshot can
+		// be trusted, or a privatizing committer could drain between the head
+		// load and the pin publication (DESIGN.md §14).
+		tx.slot.Pin(h)
+		if tx.g.head.Load() == h {
 			tx.start = h
 			return
 		}
-		tx.waiter.Wait()
-		tx.stats.SpinWaits++
 	}
 }
 
@@ -191,6 +205,10 @@ func (tx *Tx) validateTo() uint64 {
 			}
 		}
 		tx.start = h
+		// Forward pin movement: a reader validated up to h is no longer a
+		// zombie with respect to any commit at or before h, so a privatizer
+		// draining to w <= h may stop waiting on it. No recheck needed.
+		tx.slot.Pin(h)
 	}
 }
 
@@ -399,6 +417,8 @@ func (tx *Tx) Commit() {
 		tx.fp.Step(core.SiteCommit)
 	}
 	if tx.writes.Len() == 0 {
+		tx.lastW = tx.start
+		tx.slot.Clear()
 		return
 	}
 	tx.waiter.Reset()
@@ -434,12 +454,26 @@ func (tx *Tx) Commit() {
 			}
 		}
 		slot.status.Store(statusComplete)
+		tx.lastW = h + 1
+		tx.slot.Clear()
 		return
 	}
 }
 
-// Cleanup has nothing to release: RingSTM holds no locks.
-func (tx *Tx) Cleanup() {}
+// CommitPrivatize is Commit with privatization-barrier semantics
+// (core.Privatizer): after the commit's write-back completes, drain every
+// reader still consistent with a pre-commit head. An abort unwinds like
+// Commit and performs no drain.
+func (tx *Tx) CommitPrivatize() {
+	tx.Commit()
+	tx.g.readers.Drain(tx.lastW)
+}
+
+// PrivatizeBarrier re-runs the drain of the last successful Commit.
+func (tx *Tx) PrivatizeBarrier() { tx.g.readers.Drain(tx.lastW) }
+
+// Cleanup has no locks to release: RingSTM only un-publishes the reader slot.
+func (tx *Tx) Cleanup() { tx.slot.Clear() }
 
 // AttemptStats exposes the per-attempt operation counters.
 func (tx *Tx) AttemptStats() *core.TxStats { return &tx.stats }

@@ -55,6 +55,10 @@ type Global struct {
 	txid  atomic.Uint64
 	_     core.PadWord
 	orecs [1 << orecBits]orec
+	// readers is the privatization-barrier surface (DESIGN.md §14): each
+	// descriptor publishes its start version in a slot here, and a
+	// privatizing committer drains the table to its write version.
+	readers core.ReaderTable
 }
 
 // NewGlobal returns a fresh runtime state with the clock at zero.

@@ -31,6 +31,11 @@ type Tx struct {
 	stats        core.TxStats
 	readShrink   core.Shrinker // high-water-mark clamp for the read-set
 	commitShrink core.Shrinker // same policy for the commit scratch (held/lockIdx)
+	// slot publishes the start version to privatizing committers; lastW is
+	// the write version of the last successful commit — the quiescence
+	// point PrivatizeBarrier drains to.
+	slot  *core.ReaderSlot
+	lastW uint64
 }
 
 // readSetMinCap is the pre-sized (and clamp floor) capacity of the read-set.
@@ -46,6 +51,7 @@ func NewTx(g *Global, semantic bool) *Tx {
 		reads:    make([]*orec, 0, readSetMinCap),
 		compares: core.NewSemSet(),
 		writes:   core.NewWriteSet(),
+		slot:     g.readers.NewSlot(),
 	}
 }
 
@@ -74,7 +80,22 @@ func (tx *Tx) Start() {
 	}
 	tx.stats.Reset()
 	tx.id = tx.g.txid.Add(1)
-	tx.startVersion = tx.g.clock.Load()
+	// Pin-then-recheck: publish the reader slot before trusting the start
+	// version. Without the recheck a privatizing committer could advance the
+	// clock and scan the reader table between our clock load and the pin —
+	// and a TL2 zombie that captured a pre-unlink pointer is invisible to
+	// orec validation when it dereferences into cells the privatizer never
+	// wrote. A failed recheck re-pins at the newer clock value; the window
+	// between load and pin is a couple of loads, so repeated failures need a
+	// commit to land inside it every time.
+	for {
+		s := tx.g.clock.Load()
+		tx.slot.Pin(s)
+		if tx.g.clock.Load() == s {
+			tx.startVersion = s
+			break
+		}
+	}
 	if tx.fp != nil {
 		tx.fp.Step(core.SiteStart)
 	}
@@ -195,6 +216,9 @@ func (tx *Tx) cmpPhase1(v *core.Var, o *orec, op core.Op, operand int64) bool {
 			tx.validateCompareSet()
 			if time == tx.g.clock.Load() {
 				tx.startVersion = time // line 25: extend start version
+				// Forward pin movement (no recheck needed: we stayed pinned
+				// at the old version throughout the extension).
+				tx.slot.Pin(time)
 				break
 			}
 			// line 23: a concurrent commit moved the clock; retry.
@@ -289,6 +313,7 @@ func (tx *Tx) cmpVarsPhase1(a, b *core.Var, oa, ob *orec, op core.Op) bool {
 			tx.validateCompareSet()
 			if time == tx.g.clock.Load() {
 				tx.startVersion = time
+				tx.slot.Pin(time) // forward pin movement, as in cmpPhase1
 				break
 			}
 		}
@@ -497,6 +522,8 @@ func (tx *Tx) Commit() {
 		tx.fp.Step(core.SiteCommit)
 	}
 	if tx.writes.Len() == 0 {
+		tx.lastW = tx.startVersion
+		tx.slot.Clear()
 		return
 	}
 	tx.acquireWriteLocks()
@@ -510,6 +537,7 @@ func (tx *Tx) Commit() {
 			tx.validateReadSet()
 		}
 		tx.writeBack(wv)
+		tx.finishCommit(wv)
 		return
 	}
 	time := tx.g.clock.Load()
@@ -522,6 +550,7 @@ func (tx *Tx) Commit() {
 				tx.validateReadSet()
 			}
 			tx.writeBack(time + 1)
+			tx.finishCommit(time + 1)
 			return
 		}
 		// A concurrent commit advanced the clock: adopt the newer timestamp
@@ -530,6 +559,31 @@ func (tx *Tx) Commit() {
 		time = tx.g.clock.Load()
 	}
 }
+
+// finishCommit records the quiescence point of a successful commit and
+// retires the reader slot. Any reader pinned at or past wv loaded the clock
+// after this transaction's orecs were locked (lock first, then tick), so it
+// cannot have captured pre-write-back state.
+func (tx *Tx) finishCommit(wv uint64) {
+	tx.lastW = wv
+	tx.slot.Clear()
+}
+
+// CommitPrivatize is Commit with privatization-barrier semantics (the
+// TL2 orec-version fence): after write-back it drains the reader table to
+// the write version, waiting out every transaction whose start version
+// predates the commit — including zombies whose captured pointers lead to
+// cells this commit never wrote, which orec validation alone would never
+// catch. Aborts exactly like Commit, in which case no drain runs.
+func (tx *Tx) CommitPrivatize() {
+	tx.Commit()
+	tx.g.readers.Drain(tx.lastW)
+}
+
+// PrivatizeBarrier is the drain alone, valid after a successful
+// Commit/Publish on this descriptor; the sharded runtime composes it per
+// touched shard.
+func (tx *Tx) PrivatizeBarrier() { tx.g.readers.Drain(tx.lastW) }
 
 // writeBack applies the write-set and releases every held orec at the new
 // version wv. Increments read memory here, under the orec lock, which is the
@@ -615,12 +669,14 @@ func (tx *Tx) Validate() {
 // nothing.
 func (tx *Tx) Publish() {
 	if len(tx.held) == 0 {
+		tx.finishCommit(tx.startVersion)
 		return
 	}
 	if tx.fp != nil {
 		tx.fp.CommitDelay() // stretch the publish window with the orecs held
 	}
 	tx.writeBack(tx.wv)
+	tx.finishCommit(tx.wv)
 }
 
 // Cleanup restores the pre-lock word of every orec still held by a failed
@@ -630,6 +686,7 @@ func (tx *Tx) Cleanup() {
 		h.o.word.Store(h.prev)
 	}
 	tx.held = tx.held[:0]
+	tx.slot.Clear()
 }
 
 // AttemptStats exposes the per-attempt operation counters.

@@ -1,6 +1,7 @@
 package txds
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"semstm/stm"
@@ -24,6 +25,11 @@ type BSTMap struct {
 	rights []*stm.Var
 	live   []*stm.Var // 1 = present, 0 = lazily deleted
 	next   atomic.Int64
+
+	// free holds node indices physically reclaimed by DeletePrivatize; the
+	// nodes' Vars are reused in place (reset with StoreNT while private).
+	freeMu sync.Mutex
+	free   []int64
 }
 
 // NewBSTMap creates a map with storage for at most capacity insertions
@@ -41,8 +47,17 @@ func NewBSTMap(capacity int) *BSTMap {
 	return m
 }
 
-// alloc reserves a fresh node index.
+// alloc reserves a node index: a physically reclaimed one when available,
+// else a fresh slot off the bump counter.
 func (m *BSTMap) alloc() int64 {
+	m.freeMu.Lock()
+	if n := len(m.free); n > 0 {
+		i := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.freeMu.Unlock()
+		return i
+	}
+	m.freeMu.Unlock()
 	i := m.next.Add(1) - 1
 	if int(i) >= len(m.keys) {
 		panic("txds: BSTMap node pool exhausted")
@@ -130,6 +145,56 @@ func (m *BSTMap) Delete(tx *stm.Tx, key int64) bool {
 	}
 	tx.Write(m.live[node], 0)
 	return true
+}
+
+// DeletePrivatize removes key, physically unlinking the node when it has at
+// most one child — the structural removal the lazy Delete never performs —
+// and reports whether the key was present. A two-child node falls back to
+// the lazy tombstone (routing node), like Delete.
+//
+// The unlink commits through a privatization barrier, so once the call
+// returns no concurrent transaction can still observe the node through the
+// old parent link. That makes the node's Vars private: they are reset with
+// uninstrumented stores and reused in place through the index free list —
+// the second reclamation pattern of DESIGN.md §14 (in-place reuse, no
+// Retire, pool and Var identities both stable under churn).
+func (m *BSTMap) DeletePrivatize(rt *stm.Runtime, key int64) bool {
+	present := false
+	victim := int64(0)
+	rt.AtomicallyPrivatize(func(tx *stm.Tx) {
+		present, victim = false, 0
+		node, parent, leftChild := m.find(tx, key)
+		if node == 0 || !tx.EQ(m.live[node], 1) {
+			return
+		}
+		present = true
+		l, r := tx.Read(m.lefts[node]), tx.Read(m.rights[node])
+		if l != 0 && r != 0 {
+			tx.Write(m.live[node], 0) // two children: lazy tombstone
+			return
+		}
+		child := l + r // at most one is non-zero
+		switch {
+		case parent == 0:
+			tx.Write(m.root, child)
+		case leftChild:
+			tx.Write(m.lefts[parent], child)
+		default:
+			tx.Write(m.rights[parent], child)
+		}
+		victim = node
+	})
+	if victim != 0 {
+		m.keys[victim].StoreNT(0)
+		m.vals[victim].StoreNT(0)
+		m.lefts[victim].StoreNT(0)
+		m.rights[victim].StoreNT(0)
+		m.live[victim].StoreNT(0)
+		m.freeMu.Lock()
+		m.free = append(m.free, victim)
+		m.freeMu.Unlock()
+	}
+	return present
 }
 
 // SizeNT counts live keys non-transactionally (quiescent use only).

@@ -1,6 +1,7 @@
 package txds
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"semstm/stm"
@@ -11,6 +12,11 @@ import (
 // reassembly) workloads. Buckets are head indices into parallel node pools;
 // index 0 is the nil sentinel. Chains are prepended, so an insert writes one
 // bucket head and the fields of a fresh node.
+//
+// RemovePrivatize gives the table a full node lifecycle: the unlink commits
+// through a privatization barrier, the node's cells go to the epoch-based
+// reclaimer (stm.Retire), and the index returns through a free list so the
+// pool never grows under churn.
 type ChainTable struct {
 	buckets []*stm.Var
 	keys    []*stm.Var
@@ -18,6 +24,11 @@ type ChainTable struct {
 	nexts   []*stm.Var
 	mask    int64
 	next    atomic.Int64
+
+	// free holds node indices recycled by RemovePrivatize; their pool slots
+	// are re-populated with fresh Vars on reuse (alloc).
+	freeMu sync.Mutex
+	free   []int64
 }
 
 // NewChainTable creates a table with the given number of buckets (rounded up
@@ -115,11 +126,66 @@ func (t *ChainTable) Inc(tx *stm.Tx, key, delta int64) {
 }
 
 func (t *ChainTable) alloc() int64 {
+	t.freeMu.Lock()
+	if n := len(t.free); n > 0 {
+		i := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.freeMu.Unlock()
+		// Re-populate the retired slots with fresh Vars (NewVar recycles
+		// reclaimed cells when the epoch allows). Publication of index i is
+		// transactional — the caller's bucket-link write — so every reader
+		// that can reach i observes these stores.
+		t.keys[i] = stm.NewVar(0)
+		t.vals[i] = stm.NewVar(0)
+		t.nexts[i] = stm.NewVar(0)
+		return i
+	}
+	t.freeMu.Unlock()
 	i := t.next.Add(1) - 1
 	if int(i) >= len(t.keys) {
 		panic("txds: ChainTable node pool exhausted")
 	}
 	return i
+}
+
+// Remove deletes key with a privatizing commit and hands the unlinked node to
+// the epoch-based reclaimer, reporting whether the key was present. The chain
+// unlink makes the node unreachable; the commit's privatization barrier then
+// waits out every transaction that could still hold the node's cells in its
+// read-set, after which retiring them is safe (DESIGN.md §14). The node index
+// recycles through alloc, so sustained insert/remove churn holds the pool —
+// and, via id-intact cell recycling, the orec-table footprint — steady.
+func (t *ChainTable) Remove(rt *stm.Runtime, key int64) bool {
+	victim := int64(0)
+	rt.AtomicallyPrivatize(func(tx *stm.Tx) {
+		victim = 0
+		b := t.bucket(key)
+		prev := int64(0)
+		for n := tx.Read(b); n != 0; n = tx.Read(t.nexts[n]) {
+			if tx.Read(t.keys[n]) == key {
+				next := tx.Read(t.nexts[n])
+				if prev == 0 {
+					tx.Write(b, next)
+				} else {
+					tx.Write(t.nexts[prev], next)
+				}
+				victim = n
+				return
+			}
+			prev = n
+		}
+	})
+	if victim == 0 {
+		return false
+	}
+	stm.Retire(t.keys[victim])
+	stm.Retire(t.vals[victim])
+	stm.Retire(t.nexts[victim])
+	t.keys[victim], t.vals[victim], t.nexts[victim] = nil, nil, nil
+	t.freeMu.Lock()
+	t.free = append(t.free, victim)
+	t.freeMu.Unlock()
+	return true
 }
 
 // SizeNT counts entries non-transactionally by chain walking (quiescent use

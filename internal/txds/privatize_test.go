@@ -1,0 +1,161 @@
+package txds
+
+import (
+	"sync"
+	"testing"
+
+	"semstm/stm"
+)
+
+// TestChainTableRemove: the privatize-then-retire removal must behave like a
+// plain map delete and recycle node indices through the free list.
+func TestChainTableRemove(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		// Generous capacity: aborted inserts leak their node, and abort-heavy
+		// engines (HTM) can leak many per transaction.
+		tbl := NewChainTable(16, 4096)
+		rt.Atomically(func(tx *stm.Tx) {
+			for k := int64(1); k <= 20; k++ {
+				tbl.Put(tx, k, k*10)
+			}
+		})
+		if tbl.Remove(rt, 999) {
+			t.Error("removed absent key")
+		}
+		for k := int64(1); k <= 10; k++ {
+			if !tbl.Remove(rt, k) {
+				t.Errorf("remove(%d) = false", k)
+			}
+		}
+		if tbl.Remove(rt, 5) {
+			t.Error("double remove succeeded")
+		}
+		rt.Atomically(func(tx *stm.Tx) {
+			for k := int64(1); k <= 10; k++ {
+				if _, ok := tbl.Get(tx, k); ok {
+					t.Errorf("key %d present after remove", k)
+				}
+			}
+			for k := int64(11); k <= 20; k++ {
+				if v, ok := tbl.Get(tx, k); !ok || v != k*10 {
+					t.Errorf("key %d = %d, %v; want %d, true", k, v, ok, k*10)
+				}
+			}
+		})
+		if got := tbl.SizeNT(); got != 10 {
+			t.Fatalf("size = %d, want 10", got)
+		}
+	})
+}
+
+// TestChainTableRemoveRecyclesPool: a pool sized for the live set must
+// survive far more inserts than its capacity when every insert is paired
+// with a privatizing removal — the free list, not the bump counter, feeds
+// steady-state allocation.
+func TestChainTableRemoveRecyclesPool(t *testing.T) {
+	rt := stm.New(stm.SNOrec)
+	tbl := NewChainTable(16, 8) // room for ~7 nodes, ever
+	for i := int64(0); i < 100; i++ {
+		rt.Atomically(func(tx *stm.Tx) { tbl.Put(tx, i, i) })
+		if !tbl.Remove(rt, i) {
+			t.Fatalf("remove(%d) = false", i)
+		}
+	}
+	if got := tbl.SizeNT(); got != 0 {
+		t.Fatalf("size = %d, want 0", got)
+	}
+}
+
+// TestChainTableRemoveConcurrent races privatizing removers against readers
+// and inserters; run with -race to catch any unlink that fails to privatize.
+func TestChainTableRemoveConcurrent(t *testing.T) {
+	for _, algo := range []stm.Algorithm{stm.SNOrec, stm.STL2, stm.HyTM} {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := stm.New(algo)
+			const keys = 32
+			tbl := NewChainTable(8, keys*256)
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						k := int64((w*17 + i) % keys)
+						switch i % 3 {
+						case 0:
+							rt.Atomically(func(tx *stm.Tx) { tbl.Put(tx, k, k) })
+						case 1:
+							tbl.Remove(rt, k)
+						default:
+							rt.Atomically(func(tx *stm.Tx) {
+								if v, ok := tbl.Get(tx, k); ok && v != k {
+									panic("torn value")
+								}
+							})
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := rt.CheckQuiescent(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBSTDeletePrivatize: physical unlink must match lazy-delete visibility
+// semantics and reuse node slots in place.
+func TestBSTDeletePrivatize(t *testing.T) {
+	eachAlgo(t, func(t *testing.T, rt *stm.Runtime) {
+		m := NewBSTMap(4096) // headroom for abort-leaked nodes
+		rt.Atomically(func(tx *stm.Tx) {
+			for _, k := range []int64{50, 25, 75, 10, 30, 60, 90, 5} {
+				m.Put(tx, k, k)
+			}
+		})
+		if m.DeletePrivatize(rt, 999) {
+			t.Error("deleted absent key")
+		}
+		// Leaf removal (5), single-child removal (10 after 5 is gone),
+		// two-child tombstone (50).
+		for _, k := range []int64{5, 10, 50} {
+			if !m.DeletePrivatize(rt, k) {
+				t.Errorf("delete(%d) = false", k)
+			}
+		}
+		if m.DeletePrivatize(rt, 5) {
+			t.Error("double delete succeeded")
+		}
+		rt.Atomically(func(tx *stm.Tx) {
+			for _, k := range []int64{5, 10, 50} {
+				if _, ok := m.Get(tx, k); ok {
+					t.Errorf("key %d present after delete", k)
+				}
+			}
+			for _, k := range []int64{25, 75, 30, 60, 90} {
+				if v, ok := m.Get(tx, k); !ok || v != k {
+					t.Errorf("key %d = %d, %v; want %d, true", k, v, ok, k)
+				}
+			}
+		})
+	})
+}
+
+// TestBSTDeletePrivatizeReusesPool: leaf churn must cycle through the free
+// list instead of the bump allocator.
+func TestBSTDeletePrivatizeReusesPool(t *testing.T) {
+	rt := stm.New(stm.STL2)
+	m := NewBSTMap(8)
+	rt.Atomically(func(tx *stm.Tx) { m.Put(tx, 100, 100) }) // persistent root
+	for i := int64(0); i < 50; i++ {
+		k := 200 + i
+		rt.Atomically(func(tx *stm.Tx) { m.Put(tx, k, k) })
+		if !m.DeletePrivatize(rt, k) {
+			t.Fatalf("delete(%d) = false", k)
+		}
+	}
+	if got := m.SizeNT(); got != 1 {
+		t.Fatalf("size = %d, want 1", got)
+	}
+}

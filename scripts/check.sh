@@ -40,6 +40,17 @@
 #      progressive fast path (the instrumented engine's tracked footprint
 #      overflows the simulated hardware budget; the fast path's first-touch
 #      footprint fits and commits in hardware).
+#  11. the privatization gate: on the snapshot-analytics workload under the
+#      interleave simulation, a privatized scan (flip the buffer with
+#      AtomicallyPrivatize, then read it raw) must out-scan the fully
+#      instrumented transactional scan by >= 5x — the PR9 acceptance bar
+#      defending the privatization barrier as the cheap way to read big
+#      snapshots out from under live writers.
+#  12. the reclamation gate: three sampled windows of single-threaded
+#      NewVar -> Atomically -> Retire churn must hold runtime.MemStats
+#      HeapAlloc steady (<= 10% growth + fixed slack from window 1 to 3,
+#      with Reclaimed > 0) — the PR9 acceptance bar defending epoch-based
+#      reclamation actually recycling cells instead of leaking them.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -102,5 +113,11 @@ go run ./cmd/semstm-bench -durgate -dur 300ms -reps 2
 
 echo "== instrumentation-cost gate (HyTM fast path >= 1.5x classic HTM on the scan cell) =="
 go run ./cmd/semstm-bench -hybridgate -dur 300ms -reps 2
+
+echo "== privatization gate (privatized snapshot scan >= 5x instrumented) =="
+go run ./cmd/semstm-bench -privgate -dur 200ms -reps 2
+
+echo "== reclamation gate (steady-state heap under retire churn) =="
+go run ./cmd/semstm-bench -reclaimgate -dur 200ms -reps 1
 
 echo "== ok =="

@@ -211,6 +211,7 @@ type runCfg struct {
 	maxAttempts int             // 0 = unbounded
 	done        <-chan struct{} // non-nil under AtomicallyCtx
 	ctx         context.Context // non-nil under AtomicallyCtx; supplies Cause
+	privatize   bool            // commit through the engine's privatizing variant
 }
 
 // run is the retry engine shared by Atomically, AtomicallyCtx, and
@@ -225,6 +226,11 @@ type runCfg struct {
 func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 	tx := rt.txPool.Get().(*Tx)
 	defer rt.releaseTx(tx)
+	// Pin the reclamation epoch for the whole call (every attempt included):
+	// any *Var pointer the body captures stays out of the recycler until the
+	// pin drops (core/epoch.go). LIFO defers run Exit before the pool return.
+	tx.pin.Enter()
+	defer tx.pin.Exit()
 	if tx.epoch != nil {
 		tx.epoch.NewEpoch()
 	}
@@ -286,7 +292,7 @@ func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 				return runErr(attempt, reasons, escalated, cfg)
 			}
 		}
-		committed, _ := rt.tryOnce(tx, fn)
+		committed, _ := rt.tryOnce(tx, fn, cfg.privatize)
 		if entered {
 			tx.active.Store(0)
 			rt.noteAttempt(tx)

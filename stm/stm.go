@@ -329,6 +329,7 @@ func (rt *Runtime) newTx() *Tx {
 		rt:    rt,
 		shard: rt.stats.Register(),
 		rng:   rand.New(rand.NewPCG(uint64(uniqueSeed()), uint64(uniqueSeed()))),
+		pin:   core.RegisterEpochPin(),
 	}
 	tx.rebind(rt.cur.Load())
 	rt.descMu.Lock()
@@ -351,6 +352,7 @@ func (tx *Tx) rebind(slot *engineSlot) {
 	tx.slot = slot
 	tx.impl = slot.eng.NewTx(tx.rt.txConfig())
 	tx.epoch, _ = tx.impl.(epochResetter)
+	tx.priv, _ = tx.impl.(core.Privatizer)
 	tx.impl.SetFaultPlan(tx.rt.faultPlan)
 }
 
@@ -515,7 +517,7 @@ func (rt *Runtime) Atomically(fn func(tx *Tx)) {
 // tryOnce runs a single attempt, returning whether it committed and, on
 // abort, the typed reason (also latched on the descriptor for the retry
 // engine's reason log).
-func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool, reason AbortReason) {
+func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx), privatize bool) (committed bool, reason AbortReason) {
 	defer func() {
 		if r := recover(); r != nil {
 			tx.impl.Cleanup()
@@ -536,7 +538,11 @@ func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx)) (committed bool, reason Abor
 	}()
 	tx.impl.Start()
 	fn(tx)
-	tx.impl.Commit()
+	if privatize && tx.priv != nil {
+		tx.priv.CommitPrivatize()
+	} else {
+		tx.impl.Commit()
+	}
 	tx.shard.Merge(tx.impl.AttemptStats(), true)
 	return true, AbortUnknown
 }
@@ -555,7 +561,9 @@ type Tx struct {
 	rt         *Runtime
 	impl       core.TxImpl
 	epoch      epochResetter    // impl's cached NewEpoch assertion; nil if absent
+	priv       core.Privatizer  // impl's cached privatizing-commit assertion
 	slot       *engineSlot      // the engine binding impl was built from
+	pin        *core.EpochPin   // reclamation-epoch pin (held across each run)
 	shard      *core.StatsShard // this descriptor's slice of the runtime counters
 	rng        *rand.Rand
 	ops        int
