@@ -7,7 +7,7 @@
 //	bench-compare [-max-regress 10] [-max-alloc-increase 0.25] OLD.json NEW.json
 //
 // Cells are matched by (workload, algorithm, threads, shards, cross_pct,
-// fsync_policy, snapshot_mode) — the trailing fields are zero/empty on every pre-v6 cell, so
+// fsync_policy, snapshot_mode, batching) — the trailing fields are zero/empty on every pre-v6 cell, so
 // older reports and the classic grid of newer ones line up key for key: a
 // v5↔v6 comparison gates the classic grid, a v6↔v7 comparison additionally
 // gates the sharded grid while the durable cells (fsync_policy set, v7 on)
@@ -34,16 +34,23 @@
 //
 // -known-drift FILE loads a JSON array of cell keys with notes — cells whose
 // throughput on this host is known to drift for reasons outside the code
-// (frequency scaling, a noisy CI neighbor). A throughput regression in a
-// listed cell is still measured and printed, annotated with the note, but
-// does not fail the exit status: the list marks drift, it never hides it.
-// The allocation gate is exempt from the list — allocs/tx is deterministic,
-// so host drift cannot explain an allocation regression. Entries that match
-// no compared cell, or whose cell no longer regresses, are called out as
-// stale so the list shrinks instead of accreting. Entry fields mirror the
-// cell key: {"workload", "algorithm", "threads", "shards", "cross_pct",
-// "fsync_policy", "snapshot_mode", "note"}; unset fields default to the classic-grid zero
-// values, keeping entries as terse as the cells they mark.
+// (frequency scaling, a noisy CI neighbor). The flag composes: repeat it
+// and/or pass a comma-separated list, and every named file contributes its
+// entries — per-PR drift files stack instead of each PR overwriting the
+// marker set. A throughput regression in a listed cell is still measured and
+// printed, annotated with the note, but does not fail the exit status: the
+// list marks drift, it never hides it. An entry marks the whole cell, so the
+// allocation gate is covered too: per-attempt allocs are deterministic, but
+// on durable cells allocs/tx folds in the background flusher's fixed
+// allocations amortized over however many transactions the capture managed,
+// so a slow capture inflates allocs/tx exactly where it deflates throughput.
+// Entries that match no compared cell, or whose cell
+// no longer regresses, are called out as stale — per file, so each PR's list
+// shrinks instead of accreting; a key listed by more than one file is warned
+// about too. Entry fields mirror the cell key: {"workload", "algorithm",
+// "threads", "shards", "cross_pct", "fsync_policy", "snapshot_mode",
+// "batching", "note"}; unset fields default to the classic-grid zero values,
+// keeping entries as terse as the cells they mark.
 package main
 
 import (
@@ -63,8 +70,17 @@ func main() {
 		"maximum tolerated throughput drop per cell, in percent")
 	maxAllocIncrease := flag.Float64("max-alloc-increase", 0.25,
 		"maximum tolerated allocs/tx increase per cell (absolute; v5 reports only)")
-	knownDrift := flag.String("known-drift", "",
-		"JSON file of cell keys whose throughput regressions are known host drift: marked in the output, excluded from the exit status")
+	var driftFiles []string
+	flag.Func("known-drift",
+		"JSON file of cell keys whose throughput regressions are known host drift: marked in the output, excluded from the exit status (repeatable; comma-separated lists compose)",
+		func(v string) error {
+			for _, p := range strings.Split(v, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					driftFiles = append(driftFiles, p)
+				}
+			}
+			return nil
+		})
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bench-compare [-max-regress PCT] [-max-alloc-increase N] OLD.json NEW.json")
@@ -98,11 +114,14 @@ func main() {
 		// snapshotMode separates the v9 snapshot-analytics twins — the
 		// privatized and instrumented scan cells share every other coordinate.
 		snapshotMode string
+		// batching separates the v10 server-grid twins — the batched and
+		// per-request cells share every other coordinate by design.
+		batching string
 	}
 	index := func(r experiments.BaselineReport) map[key]experiments.BaselineCell {
 		m := make(map[key]experiments.BaselineCell, len(r.Cells))
 		for _, c := range r.Cells {
-			m[key{c.Workload, c.Algorithm, c.Threads, c.Shards, c.CrossPct, c.FsyncPolicy, c.SnapshotMode}] = c
+			m[key{c.Workload, c.Algorithm, c.Threads, c.Shards, c.CrossPct, c.FsyncPolicy, c.SnapshotMode, c.Batching}] = c
 		}
 		return m
 	}
@@ -111,17 +130,25 @@ func main() {
 	// The known-drift list marks cells, it never hides them: a listed cell's
 	// regression is still measured and printed, it just doesn't fail the run.
 	// driftSeen/driftRegressed track which entries earned their keep so stale
-	// ones are called out below.
+	// ones are called out below, per contributing file; driftFile remembers
+	// which file each key came from so the warnings name it.
 	drift := map[key]string{}
+	driftFile := map[key]string{}
 	driftSeen := map[key]bool{}
 	driftRegressed := map[key]bool{}
-	if *knownDrift != "" {
-		entries, err := loadDrift(*knownDrift)
+	for _, path := range driftFiles {
+		entries, err := loadDrift(path)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		for _, e := range entries {
-			drift[key{e.Workload, e.Algorithm, e.Threads, e.Shards, e.CrossPct, e.FsyncPolicy, e.SnapshotMode}] = e.Note
+			k := key{e.Workload, e.Algorithm, e.Threads, e.Shards, e.CrossPct, e.FsyncPolicy, e.SnapshotMode, e.Batching}
+			if prev, ok := driftFile[k]; ok && prev != path {
+				fmt.Fprintf(os.Stderr, "bench-compare: warning: %s: drift entry %s %s x%d already listed by %s\n",
+					path, e.Workload, e.Algorithm, e.Threads, prev)
+			}
+			drift[k] = e.Note
+			driftFile[k] = path
 		}
 	}
 
@@ -151,7 +178,10 @@ func main() {
 		if a.fsyncPolicy != b.fsyncPolicy {
 			return a.fsyncPolicy < b.fsyncPolicy
 		}
-		return a.snapshotMode < b.snapshotMode
+		if a.snapshotMode != b.snapshotMode {
+			return a.snapshotMode < b.snapshotMode
+		}
+		return a.batching < b.batching
 	})
 
 	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.1f%%\n",
@@ -178,6 +208,9 @@ func main() {
 		if k.snapshotMode != "" {
 			wl += "/" + k.snapshotMode
 		}
+		if k.batching != "" {
+			wl += "/batch-" + k.batching
+		}
 		return wl
 	}
 	regressions, drifted := 0, 0
@@ -203,8 +236,19 @@ func main() {
 			}
 		}
 		if allocGate && n.AllocsPerTx-o.AllocsPerTx > *maxAllocIncrease {
-			mark += "  ALLOC-REGRESSION"
-			regressions++
+			// A drift entry marks the cell, not just its throughput: on
+			// durable cells allocs/tx is throughput-coupled (fixed
+			// per-window flusher allocations amortized over fewer
+			// transactions on a slow capture), so a host-drift note covers
+			// the alloc delta too.
+			if note, ok := drift[k]; ok {
+				mark += fmt.Sprintf("  alloc regression (known drift: %s)", note)
+				driftRegressed[k] = true
+				drifted++
+			} else {
+				mark += "  ALLOC-REGRESSION"
+				regressions++
+			}
 		}
 		if o.GOMAXPROCS != 0 && n.GOMAXPROCS != 0 && o.GOMAXPROCS != n.GOMAXPROCS {
 			mark += fmt.Sprintf("  [gomaxprocs %d -> %d]", o.GOMAXPROCS, n.GOMAXPROCS)
@@ -252,11 +296,11 @@ func main() {
 	for _, k := range driftKeys {
 		switch {
 		case !driftSeen[k]:
-			fmt.Fprintf(os.Stderr, "bench-compare: warning: known-drift entry %s %s x%d matches no compared cell (stale?)\n",
-				label(k), k.algo, k.threads)
+			fmt.Fprintf(os.Stderr, "bench-compare: warning: %s: known-drift entry %s %s x%d matches no compared cell (stale?)\n",
+				driftFile[k], label(k), k.algo, k.threads)
 		case !driftRegressed[k]:
-			fmt.Fprintf(os.Stderr, "bench-compare: warning: known-drift entry %s %s x%d no longer regresses; consider removing it\n",
-				label(k), k.algo, k.threads)
+			fmt.Fprintf(os.Stderr, "bench-compare: warning: %s: known-drift entry %s %s x%d no longer regresses; consider removing it\n",
+				driftFile[k], label(k), k.algo, k.threads)
 		}
 	}
 	if drifted > 0 {
@@ -279,6 +323,7 @@ type driftEntry struct {
 	CrossPct     float64 `json:"cross_pct"`
 	FsyncPolicy  string  `json:"fsync_policy"`
 	SnapshotMode string  `json:"snapshot_mode"`
+	Batching     string  `json:"batching"`
 	Note         string  `json:"note"`
 }
 

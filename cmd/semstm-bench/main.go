@@ -31,7 +31,10 @@
 // snapshot-analytics grid (privatized vs instrumented scans per algorithm,
 // with the snapshot_mode tag and the retired / reclaimed epoch-lifecycle
 // counters) plus a reclaim-churn cell exercising the NewVar -> Retire
-// recycling path.
+// recycling path, and from v10 the server grid (the networked store's
+// counter-heavy load generator, batching on/off × connections × shards, with
+// the batcher-shape counters batches / batch_mean / merged_inc_pct /
+// solo_fallbacks on batching-on cells).
 // bench-compare accepts reports of any schema (the allocation gate applies
 // from v5 on).
 //
@@ -82,6 +85,10 @@ func main() {
 		privGate    = flag.Bool("privgate", false, "run the privatization-payoff gate (snapshot scan, privatized vs instrumented) and exit non-zero below -privgate-min")
 		privThreads = flag.Int("privgate-threads", 4, "writer thread count behind each scan loop of the -privgate comparison")
 		privMin     = flag.Float64("privgate-min", 5, "minimum scan-rate ratio (privatized/instrumented) the -privgate run must reach")
+		srvGate     = flag.Bool("servegate", false, "run the commit-coalescing gate (durable counter-heavy loadgen, batched vs per-request) and exit non-zero below -servegate-min")
+		srvConns    = flag.Int("servegate-conns", 1024, "simulated connection count of the -servegate comparison")
+		srvShards   = flag.Int("servegate-shards", 8, "shard count of the -servegate comparison")
+		srvMin      = flag.Float64("servegate-min", 3, "minimum throughput ratio (batched/unbatched) the -servegate run must reach")
 		recGate     = flag.Bool("reclaimgate", false, "run the bounded-heap reclamation gate (retire-heavy churn, 3 sampling windows) and exit non-zero above -reclaimgate-growth")
 		recThreads  = flag.Int("reclaimgate-threads", 1, "churn thread count of the -reclaimgate run (1 keeps the measurement about the allocator: every descheduled pinned descriptor legitimately holds back reclamation, so wider churn on a narrow host measures scheduler quanta instead)")
 		recGrowth   = flag.Float64("reclaimgate-growth", 10, "maximum heap growth in percent from the first to the last -reclaimgate window")
@@ -118,7 +125,7 @@ func main() {
 		}()
 	}
 
-	if *list || (*expID == "" && *jsonPath == "" && !*shardGate && !*durGate && !*hybGate && !*privGate && !*recGate) {
+	if *list || (*expID == "" && *jsonPath == "" && !*shardGate && !*durGate && !*hybGate && !*privGate && !*srvGate && !*recGate) {
 		fmt.Println("Available experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-8s %-14s %s\n", e.ID, e.Panels, e.Title)
@@ -178,7 +185,7 @@ func main() {
 		if failed {
 			os.Exit(1)
 		}
-		if *expID == "" && *jsonPath == "" && !*durGate && !*hybGate && !*privGate && !*recGate {
+		if *expID == "" && *jsonPath == "" && !*durGate && !*hybGate && !*privGate && !*srvGate && !*recGate {
 			return
 		}
 	}
@@ -205,7 +212,7 @@ func main() {
 		if !ok {
 			os.Exit(1)
 		}
-		if *expID == "" && *jsonPath == "" && !*hybGate && !*privGate && !*recGate {
+		if *expID == "" && *jsonPath == "" && !*hybGate && !*privGate && !*srvGate && !*recGate {
 			return
 		}
 	}
@@ -238,7 +245,7 @@ func main() {
 		if !ok {
 			os.Exit(1)
 		}
-		if *expID == "" && *jsonPath == "" && !*privGate && !*recGate {
+		if *expID == "" && *jsonPath == "" && !*privGate && !*srvGate && !*recGate {
 			return
 		}
 	}
@@ -263,6 +270,37 @@ func main() {
 		}
 		fmt.Printf("privgate snapshot %s x%d writers: instrumented %.1f scans/s, privatized %.1f scans/s, ratio %.2fx (min %.1fx) %s [%v]\n",
 			res.Algorithm, res.Threads, res.InstScans, res.PrivScans, res.Ratio, *privMin,
+			verdict, time.Since(start).Round(time.Millisecond))
+		if !ok {
+			os.Exit(1)
+		}
+		if *expID == "" && *jsonPath == "" && !*srvGate && !*recGate {
+			return
+		}
+	}
+
+	if *srvGate {
+		// The commit-coalescing gate (scripts/check.sh): on a durable store
+		// that fsyncs every acknowledged request (the serving configuration
+		// batching exists for), the counter-heavy load generator through the
+		// per-shard batcher must out-commit per-request execution by at least
+		// -servegate-min. Volatile arms on a narrow host trade blocking
+		// handoffs for sub-microsecond solo commits and prove nothing; the
+		// fsync-per-request arm is where amortization is structural.
+		start := time.Now()
+		res, err := experiments.ServeGate(cfg, *srvConns, *srvShards)
+		if err != nil {
+			fatalf("servegate: %v", err)
+		}
+		ok := res.Ratio >= *srvMin
+		verdict := "ok"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("servegate counter %s x%d conns, %d shards, fsync=%s: unbatched %.1f kreq/s, batched %.1f kreq/s, ratio %.2fx (min %.1fx) [window %.1f, merged %.1f%%, solo %d] %s [%v]\n",
+			res.Algorithm, res.Connections, res.Shards, res.Fsync,
+			res.UnbatchedK, res.BatchedK, res.Ratio, *srvMin,
+			res.BatchMean, res.MergedIncPct, res.SoloFallbacks,
 			verdict, time.Since(start).Round(time.Millisecond))
 		if !ok {
 			os.Exit(1)

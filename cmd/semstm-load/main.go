@@ -1,0 +1,108 @@
+// Command semstm-load drives a semstm store with simulated client
+// connections and reports throughput and outcome tallies.
+//
+// Two modes:
+//
+//	semstm-load -addr 127.0.0.1:7070 -workload counter -conns 256
+//	    wire mode: one real TCP connection per simulated client against a
+//	    running semstm-serve.
+//
+//	semstm-load -workload mixed -conns 1024 -shards 8
+//	    in-process mode (no -addr): spins up a Store in this process and
+//	    submits directly — the shape the servegate measures, where batching
+//	    wins by amortizing commit work rather than hiding network latency.
+//	    In-process mode also reports the batcher's own counters (mean window
+//	    size, merged-inc ratio, solo fallbacks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"semstm/internal/server"
+	"semstm/stm"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server wire address; \"\" runs an in-process store")
+		workload = flag.String("workload", "counter", "mix: counter, readmostly, mixed")
+		conns    = flag.Int("conns", 64, "simulated client connections")
+		keys     = flag.Uint64("keys", 1<<20, "key-universe size")
+		hot      = flag.Uint64("hot", 4096, "hot-set size (counter and mixed workloads)")
+		duration = flag.Duration("duration", time.Second, "how long to drive load")
+		seed     = flag.Uint64("seed", 1, "op-stream seed")
+
+		// In-process mode only.
+		algoName = flag.String("algo", "S-NOrec", "in-process engine family")
+		shards   = flag.Int("shards", 8, "in-process runtime shard count")
+		nobatch  = flag.Bool("nobatch", false, "in-process: disable the coalescing batcher")
+		maxBatch = flag.Int("maxbatch", 64, "in-process: max requests per batch window")
+		dir      = flag.String("dir", "", "in-process: WAL directory (\"\" = volatile)")
+		fsyncPol = flag.String("fsync", "interval", "in-process durable fsync policy: always, interval, none")
+	)
+	flag.Parse()
+
+	cfg := server.LoadConfig{
+		Workload:    *workload,
+		Connections: *conns,
+		Keys:        *keys,
+		HotKeys:     *hot,
+		Duration:    *duration,
+		Seed:        *seed,
+	}
+
+	var (
+		res   server.LoadResult
+		store *server.Store
+		err   error
+	)
+	if *addr != "" {
+		fmt.Printf("semstm-load: %s workload, %d conns against %s for %v\n", *workload, *conns, *addr, *duration)
+		res, err = server.RunLoadTCP(*addr, cfg)
+	} else {
+		var algo stm.Algorithm
+		found := false
+		for _, a := range stm.Algorithms() {
+			if strings.EqualFold(a.String(), *algoName) {
+				algo, found = a, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "semstm-load: unknown algorithm %q\n", *algoName)
+			os.Exit(2)
+		}
+		store, err = server.Open(server.Config{
+			Algo: algo, Shards: *shards, Batching: !*nobatch, MaxBatch: *maxBatch,
+			DurableDir: *dir, Fsync: *fsyncPol,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "semstm-load: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		fmt.Printf("semstm-load: %s workload, %d conns in-process (%s, shards=%d, batching=%v) for %v\n",
+			*workload, *conns, algo, *shards, !*nobatch, *duration)
+		res, err = server.RunLoad(store, cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "semstm-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("requests     %12d  (%.0f req/s over %v)\n", res.Requests, res.RequestsPerSec, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("committed    %12d\n", res.Committed)
+	fmt.Printf("guard-failed %12d\n", res.GuardFailed)
+	fmt.Printf("aborted      %12d\n", res.Aborted)
+	if store != nil {
+		m := store.Metrics()
+		fmt.Printf("batches      %12d  (mean window %.1f, %d requests batched)\n",
+			m.Batches(), m.MeanBatch(), m.Batched())
+		fmt.Printf("merged incs  %11.1f%%\n", 100*m.MergedIncRatio())
+		fmt.Printf("solo falls   %12d\n", m.SoloFallbacks())
+	}
+}

@@ -95,3 +95,13 @@ type TwoPhase interface {
 	Validate()
 	Publish()
 }
+
+// BatchNoter is the optional accounting hook for batch execution
+// (stm.AtomicallyBatch): a descriptor implementing it is told, after each
+// successful commit that folded several logical transactions into one engine
+// commit, how many units the commit carried. Sharded descriptors attribute
+// the units to the shards the attempt touched, making the coalescing
+// amortization factor visible in ShardSnapshot.
+type BatchNoter interface {
+	NoteBatch(units int)
+}

@@ -115,6 +115,21 @@ type BaselineCell struct {
 	// Var retirement lifecycle (snapshot, reclaim-churn).
 	Retired   uint64 `json:"retired,omitempty"`
 	Reclaimed uint64 `json:"reclaimed,omitempty"`
+	// Connections marks a server-grid cell (schema v10): simulated client
+	// connections driving the networked store's Submit path through the
+	// internal/server load generator; Threads mirrors it so the cell key
+	// stays comparable across schema versions. Batching records the
+	// coalescing batcher's toggle ("on" / "off") and is part of the cell's
+	// identity in bench-compare.
+	Connections int    `json:"connections,omitempty"`
+	Batching    string `json:"batching,omitempty"`
+	// Batcher-shape counters (schema v10, batching-on cells only): committed
+	// windows, mean window size, the merged share of merge-eligible inc ops,
+	// and requests pushed onto the solo path by conflicts or torn windows.
+	Batches       uint64  `json:"batches,omitempty"`
+	BatchMean     float64 `json:"batch_mean,omitempty"`
+	MergedIncPct  float64 `json:"merged_inc_pct,omitempty"`
+	SoloFallbacks uint64  `json:"solo_fallbacks,omitempty"`
 }
 
 // BaselineReport is the top-level schema of a BENCH_*.json file.
@@ -172,7 +187,7 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		yieldEvery = 0
 	}
 	rep := BaselineReport{
-		Schema:      "semstm-bench-baseline/v9",
+		Schema:      "semstm-bench-baseline/v10",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -254,6 +269,11 @@ func Baseline(cfg Config) (BaselineReport, error) {
 		return rep, err
 	}
 	rep.Cells = append(rep.Cells, snapshot...)
+	srv, err := serverCells(cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Cells = append(rep.Cells, srv...)
 	return rep, nil
 }
 

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"semstm/stm"
+)
+
+// chaosGrid is the batch/solo equivalence suite required by the PR: the same
+// seeded transfer workload driven concurrently through the coalescing
+// batcher and through per-request execution, under injected aborts and
+// interleave yields, across the semantic engines and shard widths. The
+// conservation invariant — the total balance is exactly what was seeded,
+// whatever committed, aborted, guard-failed, merged, or fell out — holds on
+// both arms; doomed requests must abort without taking batchmates with them.
+func chaosGrid(t *testing.T, f func(t *testing.T, algo stm.Algorithm, shards int)) {
+	t.Helper()
+	for _, algo := range []stm.Algorithm{stm.SNOrec, stm.STL2} {
+		for _, shards := range []int{1, 8} {
+			name := algo.String() + "/shards=1"
+			if shards != 1 {
+				name = algo.String() + "/shards=8"
+			}
+			t.Run(name, func(t *testing.T) { f(t, algo, shards) })
+		}
+	}
+}
+
+// runConservation drives the seeded workload through one store and returns
+// (committed, doomedCommitted) request counts. Every request either moves a
+// unit between two cells or nothing at all, so the keyspace total is
+// invariant.
+func runConservation(t *testing.T, s *Store, workers, perWorker int, hot uint64, seed int64) (uint64, uint64) {
+	t.Helper()
+	const initial = int64(100)
+	ks := s.Keyspace("")
+	for k := uint64(0); k < hot; k++ {
+		ks.Var(k).StoreNT(initial)
+	}
+	var wg sync.WaitGroup
+	var commitCount, doomCommit, doomAborts atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := newTestRng(seed + int64(w)*104729)
+			r := &Request{}
+			for i := 0; i < perWorker; i++ {
+				a := rng.Uint64() % hot
+				b := rng.Uint64() % hot
+				if rng.Intn(2) == 0 {
+					// Guarded transfer: in-place in a window (or solo when
+					// the keys span shards).
+					r.Ops = append(r.Ops[:0],
+						Op{Code: OpCmp, Key: a, Cmp: stm.OpGTE, Val: 1},
+						Op{Code: OpInc, Key: a, Val: -1},
+						Op{Code: OpInc, Key: b, Val: 1},
+					)
+				} else {
+					// Unguarded rotate: inc-only, merge-eligible.
+					r.Ops = append(r.Ops[:0],
+						Op{Code: OpInc, Key: a, Val: -1},
+						Op{Code: OpInc, Key: b, Val: 1},
+					)
+				}
+				doomed := i%61 == 17
+				r.doom = doomed
+				res := s.Submit(r)
+				if res.Committed {
+					commitCount.Add(1)
+					if doomed {
+						doomCommit.Add(1)
+					}
+				} else if doomed {
+					doomAborts.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for k := uint64(0); k < hot; k++ {
+		sum += ks.Var(k).Load()
+	}
+	if want := initial * int64(hot); sum != want {
+		t.Fatalf("conservation violated: total = %d, want %d", sum, want)
+	}
+	if doomAborts.Load() == 0 {
+		t.Fatalf("no doomed request ran")
+	}
+	return commitCount.Load(), doomCommit.Load()
+}
+
+// TestChaosConservationBatchVsSolo is the batch/solo equivalence chaos run.
+func TestChaosConservationBatchVsSolo(t *testing.T) {
+	chaosGrid(t, func(t *testing.T, algo stm.Algorithm, shards int) {
+		const (
+			workers   = 12
+			perWorker = 120
+			hot       = 48
+		)
+		for _, batching := range []bool{true, false} {
+			s, err := Open(Config{Algo: algo, Shards: shards, Batching: batching, MaxBatch: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.rt.SetYieldEvery(3)
+			s.rt.SetFaultPlan(stm.NewFaultPlan(0xC0FFEE^uint64(shards)).WithSpurious(stm.SiteCommit, 15))
+			commits, doomCommits := runConservation(t, s, workers, perWorker, hot, 7)
+			if commits == 0 {
+				t.Fatalf("batching=%v: nothing committed", batching)
+			}
+			if doomCommits != 0 {
+				t.Fatalf("batching=%v: %d doomed requests committed", batching, doomCommits)
+			}
+			if batching {
+				if s.metrics.Batches() == 0 {
+					t.Fatalf("no batch window formed under concurrent load")
+				}
+				// A doomed single-shard request lands in windows; the
+				// straggler rule must have torn at least one apart.
+				if s.metrics.soloAbort.Load() == 0 && shards == 1 {
+					t.Fatalf("doomed requests never tore a window (straggler rule untested)")
+				}
+			}
+		}
+	})
+}
+
+// TestChaosDurableBatching runs the counter workload against a durable
+// batched store: group commit under the batcher on top of the WAL's own
+// group commit, then verifies the log replays to the same totals.
+func TestChaosDurableBatching(t *testing.T) {
+	dir := t.TempDir()
+	open := func(batching bool) *Store {
+		s, err := Open(Config{Algo: stm.SNOrec, Shards: 4, DurableDir: dir, Fsync: "none", Batching: batching})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.rt.SetYieldEvery(2)
+		return s
+	}
+	s := open(true)
+	const workers, perWorker, hot = 8, 150, 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := newTestRng(int64(w) * 31)
+			r := &Request{}
+			for i := 0; i < perWorker; i++ {
+				r.Ops = append(r.Ops[:0], Op{Code: OpInc, Key: rng.Uint64() % hot, Val: 1})
+				if res := s.Submit(r); !res.Committed {
+					t.Errorf("durable inc aborted: %+v", res)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var before int64
+	for k := uint64(0); k < hot; k++ {
+		before += s.Keyspace("").Var(k).Load()
+	}
+	if before != workers*perWorker {
+		t.Fatalf("pre-close total = %d, want %d", before, workers*perWorker)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Reopen: recovery must replay the batched commits to the same totals.
+	s2 := open(false)
+	defer s2.Close()
+	var after int64
+	for k := uint64(0); k < hot; k++ {
+		after += s2.Keyspace("").Var(k).Load()
+	}
+	if after != before {
+		t.Fatalf("recovered total = %d, want %d", after, before)
+	}
+}

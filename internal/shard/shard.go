@@ -62,18 +62,24 @@ type Logger interface {
 }
 
 // shardCounters tracks one shard's commit mix on a private cache line:
-// single-shard commits routed entirely to this shard, and cross-shard
-// commits this shard participated in.
+// single-shard commits routed entirely to this shard, cross-shard commits
+// this shard participated in, and batched logical requests folded into this
+// shard's commits by a coalescing caller (stm.AtomicallyBatch).
 type shardCounters struct {
-	single atomic.Uint64
-	cross  atomic.Uint64
-	_      [48]byte
+	single  atomic.Uint64
+	cross   atomic.Uint64
+	batched atomic.Uint64
+	_       [40]byte
 }
 
 // ShardSnapshot is a plain-value copy of one shard's commit counters.
+// BatchedRequests counts the logical client requests coalesced into this
+// shard's commits — BatchedRequests/SingleCommits is the shard's observed
+// amortization factor.
 type ShardSnapshot struct {
-	SingleCommits uint64 `json:"single_commits"`
-	CrossCommits  uint64 `json:"cross_commits"`
+	SingleCommits   uint64 `json:"single_commits"`
+	CrossCommits    uint64 `json:"cross_commits"`
+	BatchedRequests uint64 `json:"batched_requests"`
 }
 
 // clockProber is the optional probe concrete engines expose so tests can
@@ -163,6 +169,11 @@ func (e *Engine) NumShards() int { return e.n }
 // Ticket exposes the cross-shard commit ticket (tests and diagnostics).
 func (e *Engine) Ticket() uint64 { return e.ticket.Load() }
 
+// ShardOf reports the backing instance a variable routes to — the routing
+// decision a coalescing front-end (internal/server) must replicate to
+// assemble single-shard batches.
+func (e *Engine) ShardOf(v *core.Var) int { return e.shardOf(v) }
+
 // shardOf maps a variable to its backing instance: the stamped shard
 // assignment, folded into range for out-of-range stamps (a Var allocated for
 // a wider runtime keeps working, just with less isolation).
@@ -183,8 +194,9 @@ func (e *Engine) Snapshots() []ShardSnapshot {
 	out := make([]ShardSnapshot, e.n)
 	for i := 0; i < e.eff; i++ {
 		out[i] = ShardSnapshot{
-			SingleCommits: e.counters[i].single.Load(),
-			CrossCommits:  e.counters[i].cross.Load(),
+			SingleCommits:   e.counters[i].single.Load(),
+			CrossCommits:    e.counters[i].cross.Load(),
+			BatchedRequests: e.counters[i].batched.Load(),
 		}
 	}
 	return out
@@ -697,6 +709,23 @@ func (tx *Tx) Cleanup() {
 	for _, s := range tx.touched {
 		tx.impls[s].Cleanup()
 	}
+}
+
+// NoteBatch implements core.BatchNoter: the runtime reports, after a
+// successful AtomicallyBatch commit, how many logical requests the commit
+// carried; the units are attributed to the shards the attempt touched. The
+// coalescing batcher only builds single-shard batches, so the common case is
+// exactly one touched shard; units on a cross-shard (or empty) attempt fold
+// into the first touched shard (or shard 0) so no request goes unaccounted.
+func (tx *Tx) NoteBatch(units int) {
+	if units <= 0 {
+		return
+	}
+	s := 0
+	if len(tx.touched) > 0 {
+		s = tx.touched[0]
+	}
+	tx.e.counters[s].batched.Add(uint64(units))
 }
 
 // AttemptStats aggregates the attempt's counters: the descriptor's own

@@ -14,9 +14,12 @@ import (
 // the paper reports for Vacation). Nodes live in parallel Var pools and link
 // by index; index 0 is the nil sentinel.
 //
-// Node allocation uses a non-transactional bump counter: an aborted insert
-// leaks its node, which is harmless for benchmarks and tests (native STAMP
-// uses a transaction-aware allocator instead).
+// Node allocation is transaction-aware, like native STAMP's allocator: an
+// index is reserved off a free list (else a bump counter) and an abort hook
+// (stm.Tx.OnAbort) returns it if the inserting attempt aborts, so aborted
+// inserts do not leak pool nodes and the pool stays bounded under abort
+// churn. An abort-freed node's Vars were never committed to, so it recycles
+// with no reset.
 type BSTMap struct {
 	root   *stm.Var
 	keys   []*stm.Var
@@ -33,7 +36,7 @@ type BSTMap struct {
 }
 
 // NewBSTMap creates a map with storage for at most capacity insertions
-// (including those wasted by aborted attempts).
+// (aborted attempts reclaim their nodes).
 func NewBSTMap(capacity int) *BSTMap {
 	m := &BSTMap{
 		root:   stm.NewVar(0),
@@ -47,14 +50,20 @@ func NewBSTMap(capacity int) *BSTMap {
 	return m
 }
 
-// alloc reserves a node index: a physically reclaimed one when available,
-// else a fresh slot off the bump counter.
-func (m *BSTMap) alloc() int64 {
+// alloc reserves a node index for the current attempt: a reclaimed one when
+// available, else a fresh slot off the bump counter. The reservation is a
+// non-transactional side effect, so alloc arms an abort hook pushing the
+// index back onto the free list — the rollback the engine itself cannot
+// perform. Free-list nodes always hold zeroed Vars (DeletePrivatize resets
+// them while private; an aborted insert's writes never committed), so reuse
+// needs no reset either way.
+func (m *BSTMap) alloc(tx *stm.Tx) int64 {
 	m.freeMu.Lock()
 	if n := len(m.free); n > 0 {
 		i := m.free[n-1]
 		m.free = m.free[:n-1]
 		m.freeMu.Unlock()
+		m.release(tx, i)
 		return i
 	}
 	m.freeMu.Unlock()
@@ -62,7 +71,17 @@ func (m *BSTMap) alloc() int64 {
 	if int(i) >= len(m.keys) {
 		panic("txds: BSTMap node pool exhausted")
 	}
+	m.release(tx, i)
 	return i
+}
+
+// release arms the abort-path reclamation of index i.
+func (m *BSTMap) release(tx *stm.Tx, i int64) {
+	tx.OnAbort(func() {
+		m.freeMu.Lock()
+		m.free = append(m.free, i)
+		m.freeMu.Unlock()
+	})
 }
 
 // find walks from the root to the node holding key. It returns the node
@@ -118,7 +137,7 @@ func (m *BSTMap) Put(tx *stm.Tx, key, val int64) bool {
 		tx.Write(m.live[node], 1)
 		return inserted
 	}
-	n := m.alloc()
+	n := m.alloc(tx)
 	tx.Write(m.keys[n], key)
 	tx.Write(m.vals[n], val)
 	tx.Write(m.lefts[n], 0)

@@ -25,8 +25,11 @@ type ChainTable struct {
 	mask    int64
 	next    atomic.Int64
 
-	// free holds node indices recycled by RemovePrivatize; their pool slots
-	// are re-populated with fresh Vars on reuse (alloc).
+	// free holds node indices recycled by Remove (slots retired and nil'd,
+	// re-populated with fresh Vars on reuse) and by the transaction-aware
+	// allocator's abort hook (slots intact — an aborted insert never
+	// committed a write, so the node's Vars are still pristine and reusable
+	// as-is).
 	freeMu sync.Mutex
 	free   []int64
 }
@@ -91,7 +94,7 @@ func (t *ChainTable) PutIfAbsent(tx *stm.Tx, key, val int64) bool {
 	if t.findNode(tx, key) != 0 {
 		return false
 	}
-	n := t.alloc()
+	n := t.alloc(tx)
 	b := t.bucket(key)
 	tx.Write(t.keys[n], key)
 	tx.Write(t.vals[n], val)
@@ -106,7 +109,7 @@ func (t *ChainTable) Put(tx *stm.Tx, key, val int64) {
 		tx.Write(t.vals[n], val)
 		return
 	}
-	n := t.alloc()
+	n := t.alloc(tx)
 	b := t.bucket(key)
 	tx.Write(t.keys[n], key)
 	tx.Write(t.vals[n], val)
@@ -125,19 +128,29 @@ func (t *ChainTable) Inc(tx *stm.Tx, key, delta int64) {
 	t.Put(tx, key, delta)
 }
 
-func (t *ChainTable) alloc() int64 {
+// alloc reserves a node index for the current attempt. The allocation is a
+// non-transactional side effect, so alloc registers an abort hook returning
+// the index to the free list: an aborted insert no longer leaks its node
+// (the pool stays bounded under abort churn), and since a deferred-update
+// engine never wrote the node's Vars, an abort-freed node comes back with
+// its Vars pristine — only slots nil'd by Remove's retire path need fresh
+// Vars minted.
+func (t *ChainTable) alloc(tx *stm.Tx) int64 {
 	t.freeMu.Lock()
 	if n := len(t.free); n > 0 {
 		i := t.free[n-1]
 		t.free = t.free[:n-1]
 		t.freeMu.Unlock()
-		// Re-populate the retired slots with fresh Vars (NewVar recycles
-		// reclaimed cells when the epoch allows). Publication of index i is
-		// transactional — the caller's bucket-link write — so every reader
-		// that can reach i observes these stores.
-		t.keys[i] = stm.NewVar(0)
-		t.vals[i] = stm.NewVar(0)
-		t.nexts[i] = stm.NewVar(0)
+		if t.keys[i] == nil {
+			// Retired slot: re-populate with fresh Vars (NewVar recycles
+			// reclaimed cells when the epoch allows). Publication of index i
+			// is transactional — the caller's bucket-link write — so every
+			// reader that can reach i observes these stores.
+			t.keys[i] = stm.NewVar(0)
+			t.vals[i] = stm.NewVar(0)
+			t.nexts[i] = stm.NewVar(0)
+		}
+		t.release(tx, i)
 		return i
 	}
 	t.freeMu.Unlock()
@@ -145,7 +158,19 @@ func (t *ChainTable) alloc() int64 {
 	if int(i) >= len(t.keys) {
 		panic("txds: ChainTable node pool exhausted")
 	}
+	t.release(tx, i)
 	return i
+}
+
+// release arms the abort-path reclamation of index i. The hook runs after
+// the attempt's rollback, when no write to the node's Vars has been (or can
+// ever be) published, so pushing i back onto the free list is safe.
+func (t *ChainTable) release(tx *stm.Tx, i int64) {
+	tx.OnAbort(func() {
+		t.freeMu.Lock()
+		t.free = append(t.free, i)
+		t.freeMu.Unlock()
+	})
 }
 
 // Remove deletes key with a privatizing commit and hands the unlinked node to

@@ -1,0 +1,114 @@
+package txds
+
+import (
+	"testing"
+
+	"semstm/stm"
+)
+
+// TestChainTableAbortChurnBounded drives inserts through a fault plan that
+// aborts half the commit attempts and asserts the node pool's high-water mark
+// stays at one node per committed insert: every aborted attempt's allocation
+// came back through the abort hook, so abort churn does not grow the pool.
+// Before the transaction-aware allocator, each aborted insert leaked a node
+// and this workload needed ~2x the capacity.
+func TestChainTableAbortChurnBounded(t *testing.T) {
+	const inserts = 400
+	for _, algo := range []stm.Algorithm{stm.SNOrec, stm.STL2} {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := stm.New(algo)
+			// Capacity for exactly the committed inserts: any leak panics the
+			// pool-exhausted check, making the bound self-enforcing.
+			tab := NewChainTable(64, inserts)
+			rt.SetFaultPlan(stm.NewFaultPlan(0xC4A1).WithSpurious(stm.SiteCommit, 50))
+			for k := int64(1); k <= inserts; k++ {
+				rt.Atomically(func(tx *stm.Tx) {
+					if !tab.PutIfAbsent(tx, k, k*3) {
+						t.Errorf("key %d already present", k)
+					}
+				})
+			}
+			if got := tab.SizeNT(); got != inserts {
+				t.Fatalf("SizeNT = %d, want %d", got, inserts)
+			}
+			// High-water: the bump counter minus recycled slack must equal the
+			// live population — no abort-leaked nodes outstanding.
+			if hw := tab.next.Load() - 1 - int64(len(tab.free)); hw != inserts {
+				t.Fatalf("pool in use = %d, want %d (leak)", hw, inserts)
+			}
+			snap := rt.Stats()
+			if snap.Aborts == 0 {
+				t.Fatalf("fault plan injected no aborts; churn test vacuous")
+			}
+		})
+	}
+}
+
+// TestBSTMapAbortChurnBounded is the BSTMap variant: insert/delete churn
+// under 50% injected commit aborts, with pool capacity sized for only the
+// committed population. Aborted inserts must return their node through the
+// abort hook or the bump counter exhausts the pool.
+func TestBSTMapAbortChurnBounded(t *testing.T) {
+	const inserts = 400
+	for _, algo := range []stm.Algorithm{stm.SNOrec, stm.STL2} {
+		t.Run(algo.String(), func(t *testing.T) {
+			rt := stm.New(algo)
+			m := NewBSTMap(inserts)
+			rt.SetFaultPlan(stm.NewFaultPlan(0xB57).WithSpurious(stm.SiteCommit, 50))
+			// Interleave inserts with physical deletes so the free list is
+			// exercised by both reclamation paths at once.
+			for k := int64(1); k <= inserts; k++ {
+				key := k * 7653 % 100003
+				rt.Atomically(func(tx *stm.Tx) {
+					m.Put(tx, key, k)
+				})
+				if k%4 == 0 {
+					m.DeletePrivatize(rt, key)
+				}
+			}
+			if hw := m.next.Load() - 1 - int64(len(m.free)); hw > inserts {
+				t.Fatalf("pool in use = %d, want <= %d (leak)", hw, inserts)
+			}
+			snap := rt.Stats()
+			if snap.Aborts == 0 {
+				t.Fatalf("fault plan injected no aborts; churn test vacuous")
+			}
+		})
+	}
+}
+
+// TestChainTableAbortReclaimConcurrent runs insert churn from several
+// goroutines under injected aborts with capacity for exactly the committed
+// population — racing abort-hook reclamation against allocation. Run under
+// -race this also checks the hook path is data-race free.
+func TestChainTableAbortReclaimConcurrent(t *testing.T) {
+	const (
+		workers = 4
+		perW    = 100
+	)
+	rt := stm.New(stm.SNOrec)
+	rt.SetYieldEvery(3)
+	tab := NewChainTable(64, workers*perW)
+	rt.SetFaultPlan(stm.NewFaultPlan(0xFEED).WithSpurious(stm.SiteCommit, 30))
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perW; i++ {
+				k := int64(w*perW + i + 1)
+				rt.Atomically(func(tx *stm.Tx) {
+					tab.PutIfAbsent(tx, k, k)
+				})
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if got := tab.SizeNT(); got != workers*perW {
+		t.Fatalf("SizeNT = %d, want %d", got, workers*perW)
+	}
+	if hw := tab.next.Load() - 1 - int64(len(tab.free)); hw != workers*perW {
+		t.Fatalf("pool in use = %d, want %d (leak)", hw, workers*perW)
+	}
+}

@@ -51,6 +51,11 @@
 #      HeapAlloc steady (<= 10% growth + fixed slack from window 1 to 3,
 #      with Reclaimed > 0) — the PR9 acceptance bar defending epoch-based
 #      reclamation actually recycling cells instead of leaking them.
+#  13. the commit-coalescing gate: the counter-heavy load generator at 1024
+#      simulated connections over a durable 8-shard store (fsync "always")
+#      must run >= 3x faster through the per-shard batcher than per-request
+#      — the PR10 acceptance bar defending request coalescing actually
+#      amortizing the commit + WAL-fsync path.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -72,7 +77,7 @@ go test ./...
 echo "== go vet ./... =="
 go vet ./...
 
-RACE_PKGS="./stm/... ./internal/core/... ./internal/norec/... ./internal/tl2/... ./internal/ringstm/... ./internal/htm/... ./internal/sgl/... ./internal/shard/... ./internal/wal/..."
+RACE_PKGS="./stm/... ./internal/core/... ./internal/norec/... ./internal/tl2/... ./internal/ringstm/... ./internal/htm/... ./internal/sgl/... ./internal/shard/... ./internal/wal/... ./internal/server/..."
 
 if [ "${CHECK_LONG:-0}" = "1" ]; then
     echo "== go test -race (full chaos sweep) =="
@@ -119,5 +124,8 @@ go run ./cmd/semstm-bench -privgate -dur 200ms -reps 2
 
 echo "== reclamation gate (steady-state heap under retire churn) =="
 go run ./cmd/semstm-bench -reclaimgate -dur 200ms -reps 1
+
+echo "== commit-coalescing gate (batched >= 3x unbatched on durable counter loadgen) =="
+go run ./cmd/semstm-bench -servegate -dur 300ms -reps 2
 
 echo "== ok =="

@@ -212,6 +212,7 @@ type runCfg struct {
 	done        <-chan struct{} // non-nil under AtomicallyCtx
 	ctx         context.Context // non-nil under AtomicallyCtx; supplies Cause
 	privatize   bool            // commit through the engine's privatizing variant
+	batchUnits  int             // logical transactions folded into this commit (AtomicallyBatch)
 }
 
 // run is the retry engine shared by Atomically, AtomicallyCtx, and
@@ -292,7 +293,7 @@ func (rt *Runtime) run(fn func(tx *Tx), cfg runCfg) error {
 				return runErr(attempt, reasons, escalated, cfg)
 			}
 		}
-		committed, _ := rt.tryOnce(tx, fn, cfg.privatize)
+		committed, _ := rt.tryOnce(tx, fn, cfg)
 		if entered {
 			tx.active.Store(0)
 			rt.noteAttempt(tx)

@@ -451,6 +451,11 @@ type ShardStats struct {
 	// CrossCommits counts two-phase cross-shard commits this shard
 	// participated in.
 	CrossCommits uint64
+	// BatchedRequests counts the logical requests folded into this shard's
+	// commits by AtomicallyBatch callers (the coalescing server front-end);
+	// BatchedRequests/SingleCommits is the shard's observed amortization
+	// factor.
+	BatchedRequests uint64
 }
 
 // ShardStats returns the per-shard commit counters, summed over every engine
@@ -471,6 +476,7 @@ func (rt *Runtime) ShardStats() []ShardStats {
 		for i, sn := range se.Snapshots() {
 			out[i].SingleCommits += sn.SingleCommits
 			out[i].CrossCommits += sn.CrossCommits
+			out[i].BatchedRequests += sn.BatchedRequests
 		}
 	}
 	return out
@@ -517,11 +523,16 @@ func (rt *Runtime) Atomically(fn func(tx *Tx)) {
 // tryOnce runs a single attempt, returning whether it committed and, on
 // abort, the typed reason (also latched on the descriptor for the retry
 // engine's reason log).
-func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx), privatize bool) (committed bool, reason AbortReason) {
+func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx), cfg runCfg) (committed bool, reason AbortReason) {
 	defer func() {
 		if r := recover(); r != nil {
 			tx.impl.Cleanup()
 			tx.shard.Merge(tx.impl.AttemptStats(), false)
+			// The attempt is rolled back: run the abort hooks (allocator
+			// reclamation and the like) before anything can observe the
+			// descriptor again — for user panics too, since the body will not
+			// re-run and whatever the hooks guard would otherwise leak.
+			tx.runAbortHooks()
 			if !core.IsAbort(r) {
 				// A user panic unwinds straight past the retry loop's normal
 				// active-flag clear; drop the flag here or the descriptor
@@ -536,14 +547,19 @@ func (rt *Runtime) tryOnce(tx *Tx, fn func(tx *Tx), privatize bool) (committed b
 			tx.shard.CountAbortReason(reason)
 		}
 	}()
+	tx.clearAbortHooks()
 	tx.impl.Start()
 	fn(tx)
-	if privatize && tx.priv != nil {
+	if cfg.privatize && tx.priv != nil {
 		tx.priv.CommitPrivatize()
 	} else {
 		tx.impl.Commit()
 	}
+	if cfg.batchUnits > 0 {
+		noteBatch(tx, cfg.batchUnits)
+	}
 	tx.shard.Merge(tx.impl.AttemptStats(), true)
+	tx.clearAbortHooks()
 	return true, AbortUnknown
 }
 
@@ -581,6 +597,50 @@ type Tx struct {
 	// sinceAdapt counts attempts since this descriptor last triggered a
 	// policy evaluation.
 	sinceAdapt int
+
+	// abortHooks are per-attempt callbacks registered with OnAbort, run after
+	// an attempt's rollback and discarded on commit. Transaction-aware
+	// allocators (internal/txds) use them to reclaim side-effect allocations
+	// the engine's rollback cannot see.
+	abortHooks []func()
+}
+
+// OnAbort registers fn to run if — and only if — the current attempt aborts,
+// after the engine has rolled the attempt back. Hooks registered during an
+// attempt are discarded when that attempt commits, and the set starts empty
+// on every attempt, so a hook never outlives (or predates) the attempt that
+// registered it. Hooks run in registration order on the transaction's
+// goroutine; they must not use tx.
+//
+// This is the reclamation channel for non-transactional side effects of a
+// transaction body: a pool allocator that hands out a node inside an attempt
+// registers a hook returning it to the free list, so an aborted insert does
+// not leak the node (the engine only rolls back Var writes).
+func (tx *Tx) OnAbort(fn func()) {
+	tx.abortHooks = append(tx.abortHooks, fn)
+}
+
+// runAbortHooks fires the attempt's abort hooks in registration order and
+// clears the set.
+func (tx *Tx) runAbortHooks() {
+	for i, fn := range tx.abortHooks {
+		tx.abortHooks[i] = nil
+		fn()
+	}
+	tx.abortHooks = tx.abortHooks[:0]
+}
+
+// clearAbortHooks discards the attempt's abort hooks without running them
+// (commit path, and attempt start), nilling entries so pooled descriptors do
+// not retain closures.
+func (tx *Tx) clearAbortHooks() {
+	if len(tx.abortHooks) == 0 {
+		return
+	}
+	for i := range tx.abortHooks {
+		tx.abortHooks[i] = nil
+	}
+	tx.abortHooks = tx.abortHooks[:0]
 }
 
 // BackoffPolicy selects how a transaction waits between attempts — the
